@@ -1,0 +1,67 @@
+//! The accelerator-engine abstraction.
+//!
+//! An engine does real work (match, compress, XOR, hash) *and* reports a
+//! deterministic cycle cost so the device model can account for simulated
+//! time. Requests and responses are byte buffers, mirroring the
+//! DRAM-resident instruction/output queues of Figure 3.
+
+use snic_types::AccelKind;
+
+/// A request submitted to an accelerator's instruction queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelRequest {
+    /// Opcode-specific input (payload to scan, stripe to XOR, ...).
+    pub data: Vec<u8>,
+    /// Engine-specific opcode (e.g. compress vs. decompress).
+    pub opcode: u32,
+}
+
+/// The engine's answer, written to the output queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelResponse {
+    /// Opcode-specific output.
+    pub data: Vec<u8>,
+    /// Scalar result (match count, parity ok, ...).
+    pub result: u64,
+    /// Hardware-thread cycles the request consumed.
+    pub cycles: u64,
+}
+
+/// An accelerator engine: one hardware thread's worth of function.
+pub trait AccelEngine: Send {
+    /// Which accelerator family this engine belongs to.
+    fn kind(&self) -> AccelKind;
+
+    /// Execute a request. Implementations must be deterministic.
+    fn execute(&mut self, req: &AccelRequest) -> AccelResponse;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl AccelEngine for Echo {
+        fn kind(&self) -> AccelKind {
+            AccelKind::Raid
+        }
+        fn execute(&mut self, req: &AccelRequest) -> AccelResponse {
+            AccelResponse {
+                data: req.data.clone(),
+                result: req.data.len() as u64,
+                cycles: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut e: Box<dyn AccelEngine> = Box::new(Echo);
+        let resp = e.execute(&AccelRequest {
+            data: vec![1, 2, 3],
+            opcode: 0,
+        });
+        assert_eq!(resp.result, 3);
+        assert_eq!(e.kind(), AccelKind::Raid);
+    }
+}

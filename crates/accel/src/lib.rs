@@ -1,0 +1,46 @@
+//! Hardware accelerators and their side-channel-free virtualization.
+//!
+//! §4.3 of the paper: commodity accelerators are shared by all cores with
+//! unrestricted RAM access; "contention also creates side channels that
+//! let a core determine whether other cores are doing cryptography"
+//! (§3.2, Agilio). S-NIC statically groups an accelerator's hardware
+//! threads into *clusters*, places a TLB bank in front of each cluster,
+//! and binds clusters to network functions at `nf_launch` time.
+//!
+//! - [`engine`]: the accelerator-engine abstraction (real work + a cycle
+//!   cost model),
+//! - [`dpi`]: the DPI engine (Aho-Corasick graph walker with a graph-cache
+//!   model, Figures 3 and 8),
+//! - [`zip`]: an LZ77-family compression engine (real round-trip
+//!   compression),
+//! - [`raid`]: XOR-parity storage acceleration (RAID-5 stripe parity and
+//!   reconstruction),
+//! - [`crypto_accel`]: the security co-processor (SHA-256 / RSA offload
+//!   with the Appendix C rate model),
+//! - [`cluster`]: hardware-thread clusters, TLB banks, and the shared
+//!   (commodity) vs. virtualized (S-NIC) service disciplines,
+//! - [`frontend`]: the frontend scheduler's guaranteed per-vAccel DRAM
+//!   bandwidth (§4.3's anti-contention reservation),
+//! - [`profile`]: the Table 7 accelerator memory profiles and their TLB
+//!   bank sizing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod crypto_accel;
+pub mod dpi;
+pub mod engine;
+pub mod frontend;
+pub mod profile;
+pub mod raid;
+pub mod zip;
+
+pub use cluster::{ClusterPool, SharedAccelerator, VirtualAccelerator};
+pub use crypto_accel::CryptoAccel;
+pub use dpi::{DpiAccel, DpiAccelConfig};
+pub use engine::{AccelEngine, AccelRequest, AccelResponse};
+pub use frontend::{Frontend, FrontendMode};
+pub use profile::{accel_profile, AccelMemoryProfile};
+pub use raid::RaidAccel;
+pub use zip::ZipAccel;

@@ -1,0 +1,115 @@
+//! Accelerator memory profiles (Table 7) and TLB-bank sizing.
+//!
+//! Table 7 inventories the DRAM-resident buffers each accelerator needs:
+//! instruction queue (IQ), packet descriptor buffers (PktDB), packet
+//! buffers (PktB), result buffers (ResB), parameter buffers (ParaB),
+//! output buffers (OutB), scatter-gather pointers (SGP), the DPI graph,
+//! and the ZIP dictionary. The per-cluster TLB bank must map all of them;
+//! with 2 MB pages that is 54 entries for DPI, 70 for ZIP, and 5 for
+//! RAID.
+
+use snic_mem::planner::{plan_regions, PagePolicy};
+use snic_types::{AccelKind, ByteSize};
+
+/// One accelerator's buffer inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelMemoryProfile {
+    /// Accelerator family.
+    pub kind: AccelKind,
+    /// Named buffer regions `(label, size)`.
+    pub regions: Vec<(&'static str, ByteSize)>,
+}
+
+impl AccelMemoryProfile {
+    /// Total bytes across regions.
+    pub fn total(&self) -> ByteSize {
+        self.regions.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// TLB entries a cluster bank needs under `policy`.
+    pub fn tlb_entries(&self, policy: &PagePolicy) -> u64 {
+        let sizes: Vec<ByteSize> = self.regions.iter().map(|&(_, s)| s).collect();
+        plan_regions(&sizes, policy).total_entries()
+    }
+}
+
+/// The Table 7 profile for `kind`.
+///
+/// # Panics
+///
+/// Panics for [`AccelKind::Crypto`], which Table 7 does not profile (its
+/// state is a handful of key registers).
+pub fn accel_profile(kind: AccelKind) -> AccelMemoryProfile {
+    let kb = ByteSize::kib;
+    let mb = ByteSize::mib;
+    let regions: Vec<(&'static str, ByteSize)> = match kind {
+        AccelKind::Dpi => vec![
+            ("IQ", kb(256)),
+            ("PktDB", kb(128)),
+            ("PktB", mb(2)),
+            ("ResB", mb(2)),
+            ("ParaB", kb(256)),
+            ("Graph", ByteSize((97.28f64 * 1024.0 * 1024.0) as u64)),
+        ],
+        AccelKind::Zip => vec![
+            ("IQ", kb(64)),
+            ("PktDB", kb(128)),
+            ("PktB", mb(2)),
+            ("ResB", kb(24)),
+            ("OutB", mb(2)),
+            ("SGP", mb(128)),
+            ("Dict", kb(32)),
+        ],
+        AccelKind::Raid => vec![
+            ("IQ", mb(4)),
+            ("PktDB", kb(128)),
+            ("PktB", mb(2)),
+            ("OutB", mb(2)),
+        ],
+        AccelKind::Crypto => panic!("Table 7 does not profile the crypto co-processor"),
+    };
+    AccelMemoryProfile { kind, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table7() {
+        let expect = [
+            (AccelKind::Dpi, 101.90),
+            (AccelKind::Zip, 132.24),
+            (AccelKind::Raid, 8.13),
+        ];
+        for (kind, mb_total) in expect {
+            let total = accel_profile(kind).total().as_mib_f64();
+            assert!(
+                (total - mb_total).abs() < 0.05,
+                "{kind:?}: {total} vs {mb_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn tlb_entries_match_table7_2mb_pages() {
+        assert_eq!(
+            accel_profile(AccelKind::Dpi).tlb_entries(&PagePolicy::Equal),
+            54
+        );
+        assert_eq!(
+            accel_profile(AccelKind::Zip).tlb_entries(&PagePolicy::Equal),
+            70
+        );
+        assert_eq!(
+            accel_profile(AccelKind::Raid).tlb_entries(&PagePolicy::Equal),
+            5
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not profile")]
+    fn crypto_unprofiled() {
+        let _ = accel_profile(AccelKind::Crypto);
+    }
+}

@@ -1,0 +1,93 @@
+//! The concrete attacks of §3.3, runnable against both device modes.
+//!
+//! Each attack is written once and executed against a commodity NIC
+//! (where it must *succeed*, reproducing the paper's proof-of-concept)
+//! and against an S-NIC (where the identical code must be stopped by the
+//! hardware isolation). The three attacks:
+//!
+//! - [`packet_corruption`]: a malicious NF walks the shared buffer
+//!   allocator's metadata, finds a MazuNAT victim's packet buffers, and
+//!   corrupts headers in place (LiquidIO, SE-S mode),
+//! - [`ruleset_theft`]: a malicious NF locates and exfiltrates another
+//!   function's DPI ruleset from DRAM (LiquidIO),
+//! - [`bus_dos`]: a tight-loop bus flood saturates the internal IO bus
+//!   and hard-crashes the NIC (Agilio `test_subsat`),
+//! - [`watermark`]: the §4.5 flow-watermarking channel — an attacker
+//!   imprints a bit pattern onto a victim's timing through bus
+//!   contention; temporal partitioning destroys it,
+//! - [`nicos_tamper`]: the datacenter-provided NIC OS itself reads and
+//!   patches a tenant function's memory (what §4.2's denylist stops).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus_dos;
+pub mod nicos_tamper;
+pub mod packet_corruption;
+pub mod ruleset_theft;
+pub mod watermark;
+
+pub use bus_dos::run_bus_dos;
+pub use nicos_tamper::run_nicos_tamper;
+pub use packet_corruption::run_packet_corruption;
+pub use ruleset_theft::run_ruleset_theft;
+pub use watermark::run_watermark;
+
+use snic_core::config::NicMode;
+
+/// Result of one attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Mode the attack ran against.
+    pub mode: NicMode,
+    /// Whether the attack achieved its goal.
+    pub succeeded: bool,
+    /// Human-readable evidence.
+    pub evidence: String,
+}
+
+impl AttackOutcome {
+    fn new(mode: NicMode, succeeded: bool, evidence: impl Into<String>) -> AttackOutcome {
+        AttackOutcome {
+            mode,
+            succeeded,
+            evidence: evidence.into(),
+        }
+    }
+}
+
+/// Run the attack suite against `mode`: the paper's three §3.3 attacks
+/// plus the NIC-OS tampering attack its §4.2 denylist exists to stop.
+pub fn run_all(mode: NicMode) -> Vec<AttackOutcome> {
+    vec![
+        run_packet_corruption(mode),
+        run_ruleset_theft(mode),
+        run_bus_dos(mode),
+        run_nicos_tamper(mode),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_attacks_succeed_on_commodity() {
+        for outcome in run_all(NicMode::Commodity) {
+            assert!(
+                outcome.succeeded,
+                "commodity should be vulnerable: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_attacks_fail_on_snic() {
+        for outcome in run_all(NicMode::Snic) {
+            assert!(
+                !outcome.succeeded,
+                "S-NIC should block the attack: {outcome:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! NIC-OS tampering: the attack §4.2's denylist exists to stop.
+//!
+//! The paper's threat model trusts nobody on the management plane: "a
+//! function's code and data are still accessible to the hypervisor
+//! itself" in the traditional model, and even BlueField "does not
+//! isolate a network function from the secure-world management OS"
+//! (§3.2). Here the *datacenter-provided NIC OS itself* is the
+//! adversary: after launching a tenant's function it tries to (a) read
+//! the function's in-memory state (e.g. TLS keys) and (b) patch the
+//! function's code.
+//!
+//! On a commodity NIC the management core has full physical access and
+//! both succeed. Under S-NIC, `nf_launch` installed a denylist entry for
+//! every page of the function, so both are refused — and teardown's
+//! scrub means even the *freed* pages reveal nothing.
+
+use rand::SeedableRng;
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_crypto::keys::VendorCa;
+use snic_mem::guard::Principal;
+use snic_types::{ByteSize, CoreId};
+
+use crate::AttackOutcome;
+
+/// Execute the attack against a freshly built device in `mode`.
+pub fn run_nicos_tamper(mode: NicMode) -> AttackOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0517);
+    let vendor = VendorCa::new(&mut rng);
+    let mut nic = SmartNic::new(NicConfig::small(mode), &vendor);
+
+    // The tenant's function holds a secret in its private memory.
+    let nf = nic
+        .nf_launch(LaunchRequest::minimal(
+            CoreId(0),
+            ByteSize::mib(4),
+            NfImage {
+                code: b"tls-terminator".to_vec(),
+                config: vec![],
+            },
+        ))
+        .expect("launch")
+        .nf_id;
+    nic.nf_write(nf, CoreId(0), 0x1000, b"TLS-PRIVATE-KEY-0xA1B2")
+        .ok();
+    // Commodity mode has no NF-virtual addressing; plant the secret the
+    // way a commodity NF would: directly in its physical region.
+    let (base, _) = nic.record_of(nf).unwrap().region;
+    if mode == NicMode::Commodity {
+        nic.mem_write(
+            Principal::TrustedHardware,
+            base + 0x1000,
+            b"TLS-PRIVATE-KEY-0xA1B2",
+        )
+        .expect("plant secret");
+    }
+
+    // (a) The NIC OS reads the function's memory.
+    let mut stolen = [0u8; 22];
+    let read_ok = nic
+        .mem_read(Principal::Management, base + 0x1000, &mut stolen)
+        .is_ok()
+        && &stolen == b"TLS-PRIVATE-KEY-0xA1B2";
+
+    // (b) The NIC OS patches the function's code page.
+    let patch_ok = nic
+        .mem_write(Principal::Management, base, b"evil-jump")
+        .is_ok();
+
+    // (c) After teardown, the OS scavenges the freed pages for residue.
+    nic.nf_teardown(nf).expect("teardown");
+    let mut residue = [0u8; 22];
+    nic.mem_read(Principal::Management, base + 0x1000, &mut residue)
+        .expect("freed pages readable");
+    let residue_found = &residue == b"TLS-PRIVATE-KEY-0xA1B2";
+
+    let succeeded = read_ok || patch_ok || residue_found;
+    AttackOutcome::new(
+        mode,
+        succeeded,
+        format!(
+            "state_read={read_ok} code_patched={patch_ok} residue_after_teardown={residue_found}"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_nicos_owns_everything() {
+        let o = run_nicos_tamper(NicMode::Commodity);
+        assert!(o.succeeded, "{o:?}");
+        assert!(o.evidence.contains("state_read=true"));
+        assert!(o.evidence.contains("code_patched=true"));
+        assert!(o.evidence.contains("residue_after_teardown=true"), "{o:?}");
+    }
+
+    #[test]
+    fn snic_locks_out_its_own_os() {
+        let o = run_nicos_tamper(NicMode::Snic);
+        assert!(!o.succeeded, "{o:?}");
+        assert!(o.evidence.contains("state_read=false"));
+        assert!(o.evidence.contains("code_patched=false"));
+        assert!(o.evidence.contains("residue_after_teardown=false"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Attack 1: packet corruption against a MazuNAT victim (§3.3).
+//!
+//! "The malicious function leveraged xkphys to scan the metadata
+//! structures belonging to the buffer allocator used by all functions.
+//! The metadata allowed the malicious function to discover the buffers
+//! allocated to MazuNAT's packets; the malicious function then corrupted
+//! the packet headers in those buffers, disrupting the intended NAT
+//! translations."
+
+use rand::SeedableRng;
+use snic_core::alloc::{BufferAllocator, META_SLOTS};
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_crypto::keys::VendorCa;
+use snic_mem::guard::Principal;
+use snic_nf::{NatNf, NetworkFunction, NullSink};
+use snic_pktio::rules::{RuleMatch, SwitchRule};
+use snic_types::packet::PacketBuilder;
+use snic_types::{ByteSize, CoreId, NfId, Protocol};
+
+use crate::AttackOutcome;
+
+/// Execute the attack against a freshly built device in `mode`.
+pub fn run_packet_corruption(mode: NicMode) -> AttackOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xa77ac1);
+    let vendor = VendorCa::new(&mut rng);
+    let mut nic = SmartNic::new(NicConfig::small(mode), &vendor);
+
+    // Launch the MazuNAT victim with a rule steering port-80 traffic.
+    let mut victim_req = LaunchRequest::minimal(
+        CoreId(0),
+        ByteSize::mib(8),
+        NfImage {
+            code: b"mazu-nat".to_vec(),
+            config: vec![],
+        },
+    );
+    victim_req.rules.push(SwitchRule {
+        dst_port: RuleMatch::Exact(80),
+        priority: 10,
+        ..SwitchRule::any(NfId(0))
+    });
+    let victim = nic.nf_launch(victim_req).expect("victim launch").nf_id;
+
+    // Launch the malicious co-tenant.
+    let attacker_req = LaunchRequest::minimal(
+        CoreId(1),
+        ByteSize::mib(4),
+        NfImage {
+            code: b"malicious".to_vec(),
+            config: vec![],
+        },
+    );
+    let attacker = nic.nf_launch(attacker_req).expect("attacker launch").nf_id;
+
+    // A client packet arrives for the NAT.
+    let original = PacketBuilder::new(0x0a00_0001, 0xc633_0001, Protocol::Tcp, 4321, 80)
+        .payload(b"client data".to_vec())
+        .build();
+    assert_eq!(nic.rx_packet(&original).expect("rx"), Some(victim));
+
+    // --- The attack: scan allocator metadata for the victim's packet
+    // buffers and flip destination-IP bytes in place. ---
+    let me = Principal::Nf(attacker, CoreId(1));
+    let mut corrupted_any = false;
+    for slot in 0..META_SLOTS {
+        let Ok(meta) = BufferAllocator::read_slot(nic_guard(&nic), me, slot) else {
+            break; // Denied: S-NIC stopped the scan at the first read.
+        };
+        if meta.owner == victim && meta.in_use() && meta.is_packet() && meta.len > 0 {
+            // Corrupt the IPv4 destination address (offset 14 + 16).
+            let mut bad = [0xffu8; 4];
+            if nic.mem_read(me, meta.base + 30, &mut bad).is_ok() {
+                for b in &mut bad {
+                    *b ^= 0xff;
+                }
+                if nic.mem_write(me, meta.base + 30, &bad).is_ok() {
+                    corrupted_any = true;
+                }
+            }
+        }
+    }
+
+    // The victim now polls and runs its NAT over whatever is in DRAM.
+    let mut nat = NatNf::with_defaults(0);
+    let delivered = nic
+        .poll_packet(victim)
+        .expect("poll")
+        .expect("packet queued");
+    let verdict = nat.process(&delivered, &mut NullSink);
+
+    // Evidence of disruption: the delivered bytes differ from what was
+    // sent, and the header checksum no longer validates.
+    let tampered = delivered.data != original.data;
+    let checksum_broken = delivered.ipv4().map(|ip| !ip.checksum_ok()).unwrap_or(true);
+    let succeeded = corrupted_any && tampered && checksum_broken;
+    AttackOutcome::new(
+        mode,
+        succeeded,
+        format!(
+            "corrupted_any={corrupted_any} tampered={tampered} \
+             checksum_broken={checksum_broken} nat_verdict={verdict:?}"
+        ),
+    )
+}
+
+/// Borrow helper: read-only guard access for metadata scans.
+fn nic_guard(nic: &SmartNic) -> &snic_mem::guard::MemoryGuard {
+    nic.guard_ref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_nat_translations_disrupted() {
+        let o = run_packet_corruption(NicMode::Commodity);
+        assert!(o.succeeded, "{o:?}");
+        assert!(o.evidence.contains("tampered=true"));
+    }
+
+    #[test]
+    fn snic_packet_arrives_intact() {
+        let o = run_packet_corruption(NicMode::Snic);
+        assert!(!o.succeeded, "{o:?}");
+        assert!(o.evidence.contains("corrupted_any=false"));
+        assert!(o.evidence.contains("tampered=false"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Attack 2: DPI ruleset stealing (§3.3).
+//!
+//! "We wrote a malicious function which uses xkphys to steal the ruleset
+//! belonging to another function; to locate the ruleset, the malicious
+//! function iterated through the metadata of the buffer allocator. This
+//! kind of information leak is damaging because it allows a malicious
+//! function to learn which threat signatures a target application is
+//! using."
+
+use rand::SeedableRng;
+use snic_core::alloc::{BufferAllocator, META_SLOTS};
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_crypto::keys::VendorCa;
+use snic_mem::guard::Principal;
+use snic_nf::dpi::synth_patterns;
+use snic_types::{ByteSize, CoreId};
+
+use crate::AttackOutcome;
+
+/// Serialize a pattern list the way the victim's config blob stores it:
+/// `count: u32 | (len: u16 | bytes)*`.
+pub fn serialize_ruleset(patterns: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+    for p in patterns {
+        out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Parse a serialized ruleset (what the thief does with stolen bytes).
+pub fn parse_ruleset(data: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let count = u32::from_le_bytes(data.get(0..4)?.try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut i = 4usize;
+    for _ in 0..count {
+        let len = u16::from_le_bytes(data.get(i..i + 2)?.try_into().ok()?) as usize;
+        i += 2;
+        out.push(data.get(i..i + len)?.to_vec());
+        i += len;
+    }
+    Some(out)
+}
+
+/// Execute the attack against a freshly built device in `mode`.
+pub fn run_ruleset_theft(mode: NicMode) -> AttackOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd91);
+    let vendor = VendorCa::new(&mut rng);
+    let mut nic = SmartNic::new(NicConfig::small(mode), &vendor);
+
+    // The victim DPI function's threat signatures live in its config blob.
+    let secret_patterns = synth_patterns(200, 0x5ec2e7);
+    let ruleset_blob = serialize_ruleset(&secret_patterns);
+    let victim_req = LaunchRequest::minimal(
+        CoreId(0),
+        ByteSize::mib(8),
+        NfImage {
+            code: b"dpi-engine".to_vec(),
+            config: ruleset_blob.clone(),
+        },
+    );
+    let victim = nic.nf_launch(victim_req).expect("victim launch").nf_id;
+
+    let attacker_req = LaunchRequest::minimal(
+        CoreId(1),
+        ByteSize::mib(4),
+        NfImage {
+            code: b"thief".to_vec(),
+            config: vec![],
+        },
+    );
+    let attacker = nic.nf_launch(attacker_req).expect("attacker launch").nf_id;
+
+    // --- The attack: walk allocator metadata for the victim's image
+    // buffer and read the ruleset out of DRAM. ---
+    let me = Principal::Nf(attacker, CoreId(1));
+    let mut stolen: Option<Vec<Vec<u8>>> = None;
+    for slot in 0..META_SLOTS {
+        let Ok(meta) = BufferAllocator::read_slot(nic.guard_ref(), me, slot) else {
+            break;
+        };
+        if meta.owner == victim && meta.in_use() && !meta.is_packet() && meta.len > 0 {
+            // The image is code || config; skip the code prefix.
+            let code_len = b"dpi-engine".len() as u64;
+            let mut buf = vec![0u8; (meta.len - code_len) as usize];
+            if nic.mem_read(me, meta.base + code_len, &mut buf).is_ok() {
+                stolen = parse_ruleset(&buf);
+            }
+        }
+    }
+
+    let succeeded = stolen.as_deref() == Some(&secret_patterns[..]);
+    AttackOutcome::new(
+        mode,
+        succeeded,
+        match &stolen {
+            Some(p) => format!("exfiltrated {} signatures; match={}", p.len(), succeeded),
+            None => "no ruleset recovered".to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializer_round_trips() {
+        let pats = synth_patterns(50, 1);
+        assert_eq!(parse_ruleset(&serialize_ruleset(&pats)).unwrap(), pats);
+    }
+
+    #[test]
+    fn parser_rejects_truncation() {
+        let pats = synth_patterns(10, 2);
+        let blob = serialize_ruleset(&pats);
+        assert!(parse_ruleset(&blob[..blob.len() - 3]).is_none());
+        assert!(parse_ruleset(&[1]).is_none());
+    }
+
+    #[test]
+    fn commodity_ruleset_stolen_exactly() {
+        let o = run_ruleset_theft(NicMode::Commodity);
+        assert!(o.succeeded, "{o:?}");
+        assert!(o.evidence.contains("exfiltrated 200 signatures"));
+    }
+
+    #[test]
+    fn snic_ruleset_unreachable() {
+        let o = run_ruleset_theft(NicMode::Snic);
+        assert!(!o.succeeded, "{o:?}");
+        assert_eq!(o.evidence, "no ruleset recovered");
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion: accelerator engine throughput (DPI scan, ZIP round trip,
+//! RAID parity) plus the launch/teardown instruction path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use snic_accel::dpi::{DpiAccel, DpiAccelConfig};
+use snic_accel::engine::{AccelEngine, AccelRequest};
+use snic_accel::raid::RaidAccel;
+use snic_accel::zip::{ZipAccel, OP_COMPRESS};
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_crypto::keys::VendorCa;
+use snic_nf::dpi::synth_patterns;
+use snic_types::{ByteSize, CoreId};
+
+fn bench_dpi(c: &mut Criterion) {
+    let mut accel = DpiAccel::new(&synth_patterns(2_000, 1), DpiAccelConfig::default());
+    let payload: Vec<u8> = b"GET /index.html HTTP/1.1 host example payload "
+        .iter()
+        .copied()
+        .cycle()
+        .take(1500)
+        .collect();
+    let mut group = c.benchmark_group("accel_dpi_scan");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("1500B", |b| {
+        b.iter(|| {
+            accel.execute(&AccelRequest {
+                data: payload.clone(),
+                opcode: 0,
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_zip(c: &mut Criterion) {
+    let mut accel = ZipAccel::new();
+    let data: Vec<u8> = b"network function state block "
+        .iter()
+        .copied()
+        .cycle()
+        .take(64 << 10)
+        .collect();
+    let mut group = c.benchmark_group("accel_zip");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_64k", |b| {
+        b.iter(|| {
+            accel.execute(&AccelRequest {
+                data: data.clone(),
+                opcode: OP_COMPRESS,
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_raid(c: &mut Criterion) {
+    let mut accel = RaidAccel::new();
+    let block = vec![0x5au8; 64 << 10];
+    let framed = RaidAccel::frame(&[&block, &block, &block, &block]);
+    let mut group = c.benchmark_group("accel_raid");
+    group.throughput(Throughput::Bytes(framed.len() as u64));
+    group.bench_function("parity_4x64k", |b| {
+        b.iter(|| {
+            accel.execute(&AccelRequest {
+                data: framed.clone(),
+                opcode: 0,
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_launch_teardown(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let vendor = VendorCa::new(&mut rng);
+    c.bench_function("nf_launch_teardown_16mib", |b| {
+        let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &vendor);
+        b.iter(|| {
+            let r = nic
+                .nf_launch(LaunchRequest::minimal(
+                    CoreId(0),
+                    ByteSize::mib(16),
+                    NfImage {
+                        code: vec![0x90; 4096],
+                        config: vec![],
+                    },
+                ))
+                .expect("launch");
+            nic.nf_teardown(r.nf_id).expect("teardown");
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dpi,
+    bench_zip,
+    bench_raid,
+    bench_launch_teardown
+);
+criterion_main!(benches);

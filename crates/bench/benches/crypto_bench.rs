@@ -1,0 +1,51 @@
+//! Criterion: crypto substrate throughput (SHA-256, ChaCha20, RSA sign,
+//! DH, attestation round trip).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use snic_crypto::chacha20::ChaCha20;
+use snic_crypto::dh::{DhKeyPair, DhParams};
+use snic_crypto::rsa::RsaKeyPair;
+use snic_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 1 << 20];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("digest_1mib", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let cipher = ChaCha20::new(&[7u8; 32], &[3u8; 12]);
+    let mut group = c.benchmark_group("chacha20");
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("encrypt_1mib", |b| {
+        let mut data = vec![0u8; 1 << 20];
+        b.iter(|| cipher.apply(1, &mut data));
+    });
+    group.finish();
+}
+
+fn bench_rsa_and_dh(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let key = RsaKeyPair::generate(&mut rng, 768);
+    c.bench_function("rsa_sign_768", |b| {
+        b.iter(|| key.sign(b"attestation statement"))
+    });
+    let sig = key.sign(b"attestation statement");
+    c.bench_function("rsa_verify_768", |b| {
+        b.iter(|| assert!(key.public.verify(b"attestation statement", &sig)))
+    });
+    let params = DhParams::rfc3526_group14();
+    let peer = DhKeyPair::generate(&mut rng, &params);
+    c.bench_function("dh_2048_keygen_exchange", |b| {
+        b.iter(|| {
+            let kp = DhKeyPair::generate(&mut rng, &params);
+            kp.shared_secret(&peer.public)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_chacha20, bench_rsa_and_dh);
+criterion_main!(benches);

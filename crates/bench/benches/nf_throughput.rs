@@ -1,0 +1,41 @@
+//! Criterion: packet-processing throughput of the six network functions.
+//!
+//! Complements the simulated-IPC experiments with real wall-clock
+//! throughput of our NF implementations (useful for spotting regressions
+//! in the algorithmic substrates: Aho-Corasick, DIR-24-8, Maglev, ...).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snic_bench::streams::{build_scaled, workload};
+use snic_bench::Scale;
+use snic_nf::{NfKind, NullSink};
+
+fn bench_nfs(c: &mut Criterion) {
+    let scale = Scale {
+        packets: 2_000,
+        ..Scale::quick()
+    };
+    let packets = workload(&scale, 0xbe7c);
+    let mut group = c.benchmark_group("nf_process");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    for kind in NfKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut nf = build_scaled(kind, &scale, 1);
+                b.iter(|| {
+                    let mut verdicts = 0u64;
+                    for p in &packets {
+                        let _ = nf.process(p, &mut NullSink);
+                        verdicts += 1;
+                    }
+                    verdicts
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nfs);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion: packet-IO substrate throughput — rule classification,
+//! VXLAN encap/decap, and the packet schedulers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snic_pktio::rules::{RuleMatch, RuleTable, SwitchRule};
+use snic_pktio::scheduler::{DrrScheduler, FifoScheduler, PacketScheduler, TxItem};
+use snic_pktio::vxlan::{vxlan_decap, vxlan_encap};
+use snic_types::packet::PacketBuilder;
+use snic_types::{NfId, Protocol};
+
+fn bench_classify(c: &mut Criterion) {
+    let mut table = RuleTable::new();
+    for i in 0..64u16 {
+        table.install(SwitchRule {
+            dst_port: RuleMatch::Exact(1000 + i),
+            priority: u32::from(i),
+            ..SwitchRule::any(NfId(u64::from(i)))
+        });
+    }
+    let packets: Vec<_> = (0..256u16)
+        .map(|i| PacketBuilder::new(1, 2, Protocol::Udp, 9999, 1000 + (i % 80)).build())
+        .collect();
+    let mut group = c.benchmark_group("rule_classify");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("64_rules", |b| {
+        b.iter(|| packets.iter().filter_map(|p| table.classify(p)).count())
+    });
+    group.finish();
+}
+
+fn bench_vxlan(c: &mut Criterion) {
+    let inner = PacketBuilder::new(1, 2, Protocol::Tcp, 10, 20)
+        .payload(vec![0xab; 1400])
+        .build();
+    let mut group = c.benchmark_group("vxlan");
+    group.throughput(Throughput::Bytes(inner.len() as u64));
+    group.bench_function("encap_decap_1400B", |b| {
+        b.iter(|| {
+            let enc = vxlan_encap(&inner, 7, 0x0101, 0x0202).expect("encap");
+            vxlan_decap(&enc).expect("decap")
+        })
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_10k_items");
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            let mut s = FifoScheduler::new();
+            for i in 0..10_000u64 {
+                s.enqueue(TxItem {
+                    tenant: NfId(i % 4),
+                    bytes: 1500,
+                });
+            }
+            let mut n = 0;
+            while s.dequeue().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("drr_4_tenants", |b| {
+        b.iter(|| {
+            let mut s = DrrScheduler::new(&[
+                (NfId(0), 1500),
+                (NfId(1), 1500),
+                (NfId(2), 1500),
+                (NfId(3), 1500),
+            ]);
+            for i in 0..10_000u64 {
+                s.enqueue(TxItem {
+                    tenant: NfId(i % 4),
+                    bytes: 1500,
+                });
+            }
+            let mut n = 0;
+            while s.dequeue().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_vxlan, bench_schedulers);
+criterion_main!(benches);

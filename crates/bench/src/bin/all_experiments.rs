@@ -1,0 +1,54 @@
+//! Run every experiment binary in sequence (quick scale unless
+//! `--full`). This is the one-shot regeneration entry point referenced
+//! by EXPERIMENTS.md.
+//!
+//! Sibling binaries are invoked through `cargo run` so they are built on
+//! demand; pass `--full` to forward the paper-scale flag to each.
+
+use std::process::Command;
+
+fn main() {
+    let forward: Vec<&str> = if std::env::args().any(|a| a == "--full") {
+        vec!["--full"]
+    } else {
+        vec![]
+    };
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "tco",
+        "headline",
+        "fig6",
+        "fig7",
+        "fig8",
+        "attacks",
+        "ablation_cache",
+        "fig5a",
+        "fig5b",
+    ];
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new("cargo")
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "snic-bench",
+                "--bin",
+                bin,
+                "--",
+            ])
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,39 @@
+//! Regenerate Figure 5a: IPC degradation vs. L2 cache size with two
+//! colocated NFs.
+
+use snic_bench::{fig5, render_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<u64> = if std::env::args().any(|a| a == "--full") {
+        // The paper's full sweep: 8 KB .. 16 MB.
+        (0..12).map(|i| 8 * 1024u64 << i).collect()
+    } else {
+        vec![64 << 10, 512 << 10, 4 << 20, 16 << 20]
+    };
+    let results = fig5::fig5a(&scale, &sizes);
+    let mut rows = Vec::new();
+    for (l2, points) in &results {
+        for p in points {
+            rows.push(vec![
+                format!("{}KB", l2 / 1024),
+                p.kind.name().to_string(),
+                format!("{:.3}", p.median_pct),
+                format!("{:.3}", p.p1_pct),
+                format!("{:.3}", p.p99_pct),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Figure 5a: IPC degradation (%) vs L2 size, 2 colocated NFs (paper: ~0-3%, worst at small caches; FW/DPI/NAT worst)",
+            &["L2", "NF", "median", "p1", "p99"],
+            &rows,
+        )
+    );
+    if let Some((_, points)) = results.iter().find(|(l2, _)| *l2 == 4 << 20) {
+        let (mean, worst) = fig5::headline_stats(points);
+        println!("@4MB L2, 2 NFs: mean-of-medians {mean:.2}% (paper 0.24%), worst p99 {worst:.2}%");
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerate Figure 5b: IPC degradation vs. degree of cotenancy at a
+//! 4 MB L2 (the Marvell NIC's size).
+
+use snic_bench::{fig5, render_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let counts: Vec<usize> = if std::env::args().any(|a| a == "--full") {
+        vec![2, 3, 4, 8, 16]
+    } else {
+        vec![2, 4, 8]
+    };
+    let results = fig5::fig5b(&scale, &counts, 4 << 20);
+    let mut rows = Vec::new();
+    for (n, points) in &results {
+        for p in points {
+            rows.push(vec![
+                format!("{n} NFs"),
+                p.kind.name().to_string(),
+                format!("{:.3}", p.median_pct),
+                format!("{:.3}", p.p1_pct),
+                format!("{:.3}", p.p99_pct),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Figure 5b: IPC degradation (%) vs cotenancy @4MB L2 (paper: 2NF 0.24%, 4NF 0.93%/1.66%, 8NF 3.41%/5.12%, 16NF 9.44%/13.71%)",
+            &["cotenancy", "NF", "median", "p1", "p99"],
+            &rows,
+        )
+    );
+    for (n, points) in &results {
+        let (mean, worst) = fig5::headline_stats(points);
+        println!("{n} NFs: mean-of-medians {mean:.2}%, worst p99 {worst:.2}%");
+    }
+}

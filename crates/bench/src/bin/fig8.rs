@@ -1,0 +1,30 @@
+//! Regenerate Figure 8: DPI accelerator throughput vs. hardware-thread
+//! count and frame size.
+
+use snic_bench::{fig8, render_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let m = fig8::run(&scale);
+    let rows: Vec<Vec<String>> = fig8::FRAMES
+        .iter()
+        .enumerate()
+        .map(|(f, &frame)| {
+            let mut row = vec![if frame >= 1024 {
+                format!("{:.1}KB", frame as f64 / 1024.0)
+            } else {
+                format!("{frame}B")
+            }];
+            row.extend(m[f].iter().map(|v| format!("{v:.3}")));
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 8: DPI throughput (Mpps) vs threads x frame size (paper shape: small frames flat at frontend cap; 9KB scales with threads)",
+            &["frame", "16 thr", "32 thr", "48 thr"],
+            &rows,
+        )
+    );
+}

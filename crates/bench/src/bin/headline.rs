@@ -1,0 +1,23 @@
+//! The paper's headline numbers in one place (§1 / §5 summary).
+
+use snic_bench::tables;
+use snic_cost::overhead::{snic_overhead, OverheadConfig};
+
+fn main() {
+    let overhead = snic_overhead(&OverheadConfig::default());
+    println!("== S-NIC headline numbers ==");
+    for line in &overhead.lines {
+        println!(
+            "{:<26} +{:.2}% area  +{:.2}% power  ({:.3} mm2, {:.3} W)",
+            line.component, line.area_pct, line.power_pct, line.cost.area_mm2, line.cost.power_w
+        );
+    }
+    let (area, power, tco) = tables::headline();
+    println!("total silicon overhead:    +{area:.2}% area (paper 8.89%), +{power:.2}% power (paper 11.45%)");
+    println!(
+        "TCO advantage reduction:   {:.2}% (paper 8.37%), preserving {:.1}% of the offload benefit (paper 91.6%)",
+        tco.advantage_decrease * 100.0,
+        (1.0 - tco.advantage_decrease) * 100.0
+    );
+    println!("throughput cost:           see fig5b (paper: <1.7% worst-case at 4 NFs / 4MB L2)");
+}

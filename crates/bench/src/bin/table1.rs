@@ -1,0 +1,88 @@
+//! Regenerate Table 1: the management APIs and the trusted instructions
+//! they invoke — exercised live against a device rather than merely
+//! printed.
+
+use rand::SeedableRng;
+use snic_bench::render_table;
+use snic_core::attest::{FunctionAttestation, Verifier};
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_core::nicos::NicOs;
+use snic_crypto::dh::DhParams;
+use snic_crypto::keys::VendorCa;
+use snic_types::{ByteSize, CoreId};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let vendor = VendorCa::new(&mut rng);
+    let mut device = SmartNic::new(NicConfig::small(NicMode::Snic), &vendor);
+    let mut os = NicOs::new(&mut device);
+
+    // NF_create → nf_launch.
+    let receipt = os
+        .nf_create(LaunchRequest::minimal(
+            CoreId(0),
+            ByteSize::mib(8),
+            NfImage {
+                code: b"table1-demo".to_vec(),
+                config: vec![],
+            },
+        ))
+        .expect("NF_create");
+    let create_result = format!(
+        "nf_id={} hash={}…  ({:.1} ms)",
+        receipt.nf_id,
+        &snic_crypto::sha256::to_hex(&receipt.measurement)[..8],
+        receipt.latency.total().as_millis_f64()
+    );
+
+    // nf_attest with a Diffie–Hellman transcript.
+    let params = DhParams::tiny_test_group();
+    let mut verifier = Verifier::hello(&mut rng);
+    let nonce = verifier.nonce;
+    let attestation =
+        FunctionAttestation::respond(&mut rng, os.device(), receipt.nf_id, &params, nonce)
+            .expect("nf_attest");
+    let verified = verifier
+        .accept(
+            &mut rng,
+            vendor.public(),
+            &receipt.measurement,
+            &attestation.quote,
+        )
+        .is_ok();
+    let attest_result = format!("signed <Hash(init), g, p, n, g^x>; verifier accepts={verified}");
+
+    // NF_destroy → nf_teardown.
+    let teardown = os.nf_destroy(receipt.nf_id).expect("NF_destroy");
+    let destroy_result = format!(
+        "resources released, memory scrubbed ({:.2} ms)",
+        teardown.latency.total().as_millis_f64()
+    );
+
+    print!(
+        "{}",
+        render_table(
+            "Table 1: management APIs <-> trusted instructions (executed live)",
+            &["management API", "trusted instruction", "observed result"],
+            &[
+                vec![
+                    "NF_create(net_config, core_config, ...)".into(),
+                    "nf_launch: core_mask, page_table, pkt_pipeline_config, accel_mask".into(),
+                    create_result,
+                ],
+                vec![
+                    "N/A (function-invoked)".into(),
+                    "nf_attest: ptr to <g, p, n, g^x mod p>".into(),
+                    attest_result,
+                ],
+                vec![
+                    "NF_destroy(nf_id)".into(),
+                    "nf_teardown: nf_id".into(),
+                    destroy_result,
+                ],
+            ],
+        )
+    );
+}

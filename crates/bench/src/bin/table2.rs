@@ -1,0 +1,46 @@
+//! Regenerate Table 2: estimated hardware costs for TLBs on
+//! programmable cores.
+
+use snic_bench::{render_table, tables};
+use snic_cost::tlb_model::{A9_QUAD_AREA_MM2, A9_QUAD_POWER_W};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (mb, entries, per_count) in tables::table2() {
+        let mut area_row = vec![
+            format!("{mb}MB/core ({entries} entries)"),
+            "Area (mm2)".into(),
+        ];
+        let mut power_row = vec![String::new(), "Power (W)".into()];
+        for (cores, cost) in &per_count {
+            let rel = if *cores == 4 {
+                format!(
+                    " ({:.2}%)",
+                    cost.area_mm2 / (A9_QUAD_AREA_MM2 + cost.area_mm2) * 100.0
+                )
+            } else {
+                String::new()
+            };
+            area_row.push(format!("{:.3}{rel}", cost.area_mm2));
+            let relp = if *cores == 4 {
+                format!(
+                    " ({:.2}%)",
+                    cost.power_w / (A9_QUAD_POWER_W + cost.power_w) * 100.0
+                )
+            } else {
+                String::new()
+            };
+            power_row.push(format!("{:.3}{relp}", cost.power_w));
+        }
+        rows.push(area_row);
+        rows.push(power_row);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 2: TLB costs for programmable cores (paper: 0.045mm2/0.026W @183x4 ... 1.956mm2/1.052W @512x48)",
+            &["config", "metric", "4-core", "8-core", "16-core", "48-core"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerate Table 3: TLB banks on virtualized accelerators.
+
+use snic_bench::{render_table, tables};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (kind, entries, per_config) in tables::table3() {
+        let mut area = vec![
+            format!("{} (TLB {entries})", kind.name()),
+            "Area (mm2)".into(),
+        ];
+        let mut power = vec![String::new(), "Power (W)".into()];
+        for (clusters, cost) in &per_config {
+            let _ = clusters;
+            area.push(format!("{:.3}", cost.area_mm2));
+            power.push(format!("{:.3}", cost.power_w));
+        }
+        rows.push(area);
+        rows.push(power);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 3: accelerator TLB banks (paper: DPI 0.074/0.037 ZIP 0.091/0.044 RAID 0.050/0.023 @16 clusters)",
+            &["accel", "metric", "16 clusters", "8 clusters", "4 clusters"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerate Table 4: TLB banks for the virtual packet pipeline and
+//! the DMA controller.
+
+use snic_bench::{render_table, tables};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, entries, per_unit) in tables::table4() {
+        let mut area = vec![format!("{name} (TLB {entries})"), "Area (mm2)".into()];
+        let mut power = vec![String::new(), "Power (W)".into()];
+        for (_, cost) in &per_unit {
+            area.push(format!("{:.3}", cost.area_mm2));
+            power.push(format!("{:.3}", cost.power_w));
+        }
+        rows.push(area);
+        rows.push(power);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 4: VPP/DMA TLB banks (paper: 0.037mm2/0.017W @12 units each)",
+            &["unit", "metric", "12 units", "6 units", "3 units"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerate Table 6: NF memory profiles and TLB sizing, plus our
+//! implementations' measured heap sizes for comparison.
+
+use snic_bench::{render_table, tables, Scale};
+
+fn main() {
+    let rows: Vec<Vec<String>> = tables::table6()
+        .into_iter()
+        .map(|(kind, sizes, entries)| {
+            vec![
+                kind.name().to_string(),
+                format!("{:.2}", sizes[0]),
+                format!("{:.2}", sizes[1]),
+                format!("{:.2}", sizes[2]),
+                format!("{:.2}", sizes[3]),
+                format!("{:.2}", sizes[4]),
+                entries[0].to_string(),
+                entries[1].to_string(),
+                entries[2].to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 6: NF memory profiles (paper regions) and planner TLB entries",
+            &[
+                "NF",
+                "Text",
+                "Data",
+                "Code",
+                "Heap&stack",
+                "Total",
+                "Equal",
+                "Flex-low",
+                "Flex-high"
+            ],
+            &rows,
+        )
+    );
+
+    // Our implementations' live heap estimates (the substitution check).
+    let scale = Scale::from_args();
+    let measured: Vec<Vec<String>> = snic_nf::NfKind::ALL
+        .iter()
+        .map(|&k| {
+            let nf = snic_bench::streams::build_scaled(k, &scale, 1);
+            vec![
+                k.name().to_string(),
+                format!("{:.2}", nf.memory_profile().heap_stack.as_mib_f64()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Our implementations: measured heap (MiB) at this scale",
+            &["NF", "heap"],
+            &measured,
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerate Table 7: accelerator memory profiles.
+
+use snic_bench::{render_table, tables};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (kind, regions, total, entries) in tables::table7() {
+        let region_str = regions
+            .iter()
+            .map(|(n, mb)| format!("{n}={mb:.2}MB"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(vec![
+            kind.name().to_string(),
+            region_str,
+            format!("{total:.2}"),
+            entries.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 7: accelerator buffers (paper: DPI 101.90MB/54, ZIP 132.24MB/70, RAID 8.13MB/5)",
+            &["accel", "regions", "total MB", "TLB entries"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerate Table 8: memory utilization ratios, with our measured
+//! Monitor MUR alongside the paper's values.
+
+use snic_bench::{fig7, render_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let run = fig7::run(&scale);
+    let rows: Vec<Vec<String>> = fig7::table8_rows(run.mur)
+        .into_iter()
+        .map(|(kind, peak, paper_mur, ours)| {
+            vec![
+                kind.name().to_string(),
+                format!("{peak:.2}"),
+                format!("{:.1}%", paper_mur * 100.0),
+                ours.map(|m| format!("{:.1}%", m * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 8: memory utilization ratios (paper MURs: FW 100%, DPI 100%, NAT 72.3%, LB 30.2%, LPM 100%, Mon 68.3%)",
+            &["NF", "prealloc MB", "paper MUR", "our measured MUR"],
+            &rows,
+        )
+    );
+    println!(
+        "our Monitor: peak {} steady {} over {} flows",
+        run.peak, run.steady, run.flows
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerate the §5.2 TCO analysis.
+
+use snic_cost::tco::{tco_report, TcoInputs};
+
+fn main() {
+    let r = tco_report(&TcoInputs::default());
+    println!("== §5.2 three-year TCO analysis ==");
+    println!(
+        "LiquidIO per-core TCO:  ${:.2}   (paper $38.97)",
+        r.nic_per_core
+    );
+    println!(
+        "Host core per-core TCO: ${:.2}  (paper $163.56)",
+        r.host_per_core
+    );
+    println!(
+        "S-NIC per-core TCO:     ${:.2}   (paper $42.53)",
+        r.snic_per_core
+    );
+    println!("TCO advantage before:   {:.3}x", r.advantage_before);
+    println!("TCO advantage with S-NIC: {:.3}x", r.advantage_after);
+    println!(
+        "advantage decrease:     {:.2}%  (paper 8.37%; i.e. {:.1}% of the benefit preserved)",
+        r.advantage_decrease * 100.0,
+        (1.0 - r.advantage_decrease) * 100.0
+    );
+}

@@ -1,0 +1,202 @@
+//! Figure 5: IPC degradation from cache partitioning + bus arbitration.
+//!
+//! For each experimental setting the paper "calculate[s] the median IPC
+//! degradation of a function by running every possible colocation with
+//! other functions, and determining the median IPC decrease", with
+//! 1st/99th percentile error bars.
+
+use snic_nf::NfKind;
+use snic_uarch::config::MachineConfig;
+use snic_uarch::engine::run_colocated_warm;
+use snic_uarch::stream::{Access, AccessStream, ReplayStream};
+
+use crate::streams::all_traces;
+use crate::{median, percentile, Scale};
+
+/// One measured point: an NF at one setting.
+#[derive(Debug, Clone)]
+pub struct DegradationPoint {
+    /// The function under measurement.
+    pub kind: NfKind,
+    /// Median IPC degradation (percent) across colocations.
+    pub median_pct: f64,
+    /// 1st percentile.
+    pub p1_pct: f64,
+    /// 99th percentile.
+    pub p99_pct: f64,
+}
+
+/// A stream that replays the recorded trace twice: the first pass warms
+/// the caches (as §5.3's 1-billion-instruction warmup does), the second
+/// is measured.
+fn doubled(trace: &[Access]) -> Box<dyn AccessStream> {
+    let mut v = trace.to_vec();
+    v.extend_from_slice(trace);
+    Box::new(ReplayStream::new(v))
+}
+
+/// Measure one colocation: NF `focus` (index 0) plus `partners`.
+fn degradation_of(
+    traces: &[(NfKind, Vec<Access>)],
+    focus: NfKind,
+    partners: &[NfKind],
+    l2_bytes: u64,
+) -> f64 {
+    let find = |k: NfKind| {
+        &traces
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .expect("trace exists")
+            .1
+    };
+    let tenants = (partners.len() + 1) as u32;
+    let mk_streams = || {
+        let mut v: Vec<Box<dyn AccessStream>> = vec![doubled(find(focus))];
+        v.extend(partners.iter().map(|&p| doubled(find(p))));
+        v
+    };
+    let warmups: Vec<u64> = std::iter::once(focus)
+        .chain(partners.iter().copied())
+        .map(|k| find(k).len() as u64)
+        .collect();
+    let base = run_colocated_warm(
+        &MachineConfig::commodity(tenants, l2_bytes),
+        mk_streams(),
+        &warmups,
+    );
+    let snic = run_colocated_warm(
+        &MachineConfig::snic(tenants, l2_bytes),
+        mk_streams(),
+        &warmups,
+    );
+    snic.ipc_degradation_vs(&base, 0)
+}
+
+/// Figure 5a: vary L2 size with two colocated NFs.
+pub fn fig5a(scale: &Scale, l2_sizes: &[u64]) -> Vec<(u64, Vec<DegradationPoint>)> {
+    let traces = all_traces(scale, 0xf15a);
+    l2_sizes
+        .iter()
+        .map(|&l2| {
+            let points = NfKind::ALL
+                .iter()
+                .map(|&focus| {
+                    let mut degs: Vec<f64> = NfKind::ALL
+                        .iter()
+                        .map(|&partner| degradation_of(&traces, focus, &[partner], l2))
+                        .collect();
+                    DegradationPoint {
+                        kind: focus,
+                        median_pct: median(&mut degs.clone()),
+                        p1_pct: percentile(&mut degs.clone(), 1.0),
+                        p99_pct: percentile(&mut degs, 99.0),
+                    }
+                })
+                .collect();
+            (l2, points)
+        })
+        .collect()
+}
+
+/// Figure 5b: vary cotenancy at a fixed 4 MB L2.
+///
+/// At 8 and 16 NFs the full colocation space is sampled by rotating the
+/// six kinds through the co-tenant slots (the paper's space is likewise
+/// too large to enumerate at high cotenancy).
+pub fn fig5b(
+    scale: &Scale,
+    nf_counts: &[usize],
+    l2_bytes: u64,
+) -> Vec<(usize, Vec<DegradationPoint>)> {
+    let traces = all_traces(scale, 0xf15b);
+    nf_counts
+        .iter()
+        .map(|&n| {
+            assert!(n >= 2, "cotenancy below 2 is meaningless");
+            let points = NfKind::ALL
+                .iter()
+                .map(|&focus| {
+                    // Rotate which kinds fill the other n-1 slots.
+                    let mut degs: Vec<f64> = (0..NfKind::ALL.len())
+                        .map(|rot| {
+                            let partners: Vec<NfKind> = (0..n - 1)
+                                .map(|i| NfKind::ALL[(rot + i) % NfKind::ALL.len()])
+                                .collect();
+                            degradation_of(&traces, focus, &partners, l2_bytes)
+                        })
+                        .collect();
+                    DegradationPoint {
+                        kind: focus,
+                        median_pct: median(&mut degs.clone()),
+                        p1_pct: percentile(&mut degs.clone(), 1.0),
+                        p99_pct: percentile(&mut degs, 99.0),
+                    }
+                })
+                .collect();
+            (n, points)
+        })
+        .collect()
+}
+
+/// The headline §5.3 statistics at one cotenancy: (mean-of-medians,
+/// worst 99th percentile).
+pub fn headline_stats(points: &[DegradationPoint]) -> (f64, f64) {
+    let mean = points.iter().map(|p| p.median_pct).sum::<f64>() / points.len() as f64;
+    let worst = points.iter().map(|p| p.p99_pct).fold(f64::MIN, f64::max);
+    (mean, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            flows: 5_000,
+            packets: 6_000,
+            patterns: 300,
+            fw_rules: 120,
+            lpm_prefixes: 500,
+            monitor_ms: 20,
+        }
+    }
+
+    #[test]
+    fn fig5b_degradation_grows_with_cotenancy() {
+        let rows = fig5b(&tiny(), &[2, 8], 4 << 20);
+        let (mean2, _) = headline_stats(&rows[0].1);
+        let (mean8, _) = headline_stats(&rows[1].1);
+        assert!(
+            mean8 > mean2,
+            "expected monotone degradation: 2NF {mean2:.3}% vs 8NF {mean8:.3}%"
+        );
+        assert!(
+            mean8 > 0.05,
+            "8NF degradation should be visible: {mean8:.3}%"
+        );
+    }
+
+    #[test]
+    fn fig5a_produces_all_nfs_per_size() {
+        let rows = fig5a(&tiny(), &[256 << 10]);
+        assert_eq!(rows.len(), 1);
+        for (_, points) in &rows {
+            assert_eq!(points.len(), 6);
+            for p in points {
+                assert!(p.p1_pct <= p.median_pct + 1e-9);
+                assert!(p.median_pct <= p.p99_pct + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn small_cache_hurts_more_than_big_cache() {
+        let rows = fig5a(&tiny(), &[64 << 10, 8 << 20]);
+        let (small_mean, _) = headline_stats(&rows[0].1);
+        let (big_mean, _) = headline_stats(&rows[1].1);
+        assert!(
+            small_mean >= big_mean - 0.05,
+            "small cache {small_mean:.3}% should not beat big cache {big_mean:.3}%"
+        );
+    }
+}

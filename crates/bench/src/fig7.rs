@@ -1,0 +1,100 @@
+//! Figure 7 and Table 8: Monitor memory time series and memory
+//! utilization ratios.
+//!
+//! The Monitor NF observes a CAIDA-like trace; its allocation tracker
+//! records the hugepage-init spike and every HashMap-resize spike. The
+//! time series is the paper's Figure 7; the peak/steady ratio feeds the
+//! Table 8 MUR row. For the other five NFs the MURs come from the
+//! paper's own measured peak vs. steady values (their spikes are DPDK
+//! artifacts of the same two shapes).
+
+use snic_nf::{MonitorNf, NfKind, NullSink};
+use snic_trace::{CaidaConfig, CaidaLikeTrace};
+use snic_types::{ByteSize, Picos};
+
+use crate::Scale;
+
+/// The Monitor experiment output.
+#[derive(Debug)]
+pub struct MonitorRun {
+    /// Sampled `(time, bytes)` usage curve.
+    pub series: Vec<(Picos, ByteSize)>,
+    /// Minimum S-NIC preallocation (peak).
+    pub peak: ByteSize,
+    /// Steady-state usage.
+    pub steady: ByteSize,
+    /// Memory utilization ratio.
+    pub mur: f64,
+    /// Flows observed.
+    pub flows: usize,
+}
+
+/// Drive the Monitor over a CAIDA-like trace of `scale.monitor_ms`.
+pub fn run(scale: &Scale) -> MonitorRun {
+    let trace = CaidaLikeTrace::generate(
+        &CaidaConfig {
+            flow_arrival_rate: 250_000.0,
+            ..CaidaConfig::default()
+        },
+        Picos::millis(scale.monitor_ms),
+    );
+    let mut monitor = MonitorNf::new(ByteSize::mib(8));
+    for rec in trace.records() {
+        monitor.observe(rec.flow, rec.time, &mut NullSink);
+    }
+    MonitorRun {
+        series: monitor.tracker().time_series(60),
+        peak: monitor.peak_bytes(),
+        steady: monitor.steady_bytes(),
+        mur: monitor.tracker().mur(),
+        flows: monitor.tracked_flows(),
+    }
+}
+
+/// Table 8's MUR values from the paper's own peak/steady measurements,
+/// alongside our Monitor measurement.
+pub fn table8_rows(our_monitor_mur: f64) -> Vec<(NfKind, f64, f64, Option<f64>)> {
+    NfKind::ALL
+        .iter()
+        .map(|&k| {
+            let peak = snic_nf::paper_profile(k).total().as_mib_f64();
+            let steady = snic_nf::profile::paper_steady_state_mb(k);
+            let paper_mur = steady / peak;
+            let ours = (k == NfKind::Monitor).then_some(our_monitor_mur);
+            (k, peak, paper_mur, ours)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_run_has_spike_shape() {
+        let r = run(&Scale::quick());
+        assert!(r.flows > 1000, "{} flows", r.flows);
+        assert!(r.peak > r.steady, "peak {} vs steady {}", r.peak, r.steady);
+        assert!(r.mur < 1.0 && r.mur > 0.2, "mur {}", r.mur);
+        assert_eq!(r.series.len(), 60);
+    }
+
+    #[test]
+    fn series_grows_with_flow_arrivals() {
+        let r = run(&Scale::quick());
+        // Memory at the end exceeds memory shortly after start (map grew).
+        let early = r.series[5].1;
+        let late = r.series.last().unwrap().1;
+        assert!(late >= early);
+    }
+
+    #[test]
+    fn table8_murs_match_paper() {
+        let rows = table8_rows(0.7);
+        let get = |k: NfKind| rows.iter().find(|r| r.0 == k).unwrap().2;
+        assert!((get(NfKind::Firewall) - 1.0).abs() < 0.01);
+        assert!((get(NfKind::Nat) - 0.723).abs() < 0.01);
+        assert!((get(NfKind::LoadBalancer) - 0.302).abs() < 0.01);
+        assert!((get(NfKind::Monitor) - 0.683).abs() < 0.01);
+    }
+}

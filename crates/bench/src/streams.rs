@@ -1,0 +1,100 @@
+//! Reference-stream recording: run each NF over an ICTF-like trace and
+//! capture its memory accesses (the Figure 5 workload, §5.3).
+
+use snic_nf::{build, record_stream, NfKind};
+use snic_trace::{IctfConfig, IctfLikeTrace};
+use snic_types::Packet;
+use snic_uarch::stream::Access;
+
+use crate::Scale;
+
+/// Generate the packet workload shared by all NFs at this scale.
+pub fn workload(scale: &Scale, seed: u64) -> Vec<Packet> {
+    let mut trace = IctfLikeTrace::new(IctfConfig {
+        flows: scale.flows,
+        theta: 1.1,
+        mean_payload: 256,
+        signature_rate: 0.02,
+        patterns: snic_nf::dpi::synth_patterns(16, seed ^ 0x77),
+        seed,
+    });
+    (0..scale.packets).map(|_| trace.next_packet()).collect()
+}
+
+/// Build the NF at this scale (smaller structures than `with_defaults`
+/// when the scale asks for it).
+pub fn build_scaled(kind: NfKind, scale: &Scale, seed: u64) -> Box<dyn snic_nf::NetworkFunction> {
+    match kind {
+        NfKind::Dpi => Box::new(snic_nf::DpiNf::new(&snic_nf::dpi::synth_patterns(
+            scale.patterns,
+            seed,
+        ))),
+        NfKind::Firewall => Box::new(snic_nf::FirewallNf::new(
+            snic_nf::firewall::synth_rules(scale.fw_rules, seed),
+            200_000,
+        )),
+        NfKind::Lpm => Box::new(snic_nf::LpmNf::new(&snic_nf::lpm::synth_prefixes(
+            scale.lpm_prefixes,
+            seed,
+        ))),
+        other => build(other, seed),
+    }
+}
+
+/// Record the reference stream of one NF kind over the shared workload.
+pub fn nf_access_trace(kind: NfKind, scale: &Scale, seed: u64) -> Vec<Access> {
+    let mut nf = build_scaled(kind, scale, seed);
+    let packets = workload(scale, seed ^ kind as u64 as u64 ^ 0x5eed);
+    record_stream(nf.as_mut(), &packets)
+}
+
+/// Record streams for all six kinds (memoize at the caller).
+pub fn all_traces(scale: &Scale, seed: u64) -> Vec<(NfKind, Vec<Access>)> {
+    NfKind::ALL
+        .iter()
+        .map(|&k| (k, nf_access_trace(k, scale, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            flows: 300,
+            packets: 400,
+            patterns: 100,
+            fw_rules: 50,
+            lpm_prefixes: 200,
+            monitor_ms: 20,
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = workload(&tiny(), 7);
+        let b = workload(&tiny(), 7);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[399], b[399]);
+    }
+
+    #[test]
+    fn every_kind_produces_a_stream() {
+        for kind in NfKind::ALL {
+            let t = nf_access_trace(kind, &tiny(), 3);
+            assert!(!t.is_empty(), "{kind:?} produced no accesses");
+            assert!(t.iter().all(|a| a.insns >= 1));
+        }
+    }
+
+    #[test]
+    fn dpi_stream_longest_monitor_compact() {
+        // DPI walks payload bytes; the monitor touches a couple of
+        // addresses per packet.
+        let dpi = nf_access_trace(NfKind::Dpi, &tiny(), 3).len();
+        let mon = nf_access_trace(NfKind::Monitor, &tiny(), 3).len();
+        assert!(dpi > 3 * mon, "dpi {dpi} vs mon {mon}");
+    }
+}

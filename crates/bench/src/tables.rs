@@ -1,0 +1,214 @@
+//! Tables 2–8 as data-producing functions shared by the binaries.
+
+use snic_accel::profile::accel_profile;
+use snic_cost::overhead::{snic_overhead, OverheadConfig};
+use snic_cost::tco::{tco_report, TcoInputs, TcoReport};
+use snic_cost::tlb_model::CostEstimate;
+use snic_mem::planner::PagePolicy;
+use snic_nf::{paper_profile, NfKind};
+use snic_pktio::dma::dma_bank_tlb_entries;
+use snic_pktio::vpp::VppBufferSpec;
+use snic_types::AccelKind;
+
+/// Table 2: per-core TLB costs across memory-per-core and core counts.
+pub fn table2() -> Vec<(u64, u64, Vec<(u64, CostEstimate)>)> {
+    // (MB per core, TLB entries) rows; 2 MB pages.
+    let rows = [(366u64, 183u64), (512, 256), (1024, 512)];
+    let core_counts = [4u64, 8, 16, 48];
+    rows.iter()
+        .map(|&(mb, entries)| {
+            let per_count = core_counts
+                .iter()
+                .map(|&n| (n, CostEstimate::tlbs(entries, n)))
+                .collect();
+            (mb, entries, per_count)
+        })
+        .collect()
+}
+
+/// Table 3: accelerator TLB-bank costs across cluster configurations.
+pub fn table3() -> Vec<(AccelKind, u64, Vec<(u64, CostEstimate)>)> {
+    let kinds = [AccelKind::Dpi, AccelKind::Zip, AccelKind::Raid];
+    let cluster_counts = [16u64, 8, 4];
+    kinds
+        .iter()
+        .map(|&k| {
+            let entries = accel_profile(k).tlb_entries(&PagePolicy::Equal);
+            let per_config = cluster_counts
+                .iter()
+                .map(|&c| (c, CostEstimate::tlbs(entries, c)))
+                .collect();
+            (k, entries, per_config)
+        })
+        .collect()
+}
+
+/// Table 4: VPP + DMA TLB costs across unit counts.
+pub fn table4() -> Vec<(&'static str, u64, Vec<(u64, CostEstimate)>)> {
+    let vpp_entries = VppBufferSpec::default().tlb_entries();
+    // McPAT note: 2 entries cost the same as 3.
+    let dma_entries = dma_bank_tlb_entries().max(3);
+    let unit_counts = [12u64, 6, 3];
+    [("VPP", vpp_entries), ("DMA", dma_entries)]
+        .iter()
+        .map(|&(name, entries)| {
+            let per = unit_counts
+                .iter()
+                .map(|&u| (u, CostEstimate::tlbs(entries, u)))
+                .collect();
+            (name, entries, per)
+        })
+        .collect()
+}
+
+/// Table 5: TLB size and cost per page policy (max entries over the six
+/// NFs, 48 cores).
+pub fn table5() -> Vec<(&'static str, u64, CostEstimate)> {
+    let policies = [
+        ("Equal (2MB)", PagePolicy::Equal),
+        ("Flex-low (128KB,2MB,64MB)", PagePolicy::FlexLow),
+        ("Flex-high (2MB,32MB,128MB)", PagePolicy::FlexHigh),
+    ];
+    policies
+        .iter()
+        .map(|(name, policy)| {
+            let entries = NfKind::ALL
+                .iter()
+                .map(|&k| paper_profile(k).tlb_entries(policy))
+                .max()
+                .expect("six NFs");
+            (*name, entries, CostEstimate::tlbs(entries, 48))
+        })
+        .collect()
+}
+
+/// Table 6: NF memory profiles and TLB entries under the three policies.
+pub fn table6() -> Vec<(NfKind, [f64; 5], [u64; 3])> {
+    NfKind::ALL
+        .iter()
+        .map(|&k| {
+            let p = paper_profile(k);
+            let sizes = [
+                p.text.as_mib_f64(),
+                p.data.as_mib_f64(),
+                p.code.as_mib_f64(),
+                p.heap_stack.as_mib_f64(),
+                p.total().as_mib_f64(),
+            ];
+            let entries = [
+                p.tlb_entries(&PagePolicy::Equal),
+                p.tlb_entries(&PagePolicy::FlexLow),
+                p.tlb_entries(&PagePolicy::FlexHigh),
+            ];
+            (k, sizes, entries)
+        })
+        .collect()
+}
+
+/// Table 7: accelerator buffer inventories and TLB entries.
+pub fn table7() -> Vec<(AccelKind, Vec<(&'static str, f64)>, f64, u64)> {
+    [AccelKind::Dpi, AccelKind::Zip, AccelKind::Raid]
+        .iter()
+        .map(|&k| {
+            let p = accel_profile(k);
+            let regions: Vec<(&'static str, f64)> = p
+                .regions
+                .iter()
+                .map(|&(n, s)| (n, s.as_mib_f64()))
+                .collect();
+            (
+                k,
+                regions,
+                p.total().as_mib_f64(),
+                p.tlb_entries(&PagePolicy::Equal),
+            )
+        })
+        .collect()
+}
+
+/// The §5.2 aggregate: overhead percentages and TCO report.
+pub fn headline() -> (f64, f64, TcoReport) {
+    let overhead = snic_overhead(&OverheadConfig::default());
+    let area_pct = overhead.total_area_pct();
+    let power_pct = overhead.total_power_pct();
+    let tco = tco_report(&TcoInputs {
+        snic_area_overhead: area_pct / 100.0,
+        snic_power_overhead: power_pct / 100.0,
+        ..TcoInputs::default()
+    });
+    (area_pct, power_pct, tco)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_and_scaling() {
+        let t = table2();
+        assert_eq!(t.len(), 3);
+        let (_, entries, per_count) = &t[0];
+        assert_eq!(*entries, 183);
+        assert_eq!(per_count.len(), 4);
+        // Cost scales linearly with core count.
+        let a4 = per_count[0].1.area_mm2;
+        let a48 = per_count[3].1.area_mm2;
+        assert!((a48 / a4 - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_entries_match_paper() {
+        let t = table3();
+        assert_eq!(t[0].1, 54);
+        assert_eq!(t[1].1, 70);
+        assert_eq!(t[2].1, 5);
+    }
+
+    #[test]
+    fn table4_entries() {
+        let t = table4();
+        assert_eq!(t[0].1, 3);
+        assert_eq!(t[1].1, 3, "2-entry DMA costed as 3 per the paper's note");
+    }
+
+    #[test]
+    fn table5_matches_paper_max_entries() {
+        let t = table5();
+        assert_eq!(t[0].1, 183);
+        assert!((t[1].1 as i64 - 51).abs() <= 2, "Flex-low max {}", t[1].1);
+        assert_eq!(t[2].1, 13);
+        // Larger tables cost more.
+        assert!(t[0].2.area_mm2 > t[1].2.area_mm2);
+        assert!(t[1].2.area_mm2 > t[2].2.area_mm2);
+    }
+
+    #[test]
+    fn table6_totals() {
+        let t = table6();
+        let mon = t.iter().find(|(k, _, _)| *k == NfKind::Monitor).unwrap();
+        assert!((mon.1[4] - 360.54).abs() < 0.05);
+        assert_eq!(mon.2[0], 183);
+        assert_eq!(mon.2[2], 12);
+    }
+
+    #[test]
+    fn table7_totals() {
+        let t = table7();
+        assert!((t[0].2 - 101.90).abs() < 0.1);
+        assert_eq!(t[0].3, 54);
+        assert!((t[1].2 - 132.24).abs() < 0.1);
+        assert!((t[2].2 - 8.13).abs() < 0.1);
+    }
+
+    #[test]
+    fn headline_matches_paper() {
+        let (area, power, tco) = headline();
+        assert!((area - 8.89).abs() < 0.9, "area {area:.2}%");
+        assert!((power - 11.45).abs() < 1.2, "power {power:.2}%");
+        assert!(
+            (tco.advantage_decrease - 0.0837).abs() < 0.01,
+            "{}",
+            tco.advantage_decrease
+        );
+    }
+}

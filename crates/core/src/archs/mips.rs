@@ -1,0 +1,206 @@
+//! The MIPS64 segment model behind Marvell LiquidIO's execution modes.
+//!
+//! §3.2: "In the MIPS64 architecture, a virtual address space is
+//! partitioned into regions called segments" — `xuseg` (TLB-mapped user
+//! space), `xkseg` (TLB-mapped kernel space), and `xkphys`
+//! (direct-mapped physical memory). LiquidIO runs functions in SE-S mode
+//! (no kernel, everything privileged, full `xkphys`) or SE-UM mode
+//! (Linux processes, with `xkphys` optionally exposed to functions).
+//! In SE-S — and SE-UM with `xkphys` enabled — "an NF can read and write
+//! arbitrary physical addresses", which is the enabling condition for
+//! the §3.3 attacks.
+
+use snic_mem::tlb::Tlb;
+use snic_types::{CoreId, IsolationError, SnicError};
+
+/// The MIPS64 virtual-address segments the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// TLB-mapped user segment.
+    Xuseg,
+    /// Direct-mapped physical window.
+    Xkphys,
+    /// TLB-mapped kernel segment.
+    Xkseg,
+}
+
+/// Base of the `xkphys` window in our simplified layout.
+pub const XKPHYS_BASE: u64 = 0x8000_0000_0000_0000;
+/// Base of the `xkseg` window.
+pub const XKSEG_BASE: u64 = 0xc000_0000_0000_0000;
+/// Exclusive top of `xuseg`.
+pub const XUSEG_TOP: u64 = 0x0000_0100_0000_0000;
+
+/// Classify a virtual address.
+pub fn segment_of(va: u64) -> Option<Segment> {
+    if va < XUSEG_TOP {
+        Some(Segment::Xuseg)
+    } else if (XKPHYS_BASE..XKPHYS_BASE + XUSEG_TOP).contains(&va) {
+        Some(Segment::Xkphys)
+    } else if va >= XKSEG_BASE {
+        Some(Segment::Xkseg)
+    } else {
+        None
+    }
+}
+
+/// LiquidIO execution modes (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiquidIoMode {
+    /// SE-S: bootloader installs functions, no kernel, everything runs
+    /// privileged with full `xkphys` access.
+    SeS,
+    /// SE-UM: functions are Linux processes; the kernel may or may not
+    /// expose `xkphys` to them.
+    SeUm {
+        /// Whether functions get direct physical addressing.
+        xkphys_enabled: bool,
+    },
+}
+
+/// A MIPS core executing a network function under some LiquidIO mode.
+#[derive(Debug)]
+pub struct MipsCore {
+    /// Core identity (for fault reports).
+    pub id: CoreId,
+    mode: LiquidIoMode,
+    /// TLB backing `xuseg` (configured by the bootloader or kernel).
+    tlb: Tlb,
+}
+
+impl MipsCore {
+    /// Create a core in `mode` with the given `xuseg` TLB.
+    pub fn new(id: CoreId, mode: LiquidIoMode, tlb: Tlb) -> MipsCore {
+        MipsCore { id, mode, tlb }
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> LiquidIoMode {
+        self.mode
+    }
+
+    /// Translate a function-issued virtual address to physical.
+    ///
+    /// `xuseg` goes through the TLB; `xkphys` is direct-mapped and
+    /// gated only by the mode; `xkseg` is never available to functions
+    /// (in SE-S there is no kernel, in SE-UM functions are user-mode).
+    pub fn translate(&self, va: u64, write: bool) -> Result<u64, SnicError> {
+        match segment_of(va) {
+            Some(Segment::Xuseg) => Ok(self.tlb.translate(va, write)?),
+            Some(Segment::Xkphys) => {
+                let allowed = match self.mode {
+                    LiquidIoMode::SeS => true,
+                    LiquidIoMode::SeUm { xkphys_enabled } => xkphys_enabled,
+                };
+                if allowed {
+                    Ok(va - XKPHYS_BASE)
+                } else {
+                    Err(IsolationError::TlbMiss {
+                        core: self.id,
+                        addr: va,
+                    }
+                    .into())
+                }
+            }
+            Some(Segment::Xkseg) | None => Err(IsolationError::TlbMiss {
+                core: self.id,
+                addr: va,
+            }
+            .into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_mem::pagetable::PageMapping;
+
+    fn user_tlb() -> Tlb {
+        let mut t = Tlb::new(CoreId(0), 4);
+        t.install(PageMapping {
+            va: 0,
+            pa: 0x100_0000,
+            page_size: 2 << 20,
+            writable: true,
+        })
+        .unwrap();
+        t.lock();
+        t
+    }
+
+    #[test]
+    fn segment_classification() {
+        assert_eq!(segment_of(0x1000), Some(Segment::Xuseg));
+        assert_eq!(segment_of(XKPHYS_BASE + 5), Some(Segment::Xkphys));
+        assert_eq!(segment_of(XKSEG_BASE + 5), Some(Segment::Xkseg));
+        assert_eq!(segment_of(0x4000_0000_0000_0000), None);
+    }
+
+    #[test]
+    fn ses_mode_reaches_arbitrary_physical_memory() {
+        // The §3.3 enabling condition: any function in SE-S mode can name
+        // any physical address through xkphys.
+        let core = MipsCore::new(CoreId(0), LiquidIoMode::SeS, user_tlb());
+        assert_eq!(
+            core.translate(XKPHYS_BASE + 0xdead_000, true).unwrap(),
+            0xdead_000
+        );
+    }
+
+    #[test]
+    fn seum_with_xkphys_is_equally_exposed() {
+        let core = MipsCore::new(
+            CoreId(0),
+            LiquidIoMode::SeUm {
+                xkphys_enabled: true,
+            },
+            user_tlb(),
+        );
+        assert!(core.translate(XKPHYS_BASE + 0x1234_000, false).is_ok());
+    }
+
+    #[test]
+    fn seum_without_xkphys_blocks_physical_addressing() {
+        let core = MipsCore::new(
+            CoreId(0),
+            LiquidIoMode::SeUm {
+                xkphys_enabled: false,
+            },
+            user_tlb(),
+        );
+        assert!(core.translate(XKPHYS_BASE + 0x1234_000, false).is_err());
+        // But the function still cannot protect itself from the OS —
+        // user-space translation is whatever the kernel installed.
+        assert_eq!(core.translate(0x10, false).unwrap(), 0x100_0010);
+    }
+
+    #[test]
+    fn xuseg_respects_tlb_permissions() {
+        let core = MipsCore::new(CoreId(0), LiquidIoMode::SeS, user_tlb());
+        assert!(core.translate(0x10, true).is_ok());
+        assert!(
+            core.translate(4 << 20, false).is_err(),
+            "unmapped xuseg faults"
+        );
+    }
+
+    #[test]
+    fn xkseg_never_available_to_functions() {
+        for mode in [
+            LiquidIoMode::SeS,
+            LiquidIoMode::SeUm {
+                xkphys_enabled: true,
+            },
+            LiquidIoMode::SeUm {
+                xkphys_enabled: false,
+            },
+        ] {
+            let core = MipsCore::new(CoreId(0), mode, user_tlb());
+            assert!(
+                core.translate(XKSEG_BASE + 0x100, false).is_err(),
+                "{mode:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Models of the commodity SmartNIC architectures surveyed in §3.2.
+//!
+//! These exist to make the paper's background claims *executable*: the
+//! MIPS segment model shows exactly why LiquidIO's SE-S and SE-UM modes
+//! leave every function able to touch all physical memory, and the
+//! TrustZone model shows why even BlueField — "the best isolation of any
+//! commodity smart NIC" — cannot protect a function from the
+//! secure-world management OS.
+
+pub mod mips;
+pub mod trustzone;

@@ -1,0 +1,203 @@
+//! The ARM TrustZone model behind Mellanox BlueField (§3.2).
+//!
+//! TrustZone splits execution into a "normal world" and a "secure
+//! world": normal code cannot touch secure memory, secure code can touch
+//! everything, and the worlds switch via the `smc` instruction.
+//! BlueField uses this to privilege-separate a network function — the
+//! untrusted normal-world driver pulls packets, the trusted part runs as
+//! a trustlet in the secure world.
+//!
+//! The model exists to demonstrate the paper's two criticisms
+//! executably: "BlueField does not isolate a network function from the
+//! secure-world management OS" (the secure OS can read every trustlet's
+//! state), and TrustZone offers no microarchitectural isolation (not
+//! modeled here; see `snic-uarch` for the cache/bus side).
+
+use std::collections::HashMap;
+
+use snic_mem::phys::PhysMem;
+use snic_types::{ByteSize, IsolationError, NfId, SnicError};
+
+/// Which world a processor is executing in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum World {
+    /// The untrusted, Linux-class world.
+    Normal,
+    /// The trusted world (OP-TEE-class kernel + trustlets).
+    Secure,
+}
+
+/// A TrustZone-partitioned machine.
+#[derive(Debug)]
+pub struct TrustZoneMachine {
+    mem: PhysMem,
+    /// Sorted, disjoint `(base, len)` ranges marked secure.
+    secure_ranges: Vec<(u64, u64)>,
+    world: World,
+    /// Trustlet registry: owner → its state region (inside secure RAM).
+    trustlets: HashMap<NfId, (u64, u64)>,
+    smc_count: u64,
+}
+
+impl TrustZoneMachine {
+    /// A machine with `size` bytes of RAM, booted into the secure world
+    /// (as real TrustZone firmware does).
+    pub fn new(size: ByteSize) -> TrustZoneMachine {
+        TrustZoneMachine {
+            mem: PhysMem::new(size),
+            secure_ranges: Vec::new(),
+            world: World::Secure,
+            trustlets: HashMap::new(),
+            smc_count: 0,
+        }
+    }
+
+    /// Current world.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// `smc`: switch worlds (both directions use the same instruction).
+    pub fn smc(&mut self) {
+        self.smc_count += 1;
+        self.world = match self.world {
+            World::Normal => World::Secure,
+            World::Secure => World::Normal,
+        };
+    }
+
+    /// World switches so far.
+    pub fn smc_count(&self) -> u64 {
+        self.smc_count
+    }
+
+    /// Mark a range secure. Only secure code may change the split ("the
+    /// memory split is managed by secure code, and can change
+    /// dynamically").
+    pub fn mark_secure(&mut self, base: u64, len: u64) -> Result<(), SnicError> {
+        if self.world != World::Secure {
+            return Err(SnicError::InvalidConfig(
+                "normal world cannot change the split".into(),
+            ));
+        }
+        self.secure_ranges.push((base, len));
+        self.secure_ranges.sort_unstable();
+        Ok(())
+    }
+
+    fn is_secure(&self, addr: u64, len: u64) -> bool {
+        self.secure_ranges
+            .iter()
+            .any(|&(b, l)| addr < b + l && b < addr.saturating_add(len))
+    }
+
+    /// Load a trustlet: its state lives in a secure range.
+    pub fn load_trustlet(&mut self, owner: NfId, base: u64, state: &[u8]) -> Result<(), SnicError> {
+        self.mark_secure(base, state.len() as u64)?;
+        self.mem.write(base, state);
+        self.trustlets.insert(owner, (base, state.len() as u64));
+        Ok(())
+    }
+
+    /// Memory read in the current world.
+    pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<(), SnicError> {
+        if self.world == World::Normal && self.is_secure(addr, out.len() as u64) {
+            return Err(IsolationError::Denylisted {
+                addr,
+                owner: NfId(0),
+            }
+            .into());
+        }
+        if !self.mem.in_bounds(addr, out.len()) {
+            return Err(SnicError::InvalidConfig("oob".into()));
+        }
+        self.mem.read(addr, out);
+        Ok(())
+    }
+
+    /// Memory write in the current world.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), SnicError> {
+        if self.world == World::Normal && self.is_secure(addr, data.len() as u64) {
+            return Err(IsolationError::Denylisted {
+                addr,
+                owner: NfId(0),
+            }
+            .into());
+        }
+        if !self.mem.in_bounds(addr, data.len()) {
+            return Err(SnicError::InvalidConfig("oob".into()));
+        }
+        self.mem.write(addr, data);
+        Ok(())
+    }
+
+    /// The state region of a trustlet (what the secure OS can see).
+    pub fn trustlet_region(&self, owner: NfId) -> Option<(u64, u64)> {
+        self.trustlets.get(&owner).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with_trustlet() -> TrustZoneMachine {
+        let mut m = TrustZoneMachine::new(ByteSize::mib(16));
+        m.load_trustlet(NfId(1), 0x10_000, b"tls-keys:SECRET0xA1")
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn normal_world_cannot_read_secure_memory() {
+        let mut m = machine_with_trustlet();
+        m.smc(); // Secure → normal.
+        assert_eq!(m.world(), World::Normal);
+        let mut buf = [0u8; 8];
+        let err = m.read(0x10_000, &mut buf).unwrap_err();
+        assert!(matches!(err, SnicError::Isolation(_)));
+        assert!(m.write(0x10_000, b"overwrite").is_err());
+    }
+
+    #[test]
+    fn normal_world_cannot_move_the_split() {
+        let mut m = machine_with_trustlet();
+        m.smc();
+        assert!(m.mark_secure(0x20_000, 0x1000).is_err());
+    }
+
+    #[test]
+    fn worlds_communicate_via_shared_normal_memory() {
+        let mut m = machine_with_trustlet();
+        m.smc(); // Normal.
+        m.write(0x80_000, b"packet from driver").unwrap();
+        m.smc(); // Secure.
+        let mut buf = [0u8; 18];
+        m.read(0x80_000, &mut buf).unwrap();
+        assert_eq!(&buf, b"packet from driver");
+        assert_eq!(m.smc_count(), 2);
+    }
+
+    #[test]
+    fn secure_os_reads_any_trustlet_state() {
+        // The paper's criticism: "BlueField does not isolate a network
+        // function from the secure-world management OS". The secure OS
+        // (running in the secure world) reads the trustlet's keys.
+        let m = machine_with_trustlet();
+        assert_eq!(m.world(), World::Secure);
+        let (base, len) = m.trustlet_region(NfId(1)).unwrap();
+        let mut buf = vec![0u8; len as usize];
+        m.read(base, &mut buf)
+            .expect("secure world sees everything");
+        assert_eq!(&buf, b"tls-keys:SECRET0xA1");
+    }
+
+    #[test]
+    fn straddling_access_from_normal_world_blocked() {
+        let mut m = machine_with_trustlet();
+        m.smc();
+        let mut buf = [0u8; 64];
+        // Starts before the secure range but overlaps it.
+        assert!(m.read(0x10_000 - 16, &mut buf).is_err());
+    }
+}

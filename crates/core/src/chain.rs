@@ -1,0 +1,178 @@
+//! Cross-VPP function chaining (the §4.8 extension).
+//!
+//! "An extended version of S-NIC could have NFs exchange data via
+//! localhost networking, such that S-NIC hardware would transfer messages
+//! directly between the side-channel-isolated VPPs owned by different
+//! NFs. ... this approach would restrict the information leakage between
+//! two communicating VPPs to just the information that is revealed via
+//! overt traffic timings and packet content."
+//!
+//! [`ChainLink`] is that management hardware: a unidirectional, fixed-
+//! capacity message conduit between two NFs. It copies whole packets
+//! (overt content), imposes a constant per-message transfer latency
+//! (no data-dependent timing), and enforces its capacity against the
+//! *sender* so a slow receiver cannot modulate sender-visible state
+//! beyond the overt backpressure bit.
+
+use std::collections::VecDeque;
+
+use snic_types::{NfId, Packet, Picos, SnicError};
+
+/// Constant per-message transfer latency (content-independent by
+/// construction).
+pub const LINK_LATENCY: Picos = Picos::micros(2);
+
+/// A unidirectional chain link `from → to`.
+#[derive(Debug)]
+pub struct ChainLink {
+    from: NfId,
+    to: NfId,
+    capacity: usize,
+    queue: VecDeque<(Picos, Packet)>,
+    transferred: u64,
+    rejected: u64,
+}
+
+impl ChainLink {
+    /// Create a link with space for `capacity` in-flight messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the endpoints are the same NF.
+    pub fn new(from: NfId, to: NfId, capacity: usize) -> ChainLink {
+        assert!(capacity > 0, "zero-capacity chain link");
+        assert_ne!(from, to, "chain link endpoints must differ");
+        ChainLink {
+            from,
+            to,
+            capacity,
+            queue: VecDeque::new(),
+            transferred: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Sender side: submit a packet at time `now`.
+    ///
+    /// Returns the time the message becomes visible to the receiver, or
+    /// an error if the link is full (overt backpressure) or the caller is
+    /// not the configured sender.
+    pub fn send(&mut self, who: NfId, now: Picos, pkt: Packet) -> Result<Picos, SnicError> {
+        if who != self.from {
+            return Err(SnicError::InvalidConfig(format!(
+                "{who} is not this link's sender"
+            )));
+        }
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(SnicError::PortBufferExhausted);
+        }
+        let ready = now + LINK_LATENCY;
+        self.queue.push_back((ready, pkt));
+        self.transferred += 1;
+        Ok(ready)
+    }
+
+    /// Receiver side: take the next message that is ready by `now`.
+    pub fn recv(&mut self, who: NfId, now: Picos) -> Result<Option<Packet>, SnicError> {
+        if who != self.to {
+            return Err(SnicError::InvalidConfig(format!(
+                "{who} is not this link's receiver"
+            )));
+        }
+        match self.queue.front() {
+            Some(&(ready, _)) if ready <= now => Ok(self.queue.pop_front().map(|(_, p)| p)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Messages accepted so far.
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// Sends rejected for backpressure.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_types::packet::PacketBuilder;
+    use snic_types::Protocol;
+
+    fn pkt(n: u16) -> Packet {
+        PacketBuilder::new(1, 2, Protocol::Udp, n, 80).build()
+    }
+
+    #[test]
+    fn send_recv_with_latency() {
+        let mut link = ChainLink::new(NfId(1), NfId(2), 4);
+        let ready = link.send(NfId(1), Picos::ZERO, pkt(5)).unwrap();
+        assert_eq!(ready, LINK_LATENCY);
+        // Not visible before the transfer completes.
+        assert!(link.recv(NfId(2), Picos::ZERO).unwrap().is_none());
+        let got = link.recv(NfId(2), ready).unwrap().unwrap();
+        assert_eq!(got.udp().unwrap().src_port, 5);
+    }
+
+    #[test]
+    fn latency_is_content_independent() {
+        let mut link = ChainLink::new(NfId(1), NfId(2), 8);
+        let small = PacketBuilder::new(1, 2, Protocol::Udp, 1, 2).build();
+        let big = PacketBuilder::new(1, 2, Protocol::Udp, 1, 2)
+            .payload(vec![0xee; 4000])
+            .build();
+        let t1 = link.send(NfId(1), Picos(1000), small).unwrap();
+        let t2 = link.send(NfId(1), Picos(1000), big).unwrap();
+        assert_eq!(
+            t1 - Picos(1000),
+            t2 - Picos(1000),
+            "no data-dependent timing"
+        );
+    }
+
+    #[test]
+    fn only_configured_endpoints_may_use_it() {
+        let mut link = ChainLink::new(NfId(1), NfId(2), 4);
+        assert!(link.send(NfId(3), Picos::ZERO, pkt(1)).is_err());
+        assert!(link.recv(NfId(3), Picos::ZERO).is_err());
+        // The receiver cannot inject either.
+        assert!(link.send(NfId(2), Picos::ZERO, pkt(1)).is_err());
+    }
+
+    #[test]
+    fn backpressure_is_overt() {
+        let mut link = ChainLink::new(NfId(1), NfId(2), 2);
+        link.send(NfId(1), Picos::ZERO, pkt(1)).unwrap();
+        link.send(NfId(1), Picos::ZERO, pkt(2)).unwrap();
+        assert_eq!(
+            link.send(NfId(1), Picos::ZERO, pkt(3)).unwrap_err(),
+            SnicError::PortBufferExhausted
+        );
+        assert_eq!(link.rejected(), 1);
+        // Draining frees a slot.
+        let _ = link.recv(NfId(2), LINK_LATENCY).unwrap();
+        assert!(link.send(NfId(1), LINK_LATENCY, pkt(3)).is_ok());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut link = ChainLink::new(NfId(1), NfId(2), 8);
+        for i in 0..4 {
+            link.send(NfId(1), Picos::ZERO, pkt(i)).unwrap();
+        }
+        for i in 0..4 {
+            let got = link.recv(NfId(2), Picos::millis(1)).unwrap().unwrap();
+            assert_eq!(got.udp().unwrap().src_port, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_link_panics() {
+        let _ = ChainLink::new(NfId(1), NfId(1), 2);
+    }
+}

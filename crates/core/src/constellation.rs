@@ -1,0 +1,228 @@
+//! Constellations of trusted computations (§4.7, Figure 4b).
+//!
+//! "Pairwise attestations allow a developer to build a constellation of
+//! trusted computations spanning multiple S-NIC functions and host-level
+//! hardware enclaves." A [`Constellation`] registers endpoints (NFs on
+//! S-NICs and host enclaves), runs the mutual-attestation handshake
+//! between pairs, and hands back per-pair [`SecureChannel`]s.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use snic_crypto::dh::DhParams;
+use snic_crypto::rsa::RsaPublicKey;
+use snic_types::{NfId, SnicError};
+
+use crate::attest::{FunctionAttestation, Verifier};
+use crate::channel::SecureChannel;
+use crate::device::SmartNic;
+use crate::enclave::HostEnclave;
+
+/// Name of an endpoint within the constellation.
+pub type EndpointName = String;
+
+/// A constellation under construction/operation.
+///
+/// Devices are borrowed per-call (a constellation spans NICs owned by
+/// different hosts); the constellation itself holds only identities and
+/// the established channel keys.
+pub struct Constellation {
+    params: DhParams,
+    /// Endpoint → expected measurement and trust root.
+    endpoints: HashMap<EndpointName, (RsaPublicKey, [u8; 32])>,
+    /// Established pairwise session keys.
+    keys: HashMap<(EndpointName, EndpointName), [u8; 32]>,
+}
+
+impl Constellation {
+    /// A constellation using the given DH group.
+    pub fn new(params: DhParams) -> Constellation {
+        Constellation {
+            params,
+            endpoints: HashMap::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Register an endpoint with its trust root (the relevant vendor CA
+    /// public key) and expected measurement.
+    pub fn register(
+        &mut self,
+        name: impl Into<EndpointName>,
+        trust_root: RsaPublicKey,
+        measurement: [u8; 32],
+    ) {
+        self.endpoints
+            .insert(name.into(), (trust_root, measurement));
+    }
+
+    /// Registered endpoint count.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if no endpoints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Run the handshake between a verifier-side endpoint `a` and an NF
+    /// `(nic, nf)` registered as endpoint `b`. On success both sides of
+    /// the pair share a key and [`Constellation::channel`] works.
+    pub fn attest_nf<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        a: &str,
+        b: &str,
+        nic: &mut SmartNic,
+        nf: NfId,
+    ) -> Result<(), SnicError> {
+        let (root, measurement) = self
+            .endpoints
+            .get(b)
+            .cloned()
+            .ok_or_else(|| SnicError::InvalidConfig(format!("unknown endpoint {b}")))?;
+        if !self.endpoints.contains_key(a) {
+            return Err(SnicError::InvalidConfig(format!("unknown endpoint {a}")));
+        }
+        let mut verifier = Verifier::hello(rng);
+        let f = FunctionAttestation::respond(rng, nic, nf, &self.params, verifier.nonce)?;
+        let v_pub = verifier.accept(rng, &root, &measurement, &f.quote)?;
+        let key_f = f.session_key(&v_pub);
+        let key_v = verifier.session_key(&f.quote.dh_public);
+        debug_assert_eq!(key_f, key_v);
+        self.keys.insert(pair_key(a, b), key_v);
+        Ok(())
+    }
+
+    /// Run the handshake between endpoint `a` (verifier) and a host
+    /// enclave registered as endpoint `b`.
+    pub fn attest_enclave<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        a: &str,
+        b: &str,
+        enclave: &HostEnclave,
+    ) -> Result<(), SnicError> {
+        let (root, measurement) = self
+            .endpoints
+            .get(b)
+            .cloned()
+            .ok_or_else(|| SnicError::InvalidConfig(format!("unknown endpoint {b}")))?;
+        let mut verifier = Verifier::hello(rng);
+        let (quote, kp) = enclave.respond(rng, &self.params, verifier.nonce);
+        let v_pub = verifier.accept(rng, &root, &measurement, &quote)?;
+        let key = kp.session_key(&v_pub, &verifier.nonce);
+        debug_assert_eq!(key, verifier.session_key(&quote.dh_public));
+        self.keys.insert(pair_key(a, b), key);
+        Ok(())
+    }
+
+    /// True if `a` and `b` completed their handshake.
+    pub fn attested(&self, a: &str, b: &str) -> bool {
+        self.keys.contains_key(&pair_key(a, b))
+    }
+
+    /// Open the channel between `a` and `b` from `a`'s perspective.
+    pub fn channel(&self, a: &str, b: &str) -> Result<SecureChannel, SnicError> {
+        let key = self
+            .keys
+            .get(&pair_key(a, b))
+            .ok_or_else(|| SnicError::InvalidConfig(format!("{a} and {b} not attested")))?;
+        // The lexically smaller name is the initiator, so both sides
+        // derive consistent direction keys.
+        Ok(SecureChannel::new(key, a <= b))
+    }
+}
+
+fn pair_key(a: &str, b: &str) -> (EndpointName, EndpointName) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NicConfig, NicMode};
+    use crate::instr::{LaunchRequest, NfImage};
+    use rand::SeedableRng;
+    use snic_crypto::keys::VendorCa;
+    use snic_types::{ByteSize, CoreId};
+
+    #[test]
+    fn nf_and_enclave_constellation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let nic_vendor = VendorCa::new(&mut rng);
+        let cpu_vendor = VendorCa::new(&mut rng);
+        let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &nic_vendor);
+        let receipt = nic
+            .nf_launch(LaunchRequest::minimal(
+                CoreId(0),
+                ByteSize::mib(4),
+                NfImage {
+                    code: b"ids function".to_vec(),
+                    config: vec![],
+                },
+            ))
+            .unwrap();
+        let enclave = HostEnclave::load(&mut rng, &cpu_vendor, b"storage enclave");
+
+        let mut c = Constellation::new(DhParams::tiny_test_group());
+        c.register("gateway", cpu_vendor.public().clone(), enclave.measurement);
+        c.register("ids", nic_vendor.public().clone(), receipt.measurement);
+        c.register("enclave", cpu_vendor.public().clone(), enclave.measurement);
+        assert_eq!(c.len(), 3);
+
+        c.attest_nf(&mut rng, "gateway", "ids", &mut nic, receipt.nf_id)
+            .unwrap();
+        c.attest_enclave(&mut rng, "gateway", "enclave", &enclave)
+            .unwrap();
+        assert!(c.attested("gateway", "ids"));
+        assert!(
+            c.attested("ids", "gateway"),
+            "attestation is symmetric in lookup"
+        );
+        assert!(!c.attested("ids", "enclave"));
+
+        // Encrypted traffic flows between attested pairs.
+        let mut tx = c.channel("gateway", "ids").unwrap();
+        let mut rx = c.channel("ids", "gateway").unwrap();
+        let sealed = tx.seal(b"flow table update");
+        assert_eq!(rx.open(&sealed).unwrap(), b"flow table update");
+    }
+
+    #[test]
+    fn unattested_pairs_have_no_channel() {
+        let c = Constellation::new(DhParams::tiny_test_group());
+        assert!(c.channel("a", "b").is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn wrong_measurement_blocks_attestation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let nic_vendor = VendorCa::new(&mut rng);
+        let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &nic_vendor);
+        let receipt = nic
+            .nf_launch(LaunchRequest::minimal(
+                CoreId(0),
+                ByteSize::mib(4),
+                NfImage {
+                    code: b"subverted function".to_vec(),
+                    config: vec![],
+                },
+            ))
+            .unwrap();
+        let mut c = Constellation::new(DhParams::tiny_test_group());
+        c.register("v", nic_vendor.public().clone(), [0u8; 32]);
+        // Expected measurement (registered) differs from the launched one.
+        c.register("f", nic_vendor.public().clone(), [9u8; 32]);
+        assert!(c
+            .attest_nf(&mut rng, "v", "f", &mut nic, receipt.nf_id)
+            .is_err());
+        assert!(!c.attested("v", "f"));
+    }
+}

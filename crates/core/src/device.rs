@@ -1,0 +1,1138 @@
+//! The SoC smart-NIC device model.
+//!
+//! One [`SmartNic`] struct implements both personalities (§3 commodity
+//! vs. §4 S-NIC); every difference is driven by [`NicMode`] so the
+//! attacks crate can run identical attack code against both and assert
+//! opposite outcomes.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use rand::SeedableRng;
+use snic_crypto::keys::{AttestationKey, EndorsementKey, VendorCa};
+use snic_crypto::sha256::Sha256;
+use snic_mem::guard::{MemoryGuard, Principal};
+use snic_mem::ownership::PageOwnership;
+use snic_mem::pagetable::PageMapping;
+use snic_mem::phys::PhysMem;
+use snic_mem::planner::plan_region;
+use snic_mem::tlb::Tlb;
+use snic_pktio::dma::{DmaBank, DmaDirection, DmaWindow};
+use snic_pktio::port::PortBuffers;
+use snic_pktio::rules::RuleTable;
+use snic_types::{AccelClusterId, AccelKind, ByteSize, CoreId, NfId, Packet, Picos, SnicError};
+
+use crate::alloc::BufferAllocator;
+use crate::config::{NicConfig, NicMode};
+use crate::instr::{
+    scrub_time, sha_digest_time, LaunchLatency, LaunchReceipt, LaunchRequest, TeardownLatency,
+    TeardownReceipt, ALLOWLISTING, DENYLISTING, TLB_SETUP,
+};
+use snic_accel::cluster::ClusterPool;
+
+/// Physical base of the region pool used for S-NIC private regions.
+const REGION_BASE: u64 = 0x0800_0000;
+
+/// Bookkeeping for one launched function.
+#[derive(Debug)]
+pub struct NfRecord {
+    /// Bound cores.
+    pub cores: Vec<CoreId>,
+    /// Private physical region `(base, len)`.
+    pub region: (u64, u64),
+    /// Where the initial image landed (inside the region under S-NIC; in
+    /// the shared pool on a commodity NIC).
+    pub image_base: u64,
+    /// Launch measurement (§4.6 cumulative hash).
+    pub measurement: [u8; 32],
+    /// Bound accelerator clusters.
+    pub accel: Vec<AccelClusterId>,
+    /// Requested memory.
+    pub memory: ByteSize,
+    /// TLB entries installed per core.
+    pub tlb_entries: u64,
+    /// RX descriptor queue: `(base, len)` of packets in DRAM.
+    rx_queue: VecDeque<(u64, u32)>,
+    rx_bytes: u64,
+    /// Buffer-space caps from the VPP spec.
+    pb_cap: u64,
+    pdb_slots: u64,
+    /// Next packet-slot offset within the region's packet ring (S-NIC).
+    ring_next: u64,
+    /// Statistics.
+    pub rx_delivered: u64,
+    /// Packets dropped at the VPP.
+    pub rx_dropped: u64,
+    /// Packets sent.
+    pub tx_sent: u64,
+}
+
+/// The device.
+pub struct SmartNic {
+    config: NicConfig,
+    guard: MemoryGuard,
+    ownership: PageOwnership,
+    core_owner: Vec<Option<NfId>>,
+    core_tlbs: HashMap<CoreId, Tlb>,
+    pools: Vec<ClusterPool>,
+    rx_port: PortBuffers,
+    tx_port: PortBuffers,
+    rules: RuleTable,
+    launched: BTreeMap<NfId, NfRecord>,
+    allocator: BufferAllocator,
+    next_region: u64,
+    /// Regions returned by `nf_teardown`, available for reuse: sorted,
+    /// coalesced `(base, len)` pairs.
+    free_regions: Vec<(u64, u64)>,
+    next_nf: u64,
+    bus_ops: HashMap<NfId, u64>,
+    crashed: bool,
+    now: Picos,
+    ek: EndorsementKey,
+    ak: AttestationKey,
+    tx_wire: VecDeque<Packet>,
+    /// Host RAM model, target of the multi-bank DMA controller (§4.2).
+    host_mem: PhysMem,
+    dma_banks: HashMap<CoreId, DmaBank>,
+}
+
+impl SmartNic {
+    /// Build a device; the vendor CA certifies its endorsement key at
+    /// "manufacture" time (Appendix A).
+    pub fn new(config: NicConfig, vendor: &VendorCa) -> SmartNic {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let ek = EndorsementKey::manufacture(&mut rng, vendor);
+        let ak = AttestationKey::generate(&mut rng, &ek);
+        let enforcing = config.mode == NicMode::Snic;
+        let pools = AccelKind::ALL
+            .iter()
+            .map(|&k| ClusterPool::new(k, config.accel_clusters, config.threads_per_cluster))
+            .collect();
+        SmartNic {
+            guard: MemoryGuard::new(config.dram, enforcing),
+            ownership: PageOwnership::new(),
+            core_owner: vec![None; usize::from(config.cores)],
+            core_tlbs: HashMap::new(),
+            pools,
+            rx_port: PortBuffers::new(config.rx_buffer),
+            tx_port: PortBuffers::new(config.tx_buffer),
+            rules: RuleTable::new(),
+            launched: BTreeMap::new(),
+            allocator: BufferAllocator::new(ByteSize::mib(64).min(config.dram)),
+            next_region: REGION_BASE,
+            free_regions: Vec::new(),
+            next_nf: 1,
+            bus_ops: HashMap::new(),
+            crashed: false,
+            now: Picos::ZERO,
+            ek,
+            ak,
+            config,
+            tx_wire: VecDeque::new(),
+            host_mem: PhysMem::new(ByteSize::gib(1)),
+            dma_banks: HashMap::new(),
+        }
+    }
+
+    /// The device mode.
+    pub fn mode(&self) -> NicMode {
+        self.config.mode
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Advance simulated time.
+    pub fn advance(&mut self, dt: Picos) {
+        self.now += dt;
+    }
+
+    /// True after a bus-DoS hard crash (§3.3's Agilio attack).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Power-cycle the NIC: clears the crash flag and all NF state
+    /// (everything is lost, as the paper's attack required).
+    pub fn power_cycle(&mut self) {
+        let ids: Vec<NfId> = self.launched.keys().copied().collect();
+        self.crashed = false;
+        for id in ids {
+            let _ = self.nf_teardown(id);
+        }
+        self.bus_ops.clear();
+    }
+
+    /// The EK certificate chain root material, for verifiers.
+    pub fn ek_certificate(&self) -> &snic_crypto::keys::Certificate {
+        &self.ek.certificate
+    }
+
+    /// The per-boot AK endorsement.
+    pub fn ak_endorsement(&self) -> &snic_crypto::keys::Certificate {
+        &self.ak.endorsement
+    }
+
+    /// Read-only view of the mediated memory (for attack code that scans
+    /// structures via a principal's access rights).
+    pub fn guard_ref(&self) -> &MemoryGuard {
+        &self.guard
+    }
+
+    fn fail_if_crashed(&self) -> Result<(), SnicError> {
+        if self.crashed {
+            Err(SnicError::NicCrashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The launch measurement of a live NF.
+    pub fn measurement_of(&self, nf: NfId) -> Result<[u8; 32], SnicError> {
+        Ok(self
+            .launched
+            .get(&nf)
+            .ok_or(SnicError::NoSuchNf(nf))?
+            .measurement)
+    }
+
+    /// Record of a live NF.
+    pub fn record_of(&self, nf: NfId) -> Result<&NfRecord, SnicError> {
+        self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))
+    }
+
+    /// Live NF count.
+    pub fn live_nfs(&self) -> usize {
+        self.launched.len()
+    }
+
+    // ------------------------------------------------------------------
+    // nf_launch (§4.1–§4.5)
+    // ------------------------------------------------------------------
+
+    /// The `nf_launch` trusted instruction.
+    pub fn nf_launch(&mut self, mut req: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
+        self.fail_if_crashed()?;
+        if req.cores.is_empty() {
+            return Err(SnicError::InvalidConfig("nf_launch with zero cores".into()));
+        }
+        if req.memory.bytes() == 0 {
+            return Err(SnicError::InvalidConfig(
+                "nf_launch with zero memory".into(),
+            ));
+        }
+        // Check the core bitmap (§4.1): all requested cores must exist
+        // and be unassigned.
+        for &c in &req.cores {
+            let idx = usize::from(c.0);
+            match self.core_owner.get(idx) {
+                None => {
+                    return Err(SnicError::InvalidConfig(format!("no such core {c}")));
+                }
+                Some(Some(_)) => return Err(SnicError::CoreBusy(c)),
+                Some(None) => {}
+            }
+        }
+        // Plan the mapping and check TLB capacity.
+        let policy = req
+            .page_policy
+            .clone()
+            .unwrap_or(self.config.page_policy.clone());
+        let plan = plan_region(req.memory, &policy);
+        if plan.entries() as usize > self.config.core_tlb_entries {
+            return Err(SnicError::InvalidConfig(format!(
+                "mapping needs {} TLB entries; core has {}",
+                plan.entries(),
+                self.config.core_tlb_entries
+            )));
+        }
+        // Reserve the physical region: first-fit from freed regions,
+        // falling back to the bump pointer.
+        let region_len = plan.allocated().bytes();
+        let base = match self
+            .free_regions
+            .iter()
+            .position(|&(_, len)| len >= region_len)
+        {
+            Some(idx) => {
+                let (b, len) = self.free_regions.remove(idx);
+                if len > region_len {
+                    self.free_regions.push((b + region_len, len - region_len));
+                    self.free_regions.sort_unstable();
+                }
+                b
+            }
+            None => {
+                let b = self.next_region.div_ceil(4096) * 4096;
+                if b + region_len > self.config.dram.bytes() {
+                    return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+                }
+                self.next_region = b + region_len;
+                b
+            }
+        };
+        if base + region_len > self.config.dram.bytes() {
+            return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+        }
+        if req.image.len() as u64 > region_len {
+            return Err(SnicError::InvalidConfig("image larger than region".into()));
+        }
+        // Page-table walk: claim ownership (fails atomically on overlap).
+        let nf = NfId(self.next_nf);
+        self.ownership.claim(base, region_len, nf)?;
+        // Accelerator clusters (§4.3) — atomic per pool; roll back on
+        // failure.
+        let mut accel = Vec::new();
+        for &(kind, count) in &req.accel {
+            let pool = self
+                .pools
+                .iter_mut()
+                .find(|p| p.kind() == kind)
+                .expect("all kinds built");
+            match pool.allocate(nf, count) {
+                Ok(mut ids) => accel.append(&mut ids),
+                Err(e) => {
+                    self.rollback(nf);
+                    return Err(e);
+                }
+            }
+        }
+        // VPP buffer reservations (§4.4).
+        if let Err(e) = self.rx_port.reserve(nf, req.vpp.pb) {
+            self.rollback(nf);
+            return Err(e);
+        }
+        if let Err(e) = self.tx_port.reserve(nf, req.vpp.odb) {
+            self.rollback(nf);
+            return Err(e);
+        }
+
+        // Commit point: everything below cannot fail.
+        self.next_nf += 1;
+        for &c in &req.cores {
+            self.core_owner[usize::from(c.0)] = Some(nf);
+        }
+
+        let mut denylist_time = Picos::ZERO;
+        if self.config.mode == NicMode::Snic {
+            // Denylist the region against the management core (§4.2).
+            self.guard.denylist_mut().deny(base, region_len, nf);
+            denylist_time = DENYLISTING;
+            // Install locked per-core TLBs covering the planned pages.
+            for &c in &req.cores {
+                let mut tlb = Tlb::new(c, self.config.core_tlb_entries);
+                let mut va = 0u64;
+                let mut pa = base;
+                for &(page_size, count) in &plan.pages {
+                    for _ in 0..count {
+                        tlb.install(PageMapping {
+                            va,
+                            pa,
+                            page_size,
+                            writable: true,
+                        })
+                        .expect("capacity checked above");
+                        va += page_size;
+                        pa += page_size;
+                    }
+                }
+                tlb.lock();
+                self.core_tlbs.insert(c, tlb);
+            }
+        } else {
+            // Commodity: the image lands in the shared pool with
+            // discoverable allocator metadata (§3.3's attack surface).
+        }
+
+        // Copy the initial image into the function's memory.
+        let image_base = if self.config.mode == NicMode::Commodity && !req.image.is_empty() {
+            let (_, buf) = self
+                .allocator
+                .alloc(&mut self.guard, nf, req.image.len() as u64, false)
+                .unwrap_or((0, base));
+            buf
+        } else {
+            base
+        };
+        let hw = Principal::TrustedHardware;
+        self.guard
+            .write_phys(hw, image_base, &req.image.code)
+            .expect("region in bounds");
+        self.guard
+            .write_phys(
+                hw,
+                image_base + req.image.code.len() as u64,
+                &req.image.config,
+            )
+            .expect("region in bounds");
+
+        // Cumulative measurement (§4.6): code, config, rules, topology.
+        let mut h = Sha256::new();
+        h.update(&req.image.code);
+        h.update(&req.image.config);
+        for r in &req.rules {
+            h.update(format!("{r:?}").as_bytes());
+        }
+        for c in &req.cores {
+            h.update(&c.0.to_le_bytes());
+        }
+        h.update(&req.memory.bytes().to_le_bytes());
+        let measurement = h.finalize();
+
+        // Install switching rules pointing at the new function.
+        for rule in &mut req.rules {
+            rule.target = nf;
+            self.rules.install(rule.clone());
+        }
+
+        // Per-core DMA banks (§4.2): one bank per programmable core, TLB
+        // windows locked to the function's region and the
+        // host-sanctioned window.
+        if let Some((hbase, hlen)) = req.host_window {
+            for &c in &req.cores {
+                let mut bank = DmaBank::new(
+                    c,
+                    nf,
+                    DmaWindow {
+                        base,
+                        len: region_len,
+                    },
+                    DmaWindow {
+                        base: hbase,
+                        len: hlen,
+                    },
+                );
+                bank.lock();
+                self.dma_banks.insert(c, bank);
+            }
+        }
+
+        let record = NfRecord {
+            cores: req.cores.clone(),
+            region: (base, region_len),
+            image_base,
+            measurement,
+            accel,
+            memory: req.memory,
+            tlb_entries: plan.entries(),
+            rx_queue: VecDeque::new(),
+            rx_bytes: 0,
+            pb_cap: req.vpp.pb.bytes(),
+            pdb_slots: req.vpp.pdb.bytes() / 32,
+            ring_next: 0,
+            rx_delivered: 0,
+            rx_dropped: 0,
+            tx_sent: 0,
+        };
+        self.launched.insert(nf, record);
+
+        let latency = LaunchLatency {
+            tlb_setup: TLB_SETUP,
+            denylisting: denylist_time,
+            sha_digest: sha_digest_time(req.memory),
+        };
+        self.now += latency.total();
+        Ok(LaunchReceipt {
+            nf_id: nf,
+            measurement,
+            latency,
+        })
+    }
+
+    fn rollback(&mut self, nf: NfId) {
+        self.ownership.release_owner(nf);
+        for pool in &mut self.pools {
+            pool.release_owner(nf);
+        }
+        let _ = self.rx_port.release_owner(nf);
+        let _ = self.tx_port.release_owner(nf);
+    }
+
+    // ------------------------------------------------------------------
+    // nf_teardown (§4.6)
+    // ------------------------------------------------------------------
+
+    /// Return a region to the free list, coalescing with neighbors.
+    fn free_region(&mut self, base: u64, len: u64) {
+        self.free_regions.push((base, len));
+        self.free_regions.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free_regions.len());
+        for &(b, l) in &self.free_regions {
+            match merged.last_mut() {
+                Some(&mut (pb, ref mut pl)) if pb + *pl == b => *pl += l,
+                _ => merged.push((b, l)),
+            }
+        }
+        self.free_regions = merged;
+    }
+
+    /// The `nf_teardown` trusted instruction.
+    pub fn nf_teardown(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
+        let record = self.launched.remove(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        let mut scrub = Picos::ZERO;
+        let mut allowlist = Picos::ZERO;
+        if self.config.mode == NicMode::Snic {
+            // Zero the function's pages before releasing them.
+            let (base, len) = record.region;
+            self.guard.raw_mem().scrub(base, len);
+            scrub = scrub_time(ByteSize(len));
+            self.guard.denylist_mut().allow_owner(nf);
+            allowlist = ALLOWLISTING;
+            for &c in &record.cores {
+                if let Some(tlb) = self.core_tlbs.get_mut(&c) {
+                    tlb.reset();
+                }
+            }
+        }
+        for &c in &record.cores {
+            self.core_owner[usize::from(c.0)] = None;
+            self.dma_banks.remove(&c);
+        }
+        self.ownership.release_owner(nf);
+        for pool in &mut self.pools {
+            pool.release_owner(nf);
+        }
+        let _ = self.rx_port.release_owner(nf);
+        let _ = self.tx_port.release_owner(nf);
+        self.rules.remove_target(nf);
+        self.free_region(record.region.0, record.region.1);
+        let latency = TeardownLatency {
+            allowlisting: allowlist,
+            scrub,
+        };
+        self.now += latency.total();
+        Ok(TeardownReceipt { latency })
+    }
+
+    // ------------------------------------------------------------------
+    // Packet path (§4.4)
+    // ------------------------------------------------------------------
+
+    /// The packet input module: classify and deliver one packet.
+    ///
+    /// Returns the receiving NF, or `None` if no rule matched (packet
+    /// dropped at the switch).
+    pub fn rx_packet(&mut self, pkt: &Packet) -> Result<Option<NfId>, SnicError> {
+        self.fail_if_crashed()?;
+        let Some(nf) = self.rules.classify(pkt) else {
+            return Ok(None);
+        };
+        let Some(record) = self.launched.get_mut(&nf) else {
+            return Ok(None);
+        };
+        let len = pkt.len() as u64;
+        if record.rx_bytes + len > record.pb_cap
+            || record.rx_queue.len() as u64 + 1 > record.pdb_slots
+        {
+            record.rx_dropped += 1;
+            return Ok(Some(nf));
+        }
+        // Copy the packet into DRAM: commodity → shared pool with
+        // metadata; S-NIC → the NF's private region (a ring at its top).
+        let base = match self.config.mode {
+            NicMode::Commodity => {
+                let (_, base) = self.allocator.alloc(&mut self.guard, nf, len, true)?;
+                base
+            }
+            NicMode::Snic => {
+                let (rbase, rlen) = record.region;
+                let ring_span = record.pb_cap.min(rlen / 2);
+                let ring_base = rbase + rlen - ring_span;
+                let aligned = len.div_ceil(64) * 64;
+                if record.ring_next + aligned > ring_span {
+                    record.ring_next = 0;
+                }
+                let b = ring_base + record.ring_next;
+                record.ring_next += aligned;
+                b
+            }
+        };
+        self.guard
+            .write_phys(Principal::TrustedHardware, base, &pkt.data)
+            .expect("packet buffer in bounds");
+        let record = self.launched.get_mut(&nf).expect("checked above");
+        record.rx_bytes += len;
+        record.rx_queue.push_back((base, pkt.len() as u32));
+        Ok(Some(nf))
+    }
+
+    /// The NF polls its next packet; bytes are read back from DRAM, so
+    /// any tampering that happened while the packet sat in the buffer is
+    /// visible to the function (this is how the §3.3 corruption attack
+    /// bites).
+    pub fn poll_packet(&mut self, nf: NfId) -> Result<Option<Packet>, SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        let Some((base, len)) = record.rx_queue.pop_front() else {
+            return Ok(None);
+        };
+        record.rx_bytes -= u64::from(len);
+        record.rx_delivered += 1;
+        let mut buf = vec![0u8; len as usize];
+        self.guard
+            .read_phys(Principal::TrustedHardware, base, &mut buf)
+            .expect("in bounds");
+        Ok(Some(Packet::from_bytes(bytes::Bytes::from(buf))))
+    }
+
+    /// The NF hands a packet to the output module.
+    pub fn tx_packet(&mut self, nf: NfId, pkt: Packet) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        record.tx_sent += 1;
+        self.tx_wire.push_back(pkt);
+        Ok(())
+    }
+
+    /// Drain one packet from the wire side.
+    pub fn wire_pop(&mut self) -> Option<Packet> {
+        self.tx_wire.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access paths
+    // ------------------------------------------------------------------
+
+    /// Physical read as `who` (the commodity `xkphys` path; under S-NIC
+    /// this fails for NFs and is denylist-checked for management).
+    pub fn mem_read(&self, who: Principal, addr: u64, out: &mut [u8]) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        self.guard.read_phys(who, addr, out)
+    }
+
+    /// Physical write as `who`.
+    pub fn mem_write(&mut self, who: Principal, addr: u64, data: &[u8]) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        self.guard.write_phys(who, addr, data)
+    }
+
+    /// Virtual read through an NF core's locked TLB (the S-NIC path).
+    pub fn nf_read(
+        &self,
+        nf: NfId,
+        core: CoreId,
+        va: u64,
+        out: &mut [u8],
+    ) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.cores.contains(&core) {
+            return Err(SnicError::InvalidConfig(format!(
+                "{core} not bound to {nf}"
+            )));
+        }
+        let tlb = self
+            .core_tlbs
+            .get(&core)
+            .ok_or_else(|| SnicError::InvalidConfig("core has no TLB (commodity mode)".into()))?;
+        self.guard.read_virt(tlb, va, out)
+    }
+
+    /// Virtual write through an NF core's locked TLB.
+    pub fn nf_write(
+        &mut self,
+        nf: NfId,
+        core: CoreId,
+        va: u64,
+        data: &[u8],
+    ) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.cores.contains(&core) {
+            return Err(SnicError::InvalidConfig(format!(
+                "{core} not bound to {nf}"
+            )));
+        }
+        let tlb =
+            self.core_tlbs.get(&core).cloned().ok_or_else(|| {
+                SnicError::InvalidConfig("core has no TLB (commodity mode)".into())
+            })?;
+        self.guard.write_virt(&tlb, va, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Bus behaviour (§3.3 DoS / §4.5 arbitration)
+    // ------------------------------------------------------------------
+
+    /// Issue `ops` back-to-back bus operations from `nf` (the Agilio
+    /// `test_subsat` flood). On a commodity NIC, saturating the bus
+    /// hard-crashes the device; under S-NIC the temporal arbiter bounds
+    /// the NF to its own slots, so the flood only slows the attacker.
+    ///
+    /// Returns the simulated time the flood took.
+    pub fn bus_flood(&mut self, nf: NfId, ops: u64) -> Result<Picos, SnicError> {
+        self.fail_if_crashed()?;
+        if !self.launched.contains_key(&nf) {
+            return Err(SnicError::NoSuchNf(nf));
+        }
+        *self.bus_ops.entry(nf).or_default() += ops;
+        match self.config.mode {
+            NicMode::Commodity => {
+                if self.bus_ops[&nf] > self.config.bus_crash_threshold {
+                    self.crashed = true;
+                    return Err(SnicError::NicCrashed);
+                }
+                // Unarbitrated: each op takes one bus cycle.
+                Ok(Picos(ops * 1_000_000 / (self.config.clock_hz / 1_000_000)))
+            }
+            NicMode::Snic => {
+                // Temporal partitioning: the NF only owns 1/N of bus
+                // time, so the flood stretches by the domain count but
+                // can never saturate the shared bus.
+                let domains = self.launched.len().max(1) as u64;
+                Ok(Picos(
+                    ops * domains * 1_000_000 / (self.config.clock_hz / 1_000_000),
+                ))
+            }
+        }
+    }
+
+    /// Clusters bound to `nf` for `kind`.
+    pub fn clusters_of(&self, nf: NfId, kind: AccelKind) -> Vec<AccelClusterId> {
+        self.launched
+            .get(&nf)
+            .map(|r| r.accel.iter().filter(|c| c.kind == kind).copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Host DMA (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Host-side direct access to host RAM (the host OS writing its own
+    /// memory; no NIC involvement).
+    pub fn host_mem(&mut self) -> &mut PhysMem {
+        &mut self.host_mem
+    }
+
+    fn dma_bank(&mut self, nf: NfId, core: CoreId) -> Result<&mut DmaBank, SnicError> {
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.cores.contains(&core) {
+            return Err(SnicError::InvalidConfig(format!(
+                "{core} not bound to {nf}"
+            )));
+        }
+        self.dma_banks
+            .get_mut(&core)
+            .ok_or_else(|| SnicError::InvalidConfig("no DMA bank configured".into()))
+    }
+
+    /// DMA from the function's region (at `nic_off`) to host RAM.
+    pub fn dma_to_host(
+        &mut self,
+        nf: NfId,
+        core: CoreId,
+        nic_off: u64,
+        host_addr: u64,
+        len: u64,
+    ) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        let (base, _) = self
+            .launched
+            .get(&nf)
+            .ok_or(SnicError::NoSuchNf(nf))?
+            .region;
+        let nic_addr = base + nic_off;
+        self.dma_bank(nf, core)?
+            .validate(DmaDirection::NicToHost, nic_addr, host_addr, len)?;
+        let mut buf = vec![0u8; len as usize];
+        self.guard.raw_mem().read(nic_addr, &mut buf);
+        self.host_mem.write(host_addr, &buf);
+        Ok(())
+    }
+
+    /// DMA from host RAM into the function's region (at `nic_off`).
+    pub fn dma_from_host(
+        &mut self,
+        nf: NfId,
+        core: CoreId,
+        nic_off: u64,
+        host_addr: u64,
+        len: u64,
+    ) -> Result<(), SnicError> {
+        self.fail_if_crashed()?;
+        let (base, _) = self
+            .launched
+            .get(&nf)
+            .ok_or(SnicError::NoSuchNf(nf))?
+            .region;
+        let nic_addr = base + nic_off;
+        self.dma_bank(nf, core)?
+            .validate(DmaDirection::HostToNic, nic_addr, host_addr, len)?;
+        let mut buf = vec![0u8; len as usize];
+        self.host_mem.read(host_addr, &mut buf);
+        self.guard.raw_mem().write(nic_addr, &buf);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Attestation support (Appendix A)
+    // ------------------------------------------------------------------
+
+    /// The `nf_attest` instruction: sign `Hash(initial state) || context`
+    /// with the AK. The context carries the verifier nonce and DH
+    /// transcript; protocol logic lives in [`crate::attest`].
+    pub fn nf_attest(
+        &mut self,
+        nf: NfId,
+        context: &[u8],
+    ) -> Result<crate::attest::SignedStatement, SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        let mut statement = Vec::with_capacity(32 + context.len());
+        statement.extend_from_slice(&record.measurement);
+        statement.extend_from_slice(context);
+        let signature = self.ak.sign(&statement);
+        self.now += crate::instr::ATTEST_RSA + crate::instr::ATTEST_SHA;
+        Ok(crate::attest::SignedStatement {
+            measurement: record.measurement,
+            signature,
+            ak_endorsement: self.ak.endorsement.clone(),
+            ek_certificate: self.ek.certificate.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::NfImage;
+    use snic_pktio::rules::SwitchRule;
+    use snic_pktio::vpp::VppBufferSpec;
+    use snic_types::packet::PacketBuilder;
+    use snic_types::Protocol;
+
+    fn vendor() -> VendorCa {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        VendorCa::new(&mut rng)
+    }
+
+    fn snic() -> SmartNic {
+        SmartNic::new(NicConfig::small(NicMode::Snic), &vendor())
+    }
+
+    fn commodity() -> SmartNic {
+        SmartNic::new(NicConfig::small(NicMode::Commodity), &vendor())
+    }
+
+    fn req(core: u16, mem_mib: u64) -> LaunchRequest {
+        LaunchRequest::minimal(
+            CoreId(core),
+            ByteSize::mib(mem_mib),
+            NfImage {
+                code: vec![0xAA; 128],
+                config: vec![0xBB; 64],
+            },
+        )
+    }
+
+    fn req_with_rule(core: u16, mem_mib: u64, dst_port: u16) -> LaunchRequest {
+        let mut r = req(core, mem_mib);
+        r.rules.push(SwitchRule {
+            dst_port: snic_pktio::rules::RuleMatch::Exact(dst_port),
+            priority: 5,
+            ..SwitchRule::any(NfId(0))
+        });
+        r
+    }
+
+    fn pkt(dst_port: u16) -> Packet {
+        PacketBuilder::new(1, 2, Protocol::Udp, 1000, dst_port)
+            .payload(b"payload".to_vec())
+            .build()
+    }
+
+    #[test]
+    fn launch_assigns_unique_ids_and_cores() {
+        let mut nic = snic();
+        let a = nic.nf_launch(req(0, 4)).unwrap();
+        let b = nic.nf_launch(req(1, 4)).unwrap();
+        assert_ne!(a.nf_id, b.nf_id);
+        assert_eq!(nic.live_nfs(), 2);
+        // Core reuse rejected.
+        assert_eq!(
+            nic.nf_launch(req(0, 4)).unwrap_err(),
+            SnicError::CoreBusy(CoreId(0))
+        );
+    }
+
+    #[test]
+    fn launch_measurement_depends_on_image() {
+        let mut nic = snic();
+        let a = nic.nf_launch(req(0, 4)).unwrap();
+        let mut other = req(1, 4);
+        other.image.code[0] ^= 1;
+        let b = nic.nf_launch(other).unwrap();
+        assert_ne!(a.measurement, b.measurement);
+    }
+
+    #[test]
+    fn launch_latency_scales_with_memory() {
+        let mut nic = snic();
+        let small = nic.nf_launch(req(0, 4)).unwrap();
+        let big = nic.nf_launch(req(1, 64)).unwrap();
+        assert!(big.latency.sha_digest.0 > 10 * small.latency.sha_digest.0);
+        assert!(big.latency.total() > small.latency.total());
+        assert_eq!(small.latency.tlb_setup, TLB_SETUP);
+    }
+
+    #[test]
+    fn commodity_launch_skips_denylisting() {
+        let mut nic = commodity();
+        let r = nic.nf_launch(req(0, 4)).unwrap();
+        assert_eq!(r.latency.denylisting, Picos::ZERO);
+        let mut nic2 = snic();
+        let r2 = nic2.nf_launch(req(0, 4)).unwrap();
+        assert_eq!(r2.latency.denylisting, DENYLISTING);
+    }
+
+    #[test]
+    fn snic_nf_private_memory_via_tlb() {
+        let mut nic = snic();
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        nic.nf_write(id, CoreId(0), 0x1000, b"flow state").unwrap();
+        let mut buf = [0u8; 10];
+        nic.nf_read(id, CoreId(0), 0x1000, &mut buf).unwrap();
+        assert_eq!(&buf, b"flow state");
+        // Out-of-range virtual access is fatal (TLB miss).
+        assert!(nic.nf_read(id, CoreId(0), 64 << 20, &mut buf).is_err());
+        // A core not bound to the NF cannot use its mapping.
+        assert!(nic.nf_read(id, CoreId(1), 0x1000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn snic_blocks_cross_nf_physical_access() {
+        let mut nic = snic();
+        let victim = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        let attacker = nic.nf_launch(req(1, 4)).unwrap().nf_id;
+        nic.nf_write(victim, CoreId(0), 0, b"secret").unwrap();
+        let (vbase, _) = nic.record_of(victim).unwrap().region;
+        let mut buf = [0u8; 6];
+        // Attacker NF: no physical addressing at all under S-NIC.
+        let err = nic
+            .mem_read(Principal::Nf(attacker, CoreId(1)), vbase, &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, SnicError::Isolation(_)));
+        // Management core: denylisted.
+        let err = nic
+            .mem_read(Principal::Management, vbase, &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, SnicError::Isolation(_)));
+    }
+
+    #[test]
+    fn commodity_allows_cross_nf_physical_access() {
+        let mut nic = commodity();
+        let victim = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        let attacker = nic.nf_launch(req(1, 4)).unwrap().nf_id;
+        let vbase = nic.record_of(victim).unwrap().image_base;
+        let mut buf = [0u8; 128];
+        nic.mem_read(Principal::Nf(attacker, CoreId(1)), vbase, &mut buf)
+            .unwrap();
+        assert_eq!(buf[0], 0xAA, "attacker read the victim's code image");
+    }
+
+    #[test]
+    fn teardown_scrubs_and_releases() {
+        let mut nic = snic();
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        nic.nf_write(id, CoreId(0), 0x100, b"sensitive").unwrap();
+        let (base, _) = nic.record_of(id).unwrap().region;
+        let receipt = nic.nf_teardown(id).unwrap();
+        assert!(receipt.latency.scrub > Picos::ZERO);
+        // The region is zero and no longer denylisted.
+        let mut buf = [0xffu8; 9];
+        nic.mem_read(Principal::Management, base + 0x100, &mut buf)
+            .unwrap();
+        assert_eq!(buf, [0u8; 9]);
+        // Core is reusable.
+        assert!(nic.nf_launch(req(0, 4)).is_ok());
+    }
+
+    #[test]
+    fn teardown_unknown_nf_fails() {
+        let mut nic = snic();
+        assert_eq!(
+            nic.nf_teardown(NfId(99)).unwrap_err(),
+            SnicError::NoSuchNf(NfId(99))
+        );
+    }
+
+    #[test]
+    fn packet_path_end_to_end() {
+        let mut nic = snic();
+        let id = nic.nf_launch(req_with_rule(0, 4, 8080)).unwrap().nf_id;
+        assert_eq!(nic.rx_packet(&pkt(8080)).unwrap(), Some(id));
+        assert_eq!(
+            nic.rx_packet(&pkt(9999)).unwrap(),
+            None,
+            "unmatched packet dropped"
+        );
+        let got = nic.poll_packet(id).unwrap().unwrap();
+        assert_eq!(got.udp().unwrap().dst_port, 8080);
+        assert_eq!(got.payload(), b"payload");
+        assert!(nic.poll_packet(id).unwrap().is_none());
+        nic.tx_packet(id, got).unwrap();
+        assert!(nic.wire_pop().is_some());
+    }
+
+    #[test]
+    fn vpp_capacity_enforced() {
+        let mut nic = snic();
+        let mut r = req_with_rule(0, 4, 80);
+        r.vpp = VppBufferSpec {
+            pb: ByteSize(256),
+            pdb: ByteSize(64),
+            odb: ByteSize::kib(1),
+        };
+        let id = nic.nf_launch(r).unwrap().nf_id;
+        // pdb 64 bytes = 2 descriptors.
+        assert_eq!(nic.rx_packet(&pkt(80)).unwrap(), Some(id));
+        assert_eq!(nic.rx_packet(&pkt(80)).unwrap(), Some(id));
+        assert_eq!(nic.rx_packet(&pkt(80)).unwrap(), Some(id));
+        assert_eq!(nic.record_of(id).unwrap().rx_dropped, 1);
+    }
+
+    #[test]
+    fn bus_flood_crashes_commodity_only() {
+        let mut commodity_nic = commodity();
+        let a = commodity_nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        assert_eq!(
+            commodity_nic.bus_flood(a, 100_000_000).unwrap_err(),
+            SnicError::NicCrashed
+        );
+        assert!(commodity_nic.is_crashed());
+        // Everything now fails until a power cycle.
+        assert_eq!(
+            commodity_nic.rx_packet(&pkt(80)).unwrap_err(),
+            SnicError::NicCrashed
+        );
+        commodity_nic.power_cycle();
+        assert!(!commodity_nic.is_crashed());
+        assert_eq!(commodity_nic.live_nfs(), 0, "power cycle loses all NFs");
+
+        let mut snic_nic = snic();
+        let b = snic_nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        let t = snic_nic.bus_flood(b, 100_000_000).unwrap();
+        assert!(!snic_nic.is_crashed());
+        assert!(t > Picos::ZERO);
+    }
+
+    #[test]
+    fn accel_clusters_allocated_and_released() {
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.accel = vec![(AccelKind::Dpi, 2), (AccelKind::Zip, 1)];
+        let id = nic.nf_launch(r).unwrap().nf_id;
+        assert_eq!(nic.clusters_of(id, AccelKind::Dpi).len(), 2);
+        assert_eq!(nic.clusters_of(id, AccelKind::Zip).len(), 1);
+        // Exhaustion fails atomically.
+        let mut r2 = req(1, 4);
+        r2.accel = vec![(AccelKind::Dpi, 100)];
+        assert!(nic.nf_launch(r2).is_err());
+        // The failed launch did not leak cores or clusters.
+        assert!(nic.nf_launch(req(1, 4)).is_ok());
+        nic.nf_teardown(id).unwrap();
+        assert_eq!(nic.clusters_of(id, AccelKind::Dpi).len(), 0);
+    }
+
+    #[test]
+    fn attest_signs_measurement_with_chain() {
+        let v = vendor();
+        let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &v);
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        let stmt = nic.nf_attest(id, b"nonce+dh").unwrap();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&stmt.measurement);
+        expected.extend_from_slice(b"nonce+dh");
+        assert!(snic_crypto::keys::verify_chain(
+            v.public(),
+            &stmt.ek_certificate,
+            &stmt.ak_endorsement,
+            &expected,
+            &stmt.signature,
+        ));
+    }
+
+    #[test]
+    fn zero_core_and_zero_memory_rejected() {
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.cores.clear();
+        assert!(matches!(
+            nic.nf_launch(r).unwrap_err(),
+            SnicError::InvalidConfig(_)
+        ));
+        let r2 = LaunchRequest::minimal(CoreId(0), ByteSize::ZERO, NfImage::default());
+        assert!(matches!(
+            nic.nf_launch(r2).unwrap_err(),
+            SnicError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn dma_round_trip_within_windows() {
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.host_window = Some((0x1000_0000, 0x10_000));
+        let id = nic.nf_launch(r).unwrap().nf_id;
+        // Host stages data; the NF pulls it in, transforms, pushes back.
+        nic.host_mem().write(0x1000_0000, b"host payload");
+        nic.dma_from_host(id, CoreId(0), 0x100, 0x1000_0000, 12)
+            .unwrap();
+        let mut buf = [0u8; 12];
+        nic.nf_read(id, CoreId(0), 0x100, &mut buf).unwrap();
+        assert_eq!(&buf, b"host payload");
+        nic.nf_write(id, CoreId(0), 0x200, b"nic answer!!").unwrap();
+        nic.dma_to_host(id, CoreId(0), 0x200, 0x1000_0100, 12)
+            .unwrap();
+        let mut hbuf = [0u8; 12];
+        nic.host_mem().read(0x1000_0100, &mut hbuf);
+        assert_eq!(&hbuf, b"nic answer!!");
+    }
+
+    #[test]
+    fn dma_outside_host_window_rejected() {
+        use snic_types::IsolationError;
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.host_window = Some((0x1000_0000, 0x1000));
+        let id = nic.nf_launch(r).unwrap().nf_id;
+        // Target beyond the sanctioned host window: the §4.2 property
+        // that a function cannot aim DMA at arbitrary host memory.
+        let err = nic
+            .dma_to_host(id, CoreId(0), 0, 0x2000_0000, 64)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnicError::Isolation(IsolationError::DmaViolation { .. })
+        ));
+        // And beyond its own region on the NIC side.
+        let err = nic
+            .dma_to_host(id, CoreId(0), 64 << 20, 0x1000_0000, 64)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnicError::Isolation(IsolationError::DmaViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dma_requires_a_configured_bank_and_owned_core() {
+        let mut nic = snic();
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id; // No host window.
+        assert!(nic.dma_to_host(id, CoreId(0), 0, 0x1000_0000, 8).is_err());
+        let mut r = req(1, 4);
+        r.host_window = Some((0x1000_0000, 0x1000));
+        let other = nic.nf_launch(r).unwrap().nf_id;
+        // NF `id` cannot use `other`'s bank on core 1.
+        assert!(nic.dma_to_host(id, CoreId(1), 0, 0x1000_0000, 8).is_err());
+        let _ = other;
+    }
+}

@@ -1,0 +1,129 @@
+//! Host-level secure computations (SGX-enclave-like endpoints).
+//!
+//! §4.7: "If P runs atop trusted hardware as well (e.g., because P
+//! resides within an SGX enclave or a TrustZone secure world), F can now
+//! ask P to attest to F." The paper treats enclaves as opaque attestable
+//! endpoints; this model gives them the same measurement-plus-signature
+//! shape as NFs, rooted in a (distinct) host-CPU vendor CA.
+
+use rand::Rng;
+use snic_crypto::bigint::BigUint;
+use snic_crypto::dh::{DhKeyPair, DhParams};
+use snic_crypto::keys::{AttestationKey, Certificate, EndorsementKey, VendorCa};
+use snic_crypto::rsa::RsaPublicKey;
+use snic_crypto::sha256::sha256;
+
+use crate::attest::AttestationQuote;
+
+/// A host-level enclave with attestable identity.
+pub struct HostEnclave {
+    /// Measurement of the enclave's initial code/data.
+    pub measurement: [u8; 32],
+    ak: AttestationKey,
+    ek_certificate: Certificate,
+}
+
+impl HostEnclave {
+    /// "Load" an enclave with the given initial image on a host whose CPU
+    /// was manufactured by `cpu_vendor`.
+    pub fn load<R: Rng + ?Sized>(rng: &mut R, cpu_vendor: &VendorCa, image: &[u8]) -> HostEnclave {
+        let ek = EndorsementKey::manufacture(rng, cpu_vendor);
+        let ak = AttestationKey::generate(rng, &ek);
+        HostEnclave {
+            measurement: sha256(image),
+            ak,
+            ek_certificate: ek.certificate.clone(),
+        }
+    }
+
+    /// The AK public key (for tests that verify directly).
+    pub fn ak_public(&self) -> &RsaPublicKey {
+        self.ak.public()
+    }
+
+    /// Produce an attestation quote for a verifier nonce, performing the
+    /// function side of the Appendix A exchange. Returns the quote plus
+    /// the DH state needed to finish key agreement.
+    pub fn respond<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        params: &DhParams,
+        nonce: [u8; 32],
+    ) -> (AttestationQuote, DhKeyPair) {
+        let keypair = DhKeyPair::generate(rng, params);
+        let context = transcript(&params.g, &params.p, &nonce, &keypair.public);
+        let mut statement = Vec::with_capacity(32 + context.len());
+        statement.extend_from_slice(&self.measurement);
+        statement.extend_from_slice(&context);
+        let signature = self.ak.sign(&statement);
+        (
+            AttestationQuote {
+                g: params.g.clone(),
+                p: params.p.clone(),
+                nonce,
+                dh_public: keypair.public.clone(),
+                measurement: self.measurement,
+                signature,
+                ak_endorsement: self.ak.endorsement.clone(),
+                ek_certificate: self.ek_certificate.clone(),
+            },
+            keypair,
+        )
+    }
+}
+
+/// Same transcript encoding as [`crate::attest`] (kept in sync so NF and
+/// enclave quotes verify identically).
+fn transcript(g: &BigUint, p: &BigUint, nonce: &[u8; 32], dh_public: &BigUint) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in [
+        g.to_be_bytes(),
+        p.to_be_bytes(),
+        nonce.to_vec(),
+        dh_public.to_be_bytes(),
+    ] {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        out.extend_from_slice(&part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::verify_quote;
+    use rand::SeedableRng;
+
+    #[test]
+    fn enclave_quote_verifies_against_cpu_vendor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let intel = VendorCa::new(&mut rng);
+        let enclave = HostEnclave::load(&mut rng, &intel, b"key manager enclave v2");
+        let params = DhParams::tiny_test_group();
+        let nonce = [7u8; 32];
+        let (quote, _) = enclave.respond(&mut rng, &params, nonce);
+        assert!(verify_quote(
+            intel.public(),
+            &enclave.measurement,
+            &nonce,
+            &quote
+        ));
+        // The NIC vendor's key does not verify a host enclave.
+        let nic_vendor = VendorCa::new(&mut rng);
+        assert!(!verify_quote(
+            nic_vendor.public(),
+            &enclave.measurement,
+            &nonce,
+            &quote
+        ));
+    }
+
+    #[test]
+    fn different_images_different_measurements() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let intel = VendorCa::new(&mut rng);
+        let a = HostEnclave::load(&mut rng, &intel, b"image-a");
+        let b = HostEnclave::load(&mut rng, &intel, b"image-b");
+        assert_ne!(a.measurement, b.measurement);
+    }
+}

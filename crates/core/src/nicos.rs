@@ -1,0 +1,117 @@
+//! The NIC OS management API (Table 1, first column).
+//!
+//! The NIC OS is *untrusted*: it orchestrates launches and teardowns by
+//! invoking the trusted instructions, but after `nf_launch` completes it
+//! "is no longer involved in the management of the hardware resources
+//! that are bound to a function" (§4.6). `NF_create` maps onto
+//! `nf_launch`, `NF_destroy` onto `nf_teardown`.
+
+use snic_types::{NfId, SnicError};
+
+use crate::device::SmartNic;
+use crate::instr::{LaunchReceipt, LaunchRequest, TeardownReceipt};
+
+/// The management-plane wrapper around a device.
+pub struct NicOs<'a> {
+    nic: &'a mut SmartNic,
+    created: Vec<NfId>,
+}
+
+impl<'a> NicOs<'a> {
+    /// Run the NIC OS on `nic`'s management core.
+    pub fn new(nic: &'a mut SmartNic) -> NicOs<'a> {
+        NicOs {
+            nic,
+            created: Vec::new(),
+        }
+    }
+
+    /// `NF_create(net_config, core_config, dpi_config, ...) → nf_id or
+    /// failure`: DMA the image to NIC RAM and invoke `nf_launch`.
+    pub fn nf_create(&mut self, request: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
+        let receipt = self.nic.nf_launch(request)?;
+        self.created.push(receipt.nf_id);
+        Ok(receipt)
+    }
+
+    /// `NF_destroy(nf_id) → success or failure`.
+    pub fn nf_destroy(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
+        let receipt = self.nic.nf_teardown(nf)?;
+        self.created.retain(|&id| id != nf);
+        Ok(receipt)
+    }
+
+    /// NFs this OS instance created and has not destroyed.
+    pub fn managed(&self) -> &[NfId] {
+        &self.created
+    }
+
+    /// The device (the OS also forwards host requests to it).
+    pub fn device(&mut self) -> &mut SmartNic {
+        self.nic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NicConfig, NicMode};
+    use crate::instr::NfImage;
+    use rand::SeedableRng;
+    use snic_crypto::keys::VendorCa;
+    use snic_mem::guard::Principal;
+    use snic_types::{ByteSize, CoreId};
+
+    fn nic() -> SmartNic {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        SmartNic::new(NicConfig::small(NicMode::Snic), &VendorCa::new(&mut rng))
+    }
+
+    #[test]
+    fn create_destroy_lifecycle() {
+        let mut device = nic();
+        let mut os = NicOs::new(&mut device);
+        let r = os
+            .nf_create(LaunchRequest::minimal(
+                CoreId(0),
+                ByteSize::mib(4),
+                NfImage::default(),
+            ))
+            .unwrap();
+        assert_eq!(os.managed(), &[r.nf_id]);
+        os.nf_destroy(r.nf_id).unwrap();
+        assert!(os.managed().is_empty());
+        assert!(os.nf_destroy(r.nf_id).is_err(), "double destroy fails");
+    }
+
+    #[test]
+    fn os_cannot_touch_function_memory_after_create() {
+        // The key §4.2 property: even the OS that created the function is
+        // locked out of its pages.
+        let mut device = nic();
+        let mut os = NicOs::new(&mut device);
+        let r = os
+            .nf_create(LaunchRequest::minimal(
+                CoreId(0),
+                ByteSize::mib(4),
+                NfImage {
+                    code: b"private".to_vec(),
+                    config: vec![],
+                },
+            ))
+            .unwrap();
+        let (base, _) = os.device().record_of(r.nf_id).unwrap().region;
+        let mut buf = [0u8; 7];
+        let err = os
+            .device()
+            .mem_read(Principal::Management, base, &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, SnicError::Isolation(_)));
+        // After destroy, the pages are scrubbed and accessible again.
+        os.nf_destroy(r.nf_id).unwrap();
+        os.device()
+            .mem_read(Principal::Management, base, &mut buf)
+            .unwrap();
+        assert_eq!(buf, [0u8; 7]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Aggregate S-NIC hardware overhead (the headline §5.2 numbers).
+//!
+//! §5.2 accumulates three TLB inventories against the 4-core A9 + 512-
+//! entry-TLB reference design:
+//!
+//! 1. programmable-core TLBs (512 entries × 4 cores): +3.19% area,
+//!    +4.45% power,
+//! 2. virtualized-accelerator TLB banks (DPI 54 + ZIP 70 + RAID 5
+//!    entries, 16 clusters each): "up to 4.2% more die area and 5.3% more
+//!    power",
+//! 3. VPP + DMA TLBs (3 and 2 entries, 12 units each): "1.5% increase in
+//!    chip area, and 1.7% additional power draw".
+//!
+//! Sum: +8.89% area, +11.45% power.
+
+use crate::tlb_model::{
+    tlb_area_mm2, tlb_power_w, CostEstimate, A9_QUAD_512TLB_AREA_MM2, A9_QUAD_512TLB_POWER_W,
+};
+
+/// One line of the overhead report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadLine {
+    /// Component name.
+    pub component: &'static str,
+    /// Added silicon.
+    pub cost: CostEstimate,
+    /// Area increase relative to the reference design, percent.
+    pub area_pct: f64,
+    /// Power increase relative to the reference design, percent.
+    pub power_pct: f64,
+}
+
+/// The full S-NIC overhead report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Per-component lines.
+    pub lines: Vec<OverheadLine>,
+}
+
+impl OverheadReport {
+    /// Total added area, percent of the reference design.
+    pub fn total_area_pct(&self) -> f64 {
+        self.lines.iter().map(|l| l.area_pct).sum()
+    }
+
+    /// Total added power, percent of the reference design.
+    pub fn total_power_pct(&self) -> f64 {
+        self.lines.iter().map(|l| l.power_pct).sum()
+    }
+}
+
+/// Configuration of the S-NIC inventory being costed.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadConfig {
+    /// Programmable cores (each gets a private TLB).
+    pub cores: u64,
+    /// TLB entries per programmable core.
+    pub core_tlb_entries: u64,
+    /// Clusters per accelerator family.
+    pub accel_clusters: u64,
+    /// VPP/vDMA units.
+    pub vpp_units: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        // The paper's worst-case accounting: 4 cores with 1024 MB/core
+        // (512-entry) TLBs, 16 clusters per accelerator, 12 VPP/vDMA.
+        OverheadConfig {
+            cores: 4,
+            core_tlb_entries: 512,
+            accel_clusters: 16,
+            vpp_units: 12,
+        }
+    }
+}
+
+/// Per-cluster TLB bank sizes (Table 3 / Table 7, 2 MB pages).
+pub const DPI_BANK_ENTRIES: u64 = 54;
+/// ZIP cluster bank size.
+pub const ZIP_BANK_ENTRIES: u64 = 70;
+/// RAID cluster bank size.
+pub const RAID_BANK_ENTRIES: u64 = 5;
+/// VPP scheduler bank size (Table 4).
+pub const VPP_BANK_ENTRIES: u64 = 3;
+/// DMA bank size (Table 4; the paper notes 2 entries cost the same as 3
+/// in McPAT, so we cost it at 3).
+pub const DMA_BANK_ENTRIES: u64 = 3;
+
+/// Compute the S-NIC overhead report for `config`.
+pub fn snic_overhead(config: &OverheadConfig) -> OverheadReport {
+    let ref_area = A9_QUAD_512TLB_AREA_MM2;
+    let ref_power = A9_QUAD_512TLB_POWER_W;
+    let line = |component, cost: CostEstimate| OverheadLine {
+        component,
+        area_pct: cost.area_mm2 / ref_area * 100.0,
+        power_pct: cost.power_w / ref_power * 100.0,
+        cost,
+    };
+
+    let cores = CostEstimate::tlbs(config.core_tlb_entries, config.cores);
+    let accel = CostEstimate {
+        area_mm2: (tlb_area_mm2(DPI_BANK_ENTRIES)
+            + tlb_area_mm2(ZIP_BANK_ENTRIES)
+            + tlb_area_mm2(RAID_BANK_ENTRIES))
+            * config.accel_clusters as f64,
+        power_w: (tlb_power_w(DPI_BANK_ENTRIES)
+            + tlb_power_w(ZIP_BANK_ENTRIES)
+            + tlb_power_w(RAID_BANK_ENTRIES))
+            * config.accel_clusters as f64,
+    };
+    let vpp_dma = CostEstimate {
+        area_mm2: (tlb_area_mm2(VPP_BANK_ENTRIES) + tlb_area_mm2(DMA_BANK_ENTRIES))
+            * config.vpp_units as f64,
+        power_w: (tlb_power_w(VPP_BANK_ENTRIES) + tlb_power_w(DMA_BANK_ENTRIES))
+            * config.vpp_units as f64,
+    };
+
+    OverheadReport {
+        lines: vec![
+            line("programmable-core TLBs", cores),
+            line("accelerator TLB banks", accel),
+            line("VPP + DMA TLB banks", vpp_dma),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_area_near_8_89_percent() {
+        let r = snic_overhead(&OverheadConfig::default());
+        let total = r.total_area_pct();
+        assert!(
+            (total - 8.89).abs() < 0.9,
+            "total area overhead {total:.2}%"
+        );
+    }
+
+    #[test]
+    fn headline_power_near_11_45_percent() {
+        let r = snic_overhead(&OverheadConfig::default());
+        let total = r.total_power_pct();
+        assert!(
+            (total - 11.45).abs() < 1.2,
+            "total power overhead {total:.2}%"
+        );
+    }
+
+    #[test]
+    fn component_breakdown_matches_paper_sections() {
+        let r = snic_overhead(&OverheadConfig::default());
+        // Cores: 3.19% area / 4.45% power.
+        assert!(
+            (r.lines[0].area_pct - 3.19).abs() < 0.35,
+            "{:?}",
+            r.lines[0]
+        );
+        assert!(
+            (r.lines[0].power_pct - 4.45).abs() < 0.5,
+            "{:?}",
+            r.lines[0]
+        );
+        // Accelerators: ~4.2% area / ~5.3% power.
+        assert!((r.lines[1].area_pct - 4.2).abs() < 0.5, "{:?}", r.lines[1]);
+        assert!((r.lines[1].power_pct - 5.3).abs() < 0.6, "{:?}", r.lines[1]);
+        // VPP/DMA: ~1.5% area / ~1.7% power.
+        assert!((r.lines[2].area_pct - 1.5).abs() < 0.3, "{:?}", r.lines[2]);
+        assert!((r.lines[2].power_pct - 1.7).abs() < 0.4, "{:?}", r.lines[2]);
+    }
+
+    #[test]
+    fn overhead_scales_with_inventory() {
+        let small = snic_overhead(&OverheadConfig {
+            accel_clusters: 4,
+            ..Default::default()
+        });
+        let big = snic_overhead(&OverheadConfig::default());
+        assert!(small.total_area_pct() < big.total_area_pct());
+    }
+
+    #[test]
+    fn smaller_core_tlbs_cost_less() {
+        let flex = snic_overhead(&OverheadConfig {
+            core_tlb_entries: 13,
+            ..Default::default()
+        });
+        let equal = snic_overhead(&OverheadConfig::default());
+        assert!(flex.lines[0].area_pct < equal.lines[0].area_pct / 5.0);
+    }
+}

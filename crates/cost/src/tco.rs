@@ -1,0 +1,179 @@
+//! Three-year total-cost-of-ownership analysis (§5.2).
+//!
+//! Reproduces the paper's arithmetic exactly: per-core TCO of a 12-core
+//! LiquidIO ($420, 24.7 W) vs a 12-core Xeon E5-2680 v3 ($1745, 113 W)
+//! at $0.0733/kWh over three years; S-NIC inflates the NIC's purchase
+//! price by its area overhead and its power draw by its power overhead.
+//! The "TCO advantage" is the host/NIC per-core cost ratio; S-NIC
+//! decreases it by ≈ 8.37%, i.e. preserves ≈ 91.6% of the benefit.
+
+/// Inputs for a TCO comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct TcoInputs {
+    /// NIC purchase cost, USD.
+    pub nic_price: f64,
+    /// NIC peak power, W.
+    pub nic_power_w: f64,
+    /// NIC core count.
+    pub nic_cores: u32,
+    /// Host CPU purchase cost, USD.
+    pub host_price: f64,
+    /// Host CPU peak power, W.
+    pub host_power_w: f64,
+    /// Host CPU core count.
+    pub host_cores: u32,
+    /// Electricity price, USD per kWh.
+    pub usd_per_kwh: f64,
+    /// Amortization horizon in years.
+    pub years: f64,
+    /// S-NIC area overhead (fraction, e.g. 0.0889).
+    pub snic_area_overhead: f64,
+    /// S-NIC power overhead (fraction, e.g. 0.1145).
+    pub snic_power_overhead: f64,
+}
+
+impl Default for TcoInputs {
+    fn default() -> Self {
+        TcoInputs {
+            nic_price: 420.0,
+            nic_power_w: 24.7,
+            nic_cores: 12,
+            host_price: 1745.0,
+            host_power_w: 113.0,
+            host_cores: 12,
+            usd_per_kwh: 0.0733,
+            years: 3.0,
+            snic_area_overhead: 0.0889,
+            snic_power_overhead: 0.1145,
+        }
+    }
+}
+
+/// The TCO comparison output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoReport {
+    /// Commodity NIC per-core TCO, USD.
+    pub nic_per_core: f64,
+    /// Host per-core TCO, USD.
+    pub host_per_core: f64,
+    /// S-NIC per-core TCO, USD.
+    pub snic_per_core: f64,
+    /// Host/NIC cost ratio before S-NIC.
+    pub advantage_before: f64,
+    /// Host/NIC cost ratio with S-NIC.
+    pub advantage_after: f64,
+    /// Fractional decrease in the advantage (the paper's 8.37%).
+    pub advantage_decrease: f64,
+}
+
+/// Energy cost of running `power_w` watts for `years` years.
+fn energy_cost(power_w: f64, years: f64, usd_per_kwh: f64) -> f64 {
+    power_w / 1000.0 * 24.0 * 365.0 * years * usd_per_kwh
+}
+
+/// Compute the TCO report.
+pub fn tco_report(inputs: &TcoInputs) -> TcoReport {
+    let nic_total =
+        inputs.nic_price + energy_cost(inputs.nic_power_w, inputs.years, inputs.usd_per_kwh);
+    let host_total =
+        inputs.host_price + energy_cost(inputs.host_power_w, inputs.years, inputs.usd_per_kwh);
+    // S-NIC: purchase scales with die area; energy with power draw.
+    let snic_total = inputs.nic_price * (1.0 + inputs.snic_area_overhead)
+        + energy_cost(
+            inputs.nic_power_w * (1.0 + inputs.snic_power_overhead),
+            inputs.years,
+            inputs.usd_per_kwh,
+        );
+
+    let nic_per_core = nic_total / f64::from(inputs.nic_cores);
+    let host_per_core = host_total / f64::from(inputs.host_cores);
+    let snic_per_core = snic_total / f64::from(inputs.nic_cores);
+    let advantage_before = host_per_core / nic_per_core;
+    let advantage_after = host_per_core / snic_per_core;
+    TcoReport {
+        nic_per_core,
+        host_per_core,
+        snic_per_core,
+        advantage_before,
+        advantage_after,
+        advantage_decrease: (advantage_before - advantage_after) / advantage_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_tcos_match_paper() {
+        let r = tco_report(&TcoInputs::default());
+        assert!(
+            (r.nic_per_core - 38.97).abs() < 0.05,
+            "NIC {:.2}",
+            r.nic_per_core
+        );
+        assert!(
+            (r.host_per_core - 163.56).abs() < 0.10,
+            "host {:.2}",
+            r.host_per_core
+        );
+        assert!(
+            (r.snic_per_core - 42.53).abs() < 0.10,
+            "S-NIC {:.2}",
+            r.snic_per_core
+        );
+    }
+
+    #[test]
+    fn advantage_decrease_matches_8_37_percent() {
+        let r = tco_report(&TcoInputs::default());
+        assert!(
+            (r.advantage_decrease - 0.0837).abs() < 0.002,
+            "decrease {:.4}",
+            r.advantage_decrease
+        );
+        // Preserved benefit: ≈ 91.6%.
+        assert!((1.0 - r.advantage_decrease - 0.916).abs() < 0.003);
+    }
+
+    #[test]
+    fn offloading_still_wins_with_snic() {
+        let r = tco_report(&TcoInputs::default());
+        assert!(
+            r.advantage_after > 3.0,
+            "S-NIC must preserve most of the TCO benefit"
+        );
+        assert!(r.snic_per_core > r.nic_per_core);
+        assert!(r.snic_per_core < r.host_per_core);
+    }
+
+    #[test]
+    fn zero_overhead_means_no_decrease() {
+        let r = tco_report(&TcoInputs {
+            snic_area_overhead: 0.0,
+            snic_power_overhead: 0.0,
+            ..TcoInputs::default()
+        });
+        assert!(r.advantage_decrease.abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_cost_sanity() {
+        // 1 kW for one year at $0.10/kWh = $876.
+        assert!((energy_cost(1000.0, 1.0, 0.10) - 876.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn electricity_price_sensitivity() {
+        // Cheaper power widens the NIC's advantage (NICs draw less).
+        let cheap = tco_report(&TcoInputs {
+            usd_per_kwh: 0.01,
+            ..TcoInputs::default()
+        });
+        let pricey = tco_report(&TcoInputs {
+            usd_per_kwh: 0.30,
+            ..TcoInputs::default()
+        });
+        assert!(cheap.advantage_before < pricey.advantage_before);
+    }
+}

@@ -1,0 +1,43 @@
+//! Microbenchmark for prime generation and RSA keygen (diagnostic).
+use rand::SeedableRng;
+use snic_crypto::bigint::BigUint;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Raw modpow speed.
+    let t = Instant::now();
+    let base = BigUint::from_u64(3);
+    let m = BigUint::one().shl(255).add(&BigUint::from_u64(19));
+    let e = m.sub(&BigUint::from_u64(1));
+    for _ in 0..10 {
+        let _ = base.modpow(&e, &m);
+    }
+    println!("10x 256-bit modpow: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let mut count = 0u32;
+    // Count candidates examined in one prime search.
+    let p = BigUint::gen_prime(&mut rng, 256);
+    count += 1;
+    println!(
+        "256-bit prime ({} bits) in {:?} (count {count})",
+        p.bits(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let p = BigUint::gen_prime(&mut rng, 384);
+    println!("384-bit prime ({} bits) in {:?}", p.bits(), t.elapsed());
+
+    let t = Instant::now();
+    let kp = snic_crypto::rsa::RsaKeyPair::generate(&mut rng, 512);
+    println!("512-bit RSA keypair in {:?}", t.elapsed());
+    let t = Instant::now();
+    let sig = kp.sign(b"m");
+    println!(
+        "sign: {:?} verify-ok={}",
+        t.elapsed(),
+        kp.public.verify(b"m", &sig)
+    );
+}

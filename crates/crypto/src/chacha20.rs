@@ -1,0 +1,157 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used to encrypt constellation traffic (§4.7): once two attested
+//! endpoints share a symmetric key, packets between them are encrypted so
+//! the datacenter operator snooping the NIC/host bus learns nothing.
+
+/// ChaCha20 keystream generator / stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+impl ChaCha20 {
+    /// Create a cipher from a 256-bit key and 96-bit nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> ChaCha20 {
+        let mut k = [0u32; 8];
+        for (i, c) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        let mut n = [0u32; 3];
+        for (i, c) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Generate the 64-byte keystream block for the given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        // "expand 32-byte k" constants.
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter,
+            self.nonce[0],
+            self.nonce[1],
+            self.nonce[2],
+        ];
+        let initial = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut state, 0, 4, 8, 12);
+            quarter(&mut state, 1, 5, 9, 13);
+            quarter(&mut state, 2, 6, 10, 14);
+            quarter(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut state, 0, 5, 10, 15);
+            quarter(&mut state, 1, 6, 11, 12);
+            quarter(&mut state, 2, 7, 8, 13);
+            quarter(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR `data` in place with the keystream starting at block `counter`.
+    ///
+    /// Encryption and decryption are the same operation.
+    pub fn apply(&self, counter: u32, data: &mut [u8]) {
+        for (blk_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(counter.wrapping_add(blk_idx as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&rfc_key(), &nonce);
+        let block = cipher.block(1);
+        assert_eq!(
+            &block[..8],
+            &[0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15]
+        );
+        assert_eq!(
+            &block[56..],
+            &[0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e]
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&rfc_key(), &nonce);
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        cipher.apply(1, &mut data);
+        assert_eq!(
+            &data[..8],
+            &[0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80]
+        );
+        assert_eq!(data[data.len() - 1], 0x4d);
+    }
+
+    #[test]
+    fn apply_is_involution() {
+        let cipher = ChaCha20::new(&[7u8; 32], &[3u8; 12]);
+        let original: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+        let mut data = original.clone();
+        cipher.apply(0, &mut data);
+        assert_ne!(data, original);
+        cipher.apply(0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let c1 = ChaCha20::new(&[1u8; 32], &[0u8; 12]);
+        let c2 = ChaCha20::new(&[1u8; 32], &[1u8; 12]);
+        assert_ne!(c1.block(0), c2.block(0));
+    }
+}

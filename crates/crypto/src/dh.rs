@@ -1,0 +1,149 @@
+//! Finite-field Diffie–Hellman (Appendix A of the paper).
+//!
+//! The attestation protocol is "based on the classic Diffie–Hellman
+//! exchange": the function contributes `g^x mod p`, the verifier
+//! contributes `g^y mod p`, and both derive the session key from
+//! `g^(xy) mod p`. We use the RFC 3526 group 14 (2048-bit MODP) parameters
+//! by default; tests use a smaller group for speed.
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::sha256::sha256;
+
+/// RFC 3526 group 14: 2048-bit MODP prime (generator 2).
+const MODP_2048: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+/// Diffie–Hellman group parameters `(g, p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhParams {
+    /// Generator.
+    pub g: BigUint,
+    /// Prime modulus.
+    pub p: BigUint,
+}
+
+impl DhParams {
+    /// The RFC 3526 2048-bit MODP group with generator 2.
+    pub fn rfc3526_group14() -> DhParams {
+        DhParams {
+            g: BigUint::from_u64(2),
+            p: BigUint::from_hex(MODP_2048),
+        }
+    }
+
+    /// A small (insecure) test group for fast unit tests: p = 2^89-1 is not
+    /// prime, so instead we use the 61-bit Mersenne prime 2^61-1 with
+    /// generator 3.
+    pub fn tiny_test_group() -> DhParams {
+        DhParams {
+            g: BigUint::from_u64(3),
+            p: BigUint::from_u64((1u64 << 61) - 1),
+        }
+    }
+}
+
+/// One party's ephemeral Diffie–Hellman key pair.
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    params: DhParams,
+    secret: BigUint,
+    /// The public value `g^x mod p` sent to the peer.
+    pub public: BigUint,
+}
+
+impl DhKeyPair {
+    /// Generate an ephemeral key pair over `params`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, params: &DhParams) -> DhKeyPair {
+        // Secret exponent in [2, p-2].
+        let two = BigUint::from_u64(2);
+        let bound = params.p.sub(&BigUint::from_u64(3));
+        let secret = BigUint::random_below(rng, &bound).add(&two);
+        let public = params.g.modpow(&secret, &params.p);
+        DhKeyPair {
+            params: params.clone(),
+            secret,
+            public,
+        }
+    }
+
+    /// Compute the shared secret `peer_public^x mod p`.
+    pub fn shared_secret(&self, peer_public: &BigUint) -> BigUint {
+        peer_public.modpow(&self.secret, &self.params.p)
+    }
+
+    /// Derive a 256-bit symmetric session key from the shared secret,
+    /// bound to both parties' transcripts via the supplied context bytes.
+    pub fn session_key(&self, peer_public: &BigUint, context: &[u8]) -> [u8; 32] {
+        let mut material = self.shared_secret(peer_public).to_be_bytes();
+        material.extend_from_slice(context);
+        sha256(&material)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group14_parameters_sane() {
+        let params = DhParams::rfc3526_group14();
+        assert_eq!(params.p.bits(), 2048);
+        assert!(!params.p.is_even());
+        assert_eq!(params.g, BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn exchange_agrees_tiny_group() {
+        let params = DhParams::tiny_test_group();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let alice = DhKeyPair::generate(&mut rng, &params);
+        let bob = DhKeyPair::generate(&mut rng, &params);
+        assert_eq!(
+            alice.shared_secret(&bob.public),
+            bob.shared_secret(&alice.public)
+        );
+        assert_eq!(
+            alice.session_key(&bob.public, b"ctx"),
+            bob.session_key(&alice.public, b"ctx")
+        );
+        assert_ne!(
+            alice.session_key(&bob.public, b"ctx"),
+            alice.session_key(&bob.public, b"other"),
+        );
+    }
+
+    #[test]
+    fn exchange_agrees_group14() {
+        let params = DhParams::rfc3526_group14();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let alice = DhKeyPair::generate(&mut rng, &params);
+        let bob = DhKeyPair::generate(&mut rng, &params);
+        let k1 = alice.shared_secret(&bob.public);
+        let k2 = bob.shared_secret(&alice.public);
+        assert_eq!(k1, k2);
+        assert!(
+            k1.bits() > 1000,
+            "shared secret should be a large group element"
+        );
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_secrets() {
+        let params = DhParams::tiny_test_group();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = DhKeyPair::generate(&mut rng, &params);
+        let b = DhKeyPair::generate(&mut rng, &params);
+        let c = DhKeyPair::generate(&mut rng, &params);
+        assert_ne!(a.shared_secret(&b.public), a.shared_secret(&c.public));
+    }
+}

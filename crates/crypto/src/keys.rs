@@ -1,0 +1,210 @@
+//! The S-NIC key hierarchy (Appendix A).
+//!
+//! At manufacturing time the NIC receives an *endorsement key* pair (EK)
+//! whose public half is certified by the NIC vendor. After each reboot the
+//! NIC generates a fresh *attestation key* pair (AK), stores the private
+//! half in a private on-NIC register, and signs the public half with the
+//! EK. Attestation statements are signed with the AK; verifiers walk the
+//! chain AK → EK → vendor certificate.
+
+use rand::Rng;
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+
+/// Key size (bits) used for the simulated hierarchy. Small enough that key
+/// generation inside tests is fast; large enough for PKCS#1 padding.
+pub const SIM_KEY_BITS: usize = 768;
+
+/// The NIC vendor's certificate authority.
+#[derive(Debug, Clone)]
+pub struct VendorCa {
+    keypair: RsaKeyPair,
+}
+
+/// A certificate: a public key plus the issuer's signature over it.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The certified public key.
+    pub subject: RsaPublicKey,
+    /// Issuer signature over [`RsaPublicKey::to_bytes`] of the subject.
+    pub signature: RsaSignature,
+}
+
+impl VendorCa {
+    /// Create a vendor CA with a fresh key pair.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> VendorCa {
+        VendorCa {
+            keypair: RsaKeyPair::generate(rng, SIM_KEY_BITS),
+        }
+    }
+
+    /// The vendor's public verification key (distributed to all verifiers).
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.keypair.public
+    }
+
+    /// Issue a certificate for `subject` (burned into a NIC at manufacture).
+    pub fn certify(&self, subject: &RsaPublicKey) -> Certificate {
+        Certificate {
+            subject: subject.clone(),
+            signature: self.keypair.sign(&subject.to_bytes()),
+        }
+    }
+}
+
+impl Certificate {
+    /// Check the certificate chain against the issuer's public key.
+    pub fn verify(&self, issuer: &RsaPublicKey) -> bool {
+        issuer.verify(&self.subject.to_bytes(), &self.signature)
+    }
+}
+
+/// The endorsement key pair burned into a NIC at manufacture.
+#[derive(Debug, Clone)]
+pub struct EndorsementKey {
+    keypair: RsaKeyPair,
+    /// Vendor certificate for the EK public half.
+    pub certificate: Certificate,
+}
+
+impl EndorsementKey {
+    /// Manufacture an EK and have the vendor certify it.
+    pub fn manufacture<R: Rng + ?Sized>(rng: &mut R, vendor: &VendorCa) -> EndorsementKey {
+        let keypair = RsaKeyPair::generate(rng, SIM_KEY_BITS);
+        let certificate = vendor.certify(&keypair.public);
+        EndorsementKey {
+            keypair,
+            certificate,
+        }
+    }
+
+    /// The EK public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.keypair.public
+    }
+
+    /// Endorse a freshly generated attestation key (done at NIC boot).
+    pub fn endorse(&self, ak_public: &RsaPublicKey) -> Certificate {
+        Certificate {
+            subject: ak_public.clone(),
+            signature: self.keypair.sign(&ak_public.to_bytes()),
+        }
+    }
+}
+
+/// The per-boot attestation key pair.
+#[derive(Debug, Clone)]
+pub struct AttestationKey {
+    keypair: RsaKeyPair,
+    /// EK endorsement of the AK public half.
+    pub endorsement: Certificate,
+}
+
+impl AttestationKey {
+    /// Generate an AK at NIC boot and endorse it with the EK.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, ek: &EndorsementKey) -> AttestationKey {
+        let keypair = RsaKeyPair::generate(rng, SIM_KEY_BITS);
+        let endorsement = ek.endorse(&keypair.public);
+        AttestationKey {
+            keypair,
+            endorsement,
+        }
+    }
+
+    /// The AK public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.keypair.public
+    }
+
+    /// Sign an attestation statement with the AK private half.
+    pub fn sign(&self, statement: &[u8]) -> RsaSignature {
+        self.keypair.sign(statement)
+    }
+}
+
+/// Verify a full attestation chain: vendor → EK cert → AK endorsement →
+/// statement signature.
+pub fn verify_chain(
+    vendor_public: &RsaPublicKey,
+    ek_certificate: &Certificate,
+    ak_endorsement: &Certificate,
+    statement: &[u8],
+    signature: &RsaSignature,
+) -> bool {
+    ek_certificate.verify(vendor_public)
+        && ak_endorsement.verify(&ek_certificate.subject)
+        && ak_endorsement.subject.verify(statement, signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn hierarchy() -> (VendorCa, EndorsementKey, AttestationKey) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let vendor = VendorCa::new(&mut rng);
+        let ek = EndorsementKey::manufacture(&mut rng, &vendor);
+        let ak = AttestationKey::generate(&mut rng, &ek);
+        (vendor, ek, ak)
+    }
+
+    #[test]
+    fn full_chain_verifies() {
+        let (vendor, ek, ak) = hierarchy();
+        let sig = ak.sign(b"hash-of-initial-state");
+        assert!(verify_chain(
+            vendor.public(),
+            &ek.certificate,
+            &ak.endorsement,
+            b"hash-of-initial-state",
+            &sig,
+        ));
+    }
+
+    #[test]
+    fn chain_rejects_wrong_vendor() {
+        let (_, ek, ak) = hierarchy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let other_vendor = VendorCa::new(&mut rng);
+        let sig = ak.sign(b"s");
+        assert!(!verify_chain(
+            other_vendor.public(),
+            &ek.certificate,
+            &ak.endorsement,
+            b"s",
+            &sig
+        ));
+    }
+
+    #[test]
+    fn chain_rejects_unendorsed_ak() {
+        let (vendor, ek, _) = hierarchy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        // An attacker-made AK endorsed by a different EK.
+        let rogue_vendor = VendorCa::new(&mut rng);
+        let rogue_ek = EndorsementKey::manufacture(&mut rng, &rogue_vendor);
+        let rogue_ak = AttestationKey::generate(&mut rng, &rogue_ek);
+        let sig = rogue_ak.sign(b"s");
+        assert!(!verify_chain(
+            vendor.public(),
+            &ek.certificate,
+            &rogue_ak.endorsement,
+            b"s",
+            &sig
+        ));
+    }
+
+    #[test]
+    fn chain_rejects_tampered_statement() {
+        let (vendor, ek, ak) = hierarchy();
+        let sig = ak.sign(b"original");
+        assert!(!verify_chain(
+            vendor.public(),
+            &ek.certificate,
+            &ak.endorsement,
+            b"tampered",
+            &sig
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulation-grade cryptography for the S-NIC reproduction.
+//!
+//! The attestation protocol in Appendix A of the paper needs a hash
+//! (SHA-256), a Diffie–Hellman exchange, and signatures from a NIC-resident
+//! key hierarchy (endorsement key → attestation key). The offline build
+//! environment provides no cryptography crates, so this crate implements
+//! the needed primitives from scratch:
+//!
+//! - [`sha256`]: FIPS 180-4 SHA-256 (with test vectors),
+//! - [`hmac`]: HMAC-SHA256 (RFC 2104),
+//! - [`chacha20`]: the RFC 8439 stream cipher used for constellation
+//!   channel encryption,
+//! - [`bigint`]: arbitrary-precision unsigned integers with Knuth
+//!   division, modular exponentiation, Miller–Rabin primality, and
+//!   modular inverse,
+//! - [`dh`]: finite-field Diffie–Hellman over the RFC 3526 2048-bit group,
+//! - [`rsa`]: textbook RSA signatures (used for the EK/AK chain),
+//! - [`keys`]: the endorsement/attestation key hierarchy of Appendix A.
+//!
+//! # Security disclaimer
+//!
+//! This is **simulation-grade** cryptography: primitives are implemented
+//! faithfully to their specifications and pass published test vectors, but
+//! no constant-time or side-channel hardening has been done, and RSA uses
+//! deterministic padding without randomization. Do not reuse outside the
+//! simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod chacha20;
+pub mod dh;
+pub mod hmac;
+pub mod keys;
+pub mod rsa;
+pub mod sha256;
+
+pub use bigint::BigUint;
+pub use chacha20::ChaCha20;
+pub use dh::{DhKeyPair, DhParams};
+pub use hmac::hmac_sha256;
+pub use keys::{AttestationKey, EndorsementKey, VendorCa};
+pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+pub use sha256::{sha256, Sha256};

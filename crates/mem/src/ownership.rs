@@ -1,0 +1,132 @@
+//! The trusted hardware's page-ownership tracking (§4.1).
+//!
+//! "The hardware maintains another bitmap which tracks which physical RAM
+//! pages have been allocated to a network function." `nf_launch` consults
+//! this structure to reject launches whose page table references pages
+//! already bound to a live function; `nf_teardown` releases them after
+//! scrubbing.
+
+use std::collections::HashMap;
+
+use snic_types::{ByteSize, NfId, SnicError};
+
+use crate::phys::PAGE_GRANULE;
+
+/// Page-granular ownership map over physical memory.
+#[derive(Debug, Default)]
+pub struct PageOwnership {
+    /// Granule index → owner.
+    owners: HashMap<u64, NfId>,
+}
+
+impl PageOwnership {
+    /// An empty map (all pages unowned, i.e. NIC-OS-accessible).
+    pub fn new() -> PageOwnership {
+        PageOwnership::default()
+    }
+
+    /// Claim `base..base+len` for `owner`.
+    ///
+    /// Fails with [`SnicError::PageOwned`] (naming the first conflicting
+    /// page and its owner) if any page is already claimed — even by the
+    /// same NF, since `nf_launch` walks each page exactly once.
+    pub fn claim(&mut self, base: u64, len: u64, owner: NfId) -> Result<(), SnicError> {
+        let first = base / PAGE_GRANULE;
+        let last = (base + len).div_ceil(PAGE_GRANULE);
+        for g in first..last {
+            if let Some(&existing) = self.owners.get(&g) {
+                return Err(SnicError::PageOwned {
+                    addr: g * PAGE_GRANULE,
+                    owner: existing,
+                });
+            }
+        }
+        for g in first..last {
+            self.owners.insert(g, owner);
+        }
+        Ok(())
+    }
+
+    /// Release every page owned by `owner`; returns the count released.
+    pub fn release_owner(&mut self, owner: NfId) -> usize {
+        let before = self.owners.len();
+        self.owners.retain(|_, &mut o| o != owner);
+        before - self.owners.len()
+    }
+
+    /// Owner of the page containing `addr`, if any.
+    pub fn owner_of(&self, addr: u64) -> Option<NfId> {
+        self.owners.get(&(addr / PAGE_GRANULE)).copied()
+    }
+
+    /// Total bytes currently owned by `owner`.
+    pub fn owned_bytes(&self, owner: NfId) -> ByteSize {
+        ByteSize(self.owners.values().filter(|&&o| o == owner).count() as u64 * PAGE_GRANULE)
+    }
+
+    /// Total bytes owned by any NF.
+    pub fn total_owned(&self) -> ByteSize {
+        ByteSize(self.owners.len() as u64 * PAGE_GRANULE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_then_conflict() {
+        let mut o = PageOwnership::new();
+        o.claim(0x10_000, 0x4000, NfId(1)).unwrap();
+        match o.claim(0x12_000, 0x1000, NfId(2)) {
+            Err(SnicError::PageOwned { owner, .. }) => assert_eq!(owner, NfId(1)),
+            other => panic!("expected PageOwned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_conflict_also_rejected() {
+        let mut o = PageOwnership::new();
+        o.claim(0, 0x1000, NfId(1)).unwrap();
+        assert!(o.claim(0, 0x1000, NfId(1)).is_err());
+    }
+
+    #[test]
+    fn failed_claim_leaves_no_partial_state() {
+        let mut o = PageOwnership::new();
+        o.claim(0x4000, 0x1000, NfId(1)).unwrap();
+        // This claim overlaps at its tail; the head pages must not leak.
+        assert!(o.claim(0x2000, 0x3000, NfId(2)).is_err());
+        assert_eq!(o.owner_of(0x2000), None);
+        assert_eq!(o.owner_of(0x3000), None);
+    }
+
+    #[test]
+    fn release_frees_only_one_owner() {
+        let mut o = PageOwnership::new();
+        o.claim(0, 0x2000, NfId(1)).unwrap();
+        o.claim(0x10_000, 0x2000, NfId(2)).unwrap();
+        let released = o.release_owner(NfId(1));
+        assert_eq!(released, 2);
+        assert_eq!(o.owner_of(0), None);
+        assert_eq!(o.owner_of(0x10_000), Some(NfId(2)));
+    }
+
+    #[test]
+    fn owned_bytes_accounting() {
+        let mut o = PageOwnership::new();
+        o.claim(0, 3 * PAGE_GRANULE, NfId(9)).unwrap();
+        assert_eq!(o.owned_bytes(NfId(9)), ByteSize(3 * PAGE_GRANULE));
+        assert_eq!(o.owned_bytes(NfId(1)), ByteSize::ZERO);
+        assert_eq!(o.total_owned(), ByteSize(3 * PAGE_GRANULE));
+    }
+
+    #[test]
+    fn partial_page_claims_round_up() {
+        let mut o = PageOwnership::new();
+        // One byte still claims its whole granule.
+        o.claim(PAGE_GRANULE, 1, NfId(3)).unwrap();
+        assert_eq!(o.owner_of(PAGE_GRANULE + 100), Some(NfId(3)));
+        assert!(o.claim(PAGE_GRANULE + 200, 8, NfId(4)).is_err());
+    }
+}

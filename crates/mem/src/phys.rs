@@ -1,0 +1,221 @@
+//! Sparse physical memory with real byte contents.
+//!
+//! The concrete attacks of §3.3 (packet corruption, DPI ruleset stealing)
+//! work by reading and writing *actual bytes* through flat physical
+//! addressing, so the device model needs a backing store, not just an
+//! address-range bookkeeping structure. Memory is materialized lazily in
+//! 4 KiB granules; untouched granules read as zero.
+
+use std::collections::HashMap;
+
+use snic_types::ByteSize;
+
+/// Granule size for lazy materialization (also the ownership granule).
+pub const PAGE_GRANULE: u64 = 4096;
+
+/// Sparse, lazily-materialized physical memory.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    granules: HashMap<u64, Box<[u8]>>,
+    size: u64,
+}
+
+impl PhysMem {
+    /// Create a physical memory of `size` bytes.
+    pub fn new(size: ByteSize) -> PhysMem {
+        PhysMem {
+            granules: HashMap::new(),
+            size: size.bytes(),
+        }
+    }
+
+    /// Total addressable size in bytes.
+    pub fn size(&self) -> ByteSize {
+        ByteSize(self.size)
+    }
+
+    /// True if `addr..addr+len` lies inside the address space.
+    pub fn in_bounds(&self, addr: u64, len: usize) -> bool {
+        addr.checked_add(len as u64)
+            .is_some_and(|end| end <= self.size)
+    }
+
+    /// Read `out.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds; callers (the guard layer)
+    /// bounds-check first.
+    pub fn read(&self, addr: u64, out: &mut [u8]) {
+        assert!(
+            self.in_bounds(addr, out.len()),
+            "physical read out of bounds"
+        );
+        let mut done = 0usize;
+        while done < out.len() {
+            let cur = addr + done as u64;
+            let g = cur / PAGE_GRANULE;
+            let off = (cur % PAGE_GRANULE) as usize;
+            let n = ((PAGE_GRANULE as usize) - off).min(out.len() - done);
+            match self.granules.get(&g) {
+                Some(data) => out[done..done + n].copy_from_slice(&data[off..off + n]),
+                None => out[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Write `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        assert!(
+            self.in_bounds(addr, data.len()),
+            "physical write out of bounds"
+        );
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = addr + done as u64;
+            let g = cur / PAGE_GRANULE;
+            let off = (cur % PAGE_GRANULE) as usize;
+            let n = ((PAGE_GRANULE as usize) - off).min(data.len() - done);
+            let granule = self
+                .granules
+                .entry(g)
+                .or_insert_with(|| vec![0u8; PAGE_GRANULE as usize].into_boxed_slice());
+            granule[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Read a `u64` (little-endian) at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write a `u64` (little-endian) at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Zero the byte range `addr..addr+len` (used by `nf_teardown`'s
+    /// memory scrubbing, §4.6).
+    pub fn scrub(&mut self, addr: u64, len: u64) {
+        assert!(self.in_bounds(addr, len as usize), "scrub out of bounds");
+        // Drop fully-covered granules; zero the partial edges.
+        let first = addr / PAGE_GRANULE;
+        let last = (addr + len).div_ceil(PAGE_GRANULE);
+        for g in first..last {
+            let g_start = g * PAGE_GRANULE;
+            let g_end = g_start + PAGE_GRANULE;
+            if addr <= g_start && addr + len >= g_end {
+                self.granules.remove(&g);
+            } else if let Some(data) = self.granules.get_mut(&g) {
+                let s = addr.max(g_start) - g_start;
+                let e = (addr + len).min(g_end) - g_start;
+                data[s as usize..e as usize].fill(0);
+            }
+        }
+    }
+
+    /// Number of materialized granules (resident footprint of the model).
+    pub fn resident_granules(&self) -> usize {
+        self.granules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(ByteSize::mib(64))
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = mem();
+        let mut buf = [0xffu8; 16];
+        m.read(0x1234, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = mem();
+        m.write(0x10_000, b"network function state");
+        let mut buf = [0u8; 22];
+        m.read(0x10_000, &mut buf);
+        assert_eq!(&buf, b"network function state");
+    }
+
+    #[test]
+    fn write_straddling_granules() {
+        let mut m = mem();
+        let addr = PAGE_GRANULE - 3;
+        m.write(addr, &[1, 2, 3, 4, 5, 6]);
+        let mut buf = [0u8; 6];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.resident_granules(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = mem();
+        m.write_u64(0x2000, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(0x2000), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn scrub_zeroes_range() {
+        let mut m = mem();
+        m.write(0x3000, &[0xaa; 8192]);
+        m.scrub(0x3000, 8192);
+        let mut buf = [0xffu8; 8192];
+        m.read(0x3000, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scrub_partial_granule_preserves_neighbors() {
+        let mut m = mem();
+        m.write(0, &[0x11; 4096]);
+        m.scrub(100, 200);
+        let mut buf = [0u8; 4096];
+        m.read(0, &mut buf);
+        assert_eq!(buf[99], 0x11);
+        assert_eq!(buf[100], 0);
+        assert_eq!(buf[299], 0);
+        assert_eq!(buf[300], 0x11);
+    }
+
+    #[test]
+    fn scrub_reclaims_full_granules() {
+        let mut m = mem();
+        m.write(0, &[0x22; 16384]);
+        assert_eq!(m.resident_granules(), 4);
+        m.scrub(0, 16384);
+        assert_eq!(m.resident_granules(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let m = PhysMem::new(ByteSize::kib(4));
+        let mut buf = [0u8; 8];
+        m.read(4090, &mut buf);
+    }
+
+    #[test]
+    fn bounds_check() {
+        let m = PhysMem::new(ByteSize::kib(4));
+        assert!(m.in_bounds(0, 4096));
+        assert!(!m.in_bounds(1, 4096));
+        assert!(!m.in_bounds(u64::MAX, 2));
+    }
+}

@@ -1,0 +1,201 @@
+//! Allocation time-series accounting.
+//!
+//! S-NIC preallocates a fixed amount of memory at `nf_launch` time and has
+//! no OS to grow it later (§4.8), so a function must be provisioned for
+//! its *peak* usage. Appendix C (Figure 7, Table 8) quantifies the cost:
+//! the Monitor NF's peak is inflated by DPDK hugepage initialization
+//! (which temporarily doubles the resident data) and by `HashMap`
+//! resizings (old + new tables coexist during rehash). This module records
+//! an allocation event log and derives the peak, the steady state, and the
+//! memory utilization ratio (MUR).
+
+use snic_types::{ByteSize, Picos};
+
+/// One allocation or release event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocEvent {
+    /// When the event occurred.
+    pub time: Picos,
+    /// Bytes allocated (positive) or released (negative).
+    pub delta: i64,
+    /// Label for reporting (static to keep the log compact).
+    pub label: &'static str,
+}
+
+/// An append-only allocation event log with peak tracking.
+#[derive(Debug, Clone, Default)]
+pub struct AllocationTracker {
+    events: Vec<AllocEvent>,
+    current: i64,
+    peak: i64,
+}
+
+impl AllocationTracker {
+    /// A fresh tracker with nothing allocated.
+    pub fn new() -> AllocationTracker {
+        AllocationTracker::default()
+    }
+
+    /// Record an allocation.
+    pub fn alloc(&mut self, time: Picos, bytes: ByteSize, label: &'static str) {
+        self.push(time, bytes.bytes() as i64, label);
+    }
+
+    /// Record a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than is currently allocated — that is a
+    /// bookkeeping bug in the caller.
+    pub fn release(&mut self, time: Picos, bytes: ByteSize, label: &'static str) {
+        assert!(
+            self.current >= bytes.bytes() as i64,
+            "release of {} exceeds current {}",
+            bytes,
+            self.current
+        );
+        self.push(time, -(bytes.bytes() as i64), label);
+    }
+
+    fn push(&mut self, time: Picos, delta: i64, label: &'static str) {
+        if let Some(last) = self.events.last() {
+            assert!(time >= last.time, "allocation events must be time-ordered");
+        }
+        self.current += delta;
+        self.peak = self.peak.max(self.current);
+        self.events.push(AllocEvent { time, delta, label });
+    }
+
+    /// Currently allocated bytes.
+    pub fn current(&self) -> ByteSize {
+        ByteSize(self.current as u64)
+    }
+
+    /// Peak allocation over the whole log.
+    ///
+    /// This is the minimum S-NIC preallocation that would have kept the
+    /// function alive.
+    pub fn peak(&self) -> ByteSize {
+        ByteSize(self.peak as u64)
+    }
+
+    /// Memory utilization ratio: steady-state ÷ peak (Table 8).
+    ///
+    /// The steady state is the allocation level at the end of the log.
+    /// Returns 1.0 for an empty log.
+    pub fn mur(&self) -> f64 {
+        if self.peak == 0 {
+            return 1.0;
+        }
+        self.current as f64 / self.peak as f64
+    }
+
+    /// The raw event log.
+    pub fn events(&self) -> &[AllocEvent] {
+        &self.events
+    }
+
+    /// Sample the usage curve at `samples` evenly spaced instants across
+    /// the log's time span: the Figure 7 time series.
+    pub fn time_series(&self, samples: usize) -> Vec<(Picos, ByteSize)> {
+        if self.events.is_empty() || samples == 0 {
+            return Vec::new();
+        }
+        let start = self.events.first().expect("non-empty").time;
+        let end = self.events.last().expect("non-empty").time;
+        let span = end.0.saturating_sub(start.0).max(1);
+        let mut out = Vec::with_capacity(samples);
+        let mut level: i64 = 0;
+        let mut idx = 0usize;
+        for s in 0..samples {
+            let t = Picos(start.0 + span * s as u64 / (samples.max(2) - 1).max(1) as u64);
+            while idx < self.events.len() && self.events[idx].time <= t {
+                level += self.events[idx].delta;
+                idx += 1;
+            }
+            out.push((t, ByteSize(level.max(0) as u64)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_exceeds_steady_state_after_spike() {
+        let mut t = AllocationTracker::new();
+        t.alloc(Picos(0), ByteSize::mib(100), "base");
+        t.alloc(Picos(10), ByteSize::mib(100), "hugepage temp");
+        t.release(Picos(20), ByteSize::mib(100), "hugepage temp");
+        assert_eq!(t.peak(), ByteSize::mib(200));
+        assert_eq!(t.current(), ByteSize::mib(100));
+        assert!((t.mur() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mur_one_when_no_spike() {
+        let mut t = AllocationTracker::new();
+        t.alloc(Picos(0), ByteSize::mib(50), "base");
+        assert!((t.mur() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_mur_is_one() {
+        assert!((AllocationTracker::new().mur() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds current")]
+    fn over_release_panics() {
+        let mut t = AllocationTracker::new();
+        t.alloc(Picos(0), ByteSize::mib(1), "a");
+        t.release(Picos(1), ByteSize::mib(2), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_events_panic() {
+        let mut t = AllocationTracker::new();
+        t.alloc(Picos(10), ByteSize::mib(1), "a");
+        t.alloc(Picos(5), ByteSize::mib(1), "b");
+    }
+
+    #[test]
+    fn time_series_tracks_levels() {
+        let mut t = AllocationTracker::new();
+        t.alloc(Picos(0), ByteSize::mib(10), "a");
+        t.alloc(Picos(100), ByteSize::mib(30), "b");
+        t.release(Picos(200), ByteSize::mib(30), "b");
+        let series = t.time_series(3);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].1, ByteSize::mib(10));
+        assert_eq!(series[1].1, ByteSize::mib(40));
+        assert_eq!(series[2].1, ByteSize::mib(10));
+    }
+
+    #[test]
+    fn time_series_empty_log() {
+        assert!(AllocationTracker::new().time_series(10).is_empty());
+    }
+
+    #[test]
+    fn hashmap_resize_pattern_inflates_peak() {
+        // Model a map that doubles twice: during each rehash, old + new
+        // tables coexist.
+        let mut t = AllocationTracker::new();
+        let mut size = 64u64;
+        t.alloc(Picos(0), ByteSize::mib(size), "map");
+        for step in 1..=2u64 {
+            let new = size * 2;
+            t.alloc(Picos(step * 10), ByteSize::mib(new), "map-resize");
+            t.release(Picos(step * 10 + 1), ByteSize::mib(size), "map-old");
+            size = new;
+        }
+        assert_eq!(t.current(), ByteSize::mib(256));
+        // Peak hit during the last rehash: 128 (old) + 256 (new).
+        assert_eq!(t.peak(), ByteSize::mib(384));
+        assert!((t.mur() - 256.0 / 384.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of the page-allocation planner.
+
+use proptest::prelude::*;
+use snic_mem::planner::{plan_region, plan_regions, PagePolicy};
+use snic_types::ByteSize;
+
+fn policies() -> Vec<PagePolicy> {
+    vec![PagePolicy::Equal, PagePolicy::FlexLow, PagePolicy::FlexHigh]
+}
+
+proptest! {
+    #[test]
+    fn coverage_and_waste_bound(size in 1u64..(512 << 20)) {
+        for policy in policies() {
+            let plan = plan_region(ByteSize(size), &policy);
+            // Always covers the request.
+            prop_assert!(plan.allocated().bytes() >= size, "{policy:?}");
+            // Waste below one smallest page.
+            let smallest = policy.page_sizes()[0];
+            prop_assert!(plan.waste().bytes() < smallest, "{policy:?}");
+            prop_assert!(plan.entries() > 0);
+        }
+    }
+
+    #[test]
+    fn equal_policy_entry_count_is_ceiling(size in 1u64..(512 << 20)) {
+        let plan = plan_region(ByteSize(size), &PagePolicy::Equal);
+        prop_assert_eq!(plan.entries(), size.div_ceil(2 << 20));
+    }
+
+    #[test]
+    fn bigger_pages_never_need_more_entries(size in 1u64..(512 << 20)) {
+        // Flex-high's largest page dominates Equal's, so it can never
+        // need more entries than Equal.
+        let equal = plan_region(ByteSize(size), &PagePolicy::Equal).entries();
+        let flex_high = plan_region(ByteSize(size), &PagePolicy::FlexHigh).entries();
+        prop_assert!(flex_high <= equal, "{flex_high} > {equal} at {size}");
+    }
+
+    #[test]
+    fn multi_region_totals_are_sums(
+        regions in proptest::collection::vec(1u64..(64 << 20), 1..6),
+    ) {
+        let sizes: Vec<ByteSize> = regions.iter().map(|&r| ByteSize(r)).collect();
+        let outcome = plan_regions(&sizes, &PagePolicy::FlexLow);
+        let per_region_sum: u64 =
+            sizes.iter().map(|&s| plan_region(s, &PagePolicy::FlexLow).entries()).sum();
+        prop_assert_eq!(outcome.total_entries(), per_region_sum);
+        prop_assert!(outcome.total_allocated().bytes() >= regions.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn plans_are_deterministic(size in 1u64..(256 << 20)) {
+        for policy in policies() {
+            prop_assert_eq!(
+                plan_region(ByteSize(size), &policy),
+                plan_region(ByteSize(size), &policy)
+            );
+        }
+    }
+}

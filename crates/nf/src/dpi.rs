@@ -1,0 +1,389 @@
+//! Deep packet inspection (DPI) via Aho-Corasick multi-pattern matching.
+//!
+//! §5.1: "A pattern-matching application that uses the Aho-Corasick
+//! algorithm ... We use 33,471 patterns extracted from six open source
+//! rulesets." The rulesets are not redistributable, so patterns are
+//! synthesized with a realistic length distribution; the automaton itself
+//! is a complete from-scratch Aho-Corasick implementation (trie + BFS
+//! failure links + dictionary suffix links).
+//!
+//! The matcher walk doubles as the DPI reference stream: each visited
+//! node reports a load of its node record, giving the uarch engine the
+//! true locality of the automaton (hot shallow nodes, cold deep nodes).
+
+use rand::Rng;
+use rand::SeedableRng;
+use snic_types::{ByteSize, Packet};
+
+use crate::common::{layout, AccessKind, AccessSink, NetworkFunction, NfKind, Verdict};
+use crate::profile::{paper_profile, MemoryProfile};
+
+/// Modeled bytes per automaton node record (for stream addresses and the
+/// memory profile): transitions, failure link, dictionary link, output
+/// count.
+const NODE_BYTES: u64 = 96;
+
+/// One node of the automaton.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Sorted `(byte, next)` transitions.
+    children: Vec<(u8, u32)>,
+    /// Failure link.
+    fail: u32,
+    /// Dictionary suffix link (nearest ancestor-by-fail that is a match).
+    dict: u32,
+    /// Number of patterns ending exactly here.
+    matches_here: u32,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            children: Vec::new(),
+            fail: 0,
+            dict: 0,
+            matches_here: 0,
+        }
+    }
+
+    fn child(&self, b: u8) -> Option<u32> {
+        self.children
+            .binary_search_by_key(&b, |&(c, _)| c)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+}
+
+/// A built Aho-Corasick automaton.
+#[derive(Debug)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Build the automaton from `patterns`. Empty patterns are ignored.
+    pub fn build(patterns: &[Vec<u8>]) -> AhoCorasick {
+        let mut nodes = vec![Node::new()];
+        let mut pattern_count = 0;
+        // Phase 1: trie.
+        for pat in patterns {
+            if pat.is_empty() {
+                continue;
+            }
+            pattern_count += 1;
+            let mut cur = 0u32;
+            for &b in pat {
+                cur = match nodes[cur as usize].child(b) {
+                    Some(next) => next,
+                    None => {
+                        let next = nodes.len() as u32;
+                        nodes.push(Node::new());
+                        let pos = nodes[cur as usize]
+                            .children
+                            .binary_search_by_key(&b, |&(c, _)| c)
+                            .unwrap_err();
+                        nodes[cur as usize].children.insert(pos, (b, next));
+                        next
+                    }
+                };
+            }
+            nodes[cur as usize].matches_here += 1;
+        }
+        // Phase 2: BFS failure + dictionary links.
+        let mut queue = std::collections::VecDeque::new();
+        let root_children: Vec<(u8, u32)> = nodes[0].children.clone();
+        for &(_, c) in &root_children {
+            nodes[c as usize].fail = 0;
+            queue.push_back(c);
+        }
+        while let Some(u) = queue.pop_front() {
+            let u_fail = nodes[u as usize].fail;
+            nodes[u as usize].dict = if nodes[u_fail as usize].matches_here > 0 {
+                u_fail
+            } else {
+                nodes[u_fail as usize].dict
+            };
+            let children: Vec<(u8, u32)> = nodes[u as usize].children.clone();
+            for (b, v) in children {
+                // Find fail(v): deepest proper suffix with a b-transition.
+                let mut f = u_fail;
+                let fv = loop {
+                    if let Some(next) = nodes[f as usize].child(b) {
+                        break next;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[v as usize].fail = fv;
+                queue.push_back(v);
+            }
+        }
+        AhoCorasick {
+            nodes,
+            pattern_count,
+        }
+    }
+
+    /// Number of automaton states.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Modeled graph size in bytes (what the accelerator profile reports).
+    pub fn graph_bytes(&self) -> ByteSize {
+        ByteSize(self.nodes.len() as u64 * NODE_BYTES)
+    }
+
+    /// Scan `haystack`, returning the total number of pattern occurrences.
+    /// Every node visit reports a load to `sink`.
+    pub fn scan(&self, haystack: &[u8], sink: &mut dyn AccessSink) -> u64 {
+        let mut total = 0u64;
+        let mut cur = 0u32;
+        for &b in haystack {
+            // Follow failure links until a transition exists.
+            loop {
+                sink.touch(
+                    layout::HEAP_BASE + u64::from(cur) * NODE_BYTES,
+                    AccessKind::Load,
+                    6,
+                );
+                if let Some(next) = self.nodes[cur as usize].child(b) {
+                    cur = next;
+                    break;
+                }
+                if cur == 0 {
+                    break;
+                }
+                cur = self.nodes[cur as usize].fail;
+            }
+            // Count matches ending at this position via dictionary links.
+            let mut m = cur;
+            while m != 0 {
+                let node = &self.nodes[m as usize];
+                if node.matches_here > 0 {
+                    total += u64::from(node.matches_here);
+                    sink.touch(
+                        layout::HEAP_BASE + u64::from(m) * NODE_BYTES,
+                        AccessKind::Load,
+                        4,
+                    );
+                }
+                m = node.dict;
+            }
+        }
+        total
+    }
+}
+
+/// Synthesize a ruleset-shaped pattern list: mostly short ASCII tokens
+/// with a heavy tail of longer signatures (Snort content strings are
+/// typically 4–30 bytes).
+pub fn synth_patterns(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/._-%";
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    while out.len() < count {
+        let len = 4 + (rng.random::<f64>().powi(2) * 26.0) as usize;
+        let pat: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+            .collect();
+        if seen.insert(pat.clone()) {
+            out.push(pat);
+        }
+    }
+    out
+}
+
+/// The DPI network function.
+#[derive(Debug)]
+pub struct DpiNf {
+    automaton: AhoCorasick,
+    total_matches: u64,
+    packets: u64,
+}
+
+impl DpiNf {
+    /// Build from an explicit pattern list.
+    pub fn new(patterns: &[Vec<u8>]) -> DpiNf {
+        DpiNf {
+            automaton: AhoCorasick::build(patterns),
+            total_matches: 0,
+            packets: 0,
+        }
+    }
+
+    /// The paper's configuration: 33,471 patterns.
+    pub fn with_defaults(seed: u64) -> DpiNf {
+        DpiNf::new(&synth_patterns(33_471, seed))
+    }
+
+    /// Smaller build for quick tests and examples.
+    pub fn with_small(seed: u64) -> DpiNf {
+        DpiNf::new(&synth_patterns(2_000, seed))
+    }
+
+    /// Total signature occurrences seen.
+    pub fn total_matches(&self) -> u64 {
+        self.total_matches
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &AhoCorasick {
+        &self.automaton
+    }
+}
+
+impl NetworkFunction for DpiNf {
+    fn kind(&self) -> NfKind {
+        NfKind::Dpi
+    }
+
+    fn process(&mut self, pkt: &Packet, sink: &mut dyn AccessSink) -> Verdict {
+        self.packets += 1;
+        sink.touch(layout::PKTBUF_BASE, AccessKind::Load, 120);
+        let payload = pkt.payload();
+        // Payload is streamed from the packet buffer: one load per line.
+        for line in 0..(payload.len() as u64).div_ceil(64) {
+            sink.touch(layout::PKTBUF_BASE + 64 + line * 64, AccessKind::Load, 3);
+        }
+        let matches = self.automaton.scan(payload, sink);
+        self.total_matches += matches;
+        Verdict::Matched(matches as u32)
+    }
+
+    fn memory_profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            heap_stack: self.automaton.graph_bytes(),
+            ..paper_profile(NfKind::Dpi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{NullSink, RecordingSink};
+    use snic_types::packet::PacketBuilder;
+    use snic_types::Protocol;
+
+    fn pats(list: &[&str]) -> Vec<Vec<u8>> {
+        list.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    fn count(ac: &AhoCorasick, hay: &str) -> u64 {
+        ac.scan(hay.as_bytes(), &mut NullSink)
+    }
+
+    #[test]
+    fn classic_aho_corasick_example() {
+        // The canonical {he, she, his, hers} over "ushers": she, he, hers.
+        let ac = AhoCorasick::build(&pats(&["he", "she", "his", "hers"]));
+        assert_eq!(count(&ac, "ushers"), 3);
+    }
+
+    #[test]
+    fn overlapping_matches_counted() {
+        let ac = AhoCorasick::build(&pats(&["aa"]));
+        assert_eq!(count(&ac, "aaaa"), 3);
+    }
+
+    #[test]
+    fn duplicate_patterns_count_twice() {
+        let ac = AhoCorasick::build(&pats(&["ab", "ab"]));
+        assert_eq!(count(&ac, "ab"), 2);
+    }
+
+    #[test]
+    fn substring_patterns_via_dict_links() {
+        let ac = AhoCorasick::build(&pats(&["abcde", "cd", "e"]));
+        assert_eq!(count(&ac, "abcde"), 3);
+    }
+
+    #[test]
+    fn no_match_in_clean_text() {
+        let ac = AhoCorasick::build(&pats(&["virus", "exploit"]));
+        assert_eq!(count(&ac, "perfectly clean traffic"), 0);
+    }
+
+    #[test]
+    fn empty_haystack_and_patterns() {
+        let ac = AhoCorasick::build(&pats(&["x", ""]));
+        assert_eq!(ac.pattern_count(), 1, "empty pattern ignored");
+        assert_eq!(count(&ac, ""), 0);
+    }
+
+    #[test]
+    fn matches_agree_with_naive_search() {
+        let patterns = synth_patterns(50, 3);
+        let ac = AhoCorasick::build(&patterns);
+        let mut gen = super::profile_test_support::lcg(77);
+        let hay: Vec<u8> = (0..4000)
+            .map(|_| b"abcdef0123/._-%"[gen() as usize % 15])
+            .collect();
+        let naive: u64 = patterns
+            .iter()
+            .map(|p| hay.windows(p.len()).filter(|w| w == &p.as_slice()).count() as u64)
+            .sum();
+        assert_eq!(ac.scan(&hay, &mut NullSink), naive);
+    }
+
+    #[test]
+    fn scan_touches_graph_addresses() {
+        let ac = AhoCorasick::build(&pats(&["attack"]));
+        let mut sink = RecordingSink::new();
+        ac.scan(b"an attack string", &mut sink);
+        assert!(!sink.accesses().is_empty());
+        assert!(sink.accesses().iter().all(|a| a.addr >= layout::HEAP_BASE));
+    }
+
+    #[test]
+    fn nf_counts_payload_matches() {
+        let mut nf = DpiNf::new(&pats(&["malware"]));
+        let p = PacketBuilder::new(1, 2, Protocol::Tcp, 1, 2)
+            .payload(b"download malware here; malware!".to_vec())
+            .build();
+        match nf.process(&p, &mut NullSink) {
+            Verdict::Matched(2) => {}
+            other => panic!("expected Matched(2), got {other:?}"),
+        }
+        assert_eq!(nf.total_matches(), 2);
+    }
+
+    #[test]
+    fn synth_patterns_distinct_and_sized() {
+        let p = synth_patterns(500, 9);
+        assert_eq!(p.len(), 500);
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), 500);
+        assert!(p.iter().all(|x| (4..=30).contains(&x.len())));
+    }
+
+    #[test]
+    fn graph_size_scales_with_patterns() {
+        let small = DpiNf::new(&synth_patterns(100, 1));
+        let big = DpiNf::new(&synth_patterns(1000, 1));
+        assert!(big.automaton().graph_bytes() > small.automaton().graph_bytes());
+        assert!(big.automaton().node_count() > small.automaton().node_count());
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod profile_test_support {
+    /// Tiny deterministic byte generator for tests.
+    pub fn lcg(seed: u64) -> impl FnMut() -> u8 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (s >> 33) as u8
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The six network functions of the paper's evaluation (§5.1).
+//!
+//! | NF | Paper description | Module |
+//! |----|-------------------|--------|
+//! | Firewall (FW) | Stateful firewall, 643 Emerging-Threats-style rules, 200 K-entry flow cache | [`firewall`] |
+//! | DPI | Aho-Corasick pattern matching over 33,471 patterns | [`dpi`] |
+//! | NAT | MazuNAT-derived translator, first 65,535 flows get ports | [`nat`] |
+//! | LB | Google's Maglev consistent-hashing load balancer | [`maglev`] |
+//! | LPM | DIR-24-8 longest-prefix match over 16,000 random rules | [`lpm`] |
+//! | Monitor (Mon) | Per-five-tuple packet counters over measurement windows | [`monitor`] |
+//!
+//! The [`sketch`] module adds a bounded-memory Monitor variant
+//! (count-min + SpaceSaving heavy hitters) as an S-NIC-friendly
+//! alternative to the HashMap Monitor's large preallocation.
+//!
+//! Each NF is a *real implementation* — it classifies/translates/matches
+//! actual packets — and doubles as the source of the memory-reference
+//! streams that drive the Figure 5 microarchitectural experiments: every
+//! data-structure probe reports its (virtual address, kind, instruction
+//! cost) to an [`AccessSink`], so the uarch engine replays exactly the
+//! locality the algorithm produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dpi;
+pub mod firewall;
+pub mod lpm;
+pub mod maglev;
+pub mod monitor;
+pub mod nat;
+pub mod profile;
+pub mod sketch;
+
+pub use common::{AccessSink, NetworkFunction, NfKind, NullSink, RecordingSink, Verdict};
+pub use dpi::DpiNf;
+pub use firewall::FirewallNf;
+pub use lpm::LpmNf;
+pub use maglev::MaglevNf;
+pub use monitor::MonitorNf;
+pub use nat::NatNf;
+pub use profile::{paper_profile, MemoryProfile};
+pub use sketch::{CountMinSketch, SketchMonitor};
+
+use snic_types::Packet;
+use snic_uarch::stream::Access;
+
+/// Construct one NF of each kind with default (paper-matching) parameters.
+///
+/// `seed` controls rule/pattern generation so experiments are reproducible.
+pub fn build_all(seed: u64) -> Vec<Box<dyn NetworkFunction>> {
+    NfKind::ALL.iter().map(|&k| build(k, seed)).collect()
+}
+
+/// Construct one NF by kind.
+pub fn build(kind: NfKind, seed: u64) -> Box<dyn NetworkFunction> {
+    match kind {
+        NfKind::Firewall => Box::new(FirewallNf::with_defaults(seed)),
+        NfKind::Dpi => Box::new(DpiNf::with_defaults(seed)),
+        NfKind::Nat => Box::new(NatNf::with_defaults(seed)),
+        NfKind::LoadBalancer => Box::new(MaglevNf::with_defaults(seed)),
+        NfKind::Lpm => Box::new(LpmNf::with_defaults(seed)),
+        NfKind::Monitor => Box::new(MonitorNf::with_defaults(seed)),
+    }
+}
+
+/// Run `nf` over `packets`, recording its reference stream.
+pub fn record_stream(nf: &mut dyn NetworkFunction, packets: &[Packet]) -> Vec<Access> {
+    let mut sink = RecordingSink::new();
+    for p in packets {
+        let _ = nf.process(p, &mut sink);
+    }
+    sink.into_accesses()
+}

@@ -1,0 +1,408 @@
+//! Longest-prefix matching (LPM) with the DIR-24-8 algorithm.
+//!
+//! §5.1: "Longest prefix matching using the DIR-24-8 algorithm for IP
+//! packet routing. Like NetBricks, we generate 16,000 random rules to
+//! construct the lookup table."
+//!
+//! DIR-24-8 (Gupta/Lin/McKeown, INFOCOM '98) keeps a 2^24-entry first
+//! table indexed by the top 24 address bits; prefixes longer than /24
+//! spill into 256-entry second-level tables. Lookups take one memory
+//! access for the common case and two for long prefixes — which is
+//! exactly the access pattern the reference stream reports.
+
+use rand::Rng;
+use rand::SeedableRng;
+use snic_types::{ByteSize, Packet};
+
+use crate::common::{layout, AccessKind, AccessSink, NetworkFunction, NfKind, Verdict};
+use crate::profile::{paper_profile, vec_bytes, MemoryProfile};
+
+/// Entry flag: the low 15 bits index a tbl8 segment instead of a hop.
+const EXTEND_FLAG: u32 = 1 << 31;
+/// "No route" marker.
+const INVALID: u32 = u32::MAX & !EXTEND_FLAG;
+
+/// A routing prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefix {
+    /// Network address.
+    pub addr: u32,
+    /// Prefix length, 0–32.
+    pub len: u8,
+    /// Next-hop identifier (must be < 2^24 so it fits an entry).
+    pub next_hop: u32,
+}
+
+/// The DIR-24-8 table.
+#[derive(Debug)]
+pub struct Dir24_8 {
+    tbl24: Vec<u32>,
+    tbl8: Vec<u32>,
+    /// Prefix length that produced each tbl24 range, to resolve overlaps
+    /// (longer prefixes must win).
+    depth24: Vec<u8>,
+    depth8: Vec<u8>,
+}
+
+impl Default for Dir24_8 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dir24_8 {
+    /// An empty table (all lookups miss). Allocates the full 64 MB tbl24,
+    /// like DPDK's implementation — this is what gives LPM its Table 6
+    /// footprint.
+    pub fn new() -> Dir24_8 {
+        Dir24_8 {
+            tbl24: vec![INVALID; 1 << 24],
+            tbl8: Vec::new(),
+            depth24: vec![0; 1 << 24],
+            depth8: Vec::new(),
+        }
+    }
+
+    /// Insert a prefix; longer prefixes override shorter ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32` or `next_hop` does not fit 24 bits.
+    pub fn insert(&mut self, p: Prefix) {
+        assert!(p.len <= 32, "prefix length out of range");
+        assert!(p.next_hop < (1 << 24), "next hop too large");
+        if p.len <= 24 {
+            let shift = 24 - u32::from(p.len);
+            let base = (mask(p.addr, p.len) >> 8) as usize;
+            let count = 1usize << shift;
+            for i in base..base + count {
+                match self.tbl24[i] {
+                    e if e & EXTEND_FLAG != 0 => {
+                        // Push into the existing tbl8 segment where shorter.
+                        let seg = (e & !EXTEND_FLAG) as usize;
+                        for j in 0..256 {
+                            let idx = seg * 256 + j;
+                            if self.depth8[idx] <= p.len {
+                                self.tbl8[idx] = p.next_hop;
+                                self.depth8[idx] = p.len;
+                            }
+                        }
+                    }
+                    _ => {
+                        if self.depth24[i] <= p.len {
+                            self.tbl24[i] = p.next_hop;
+                            self.depth24[i] = p.len;
+                        }
+                    }
+                }
+            }
+        } else {
+            let i = (mask(p.addr, 24) >> 8) as usize;
+            let seg = match self.tbl24[i] {
+                e if e & EXTEND_FLAG != 0 => (e & !EXTEND_FLAG) as usize,
+                old => {
+                    // Allocate a segment seeded with the old /<=24 entry.
+                    let seg = self.tbl8.len() / 256;
+                    self.tbl8.extend(std::iter::repeat_n(old, 256));
+                    self.depth8
+                        .extend(std::iter::repeat_n(self.depth24[i], 256));
+                    self.tbl24[i] = EXTEND_FLAG | seg as u32;
+                    seg
+                }
+            };
+            let low_bits = 32 - u32::from(p.len);
+            let base = (mask(p.addr, p.len) & 0xff) as usize;
+            for j in base..base + (1usize << low_bits) {
+                let idx = seg * 256 + j;
+                if self.depth8[idx] <= p.len {
+                    self.tbl8[idx] = p.next_hop;
+                    self.depth8[idx] = p.len;
+                }
+            }
+        }
+    }
+
+    /// Look up `addr`, reporting table touches to `sink`.
+    pub fn lookup(&self, addr: u32, sink: &mut dyn AccessSink) -> Option<u32> {
+        let i = (addr >> 8) as usize;
+        sink.touch(layout::HEAP_BASE + (i as u64) * 4, AccessKind::Load, 80);
+        let e = self.tbl24[i];
+        let hop = if e & EXTEND_FLAG != 0 {
+            let seg = (e & !EXTEND_FLAG) as usize;
+            let idx = seg * 256 + (addr & 0xff) as usize;
+            sink.touch(
+                layout::HEAP_BASE + 0x400_0000 + (idx as u64) * 4,
+                AccessKind::Load,
+                40,
+            );
+            self.tbl8[idx]
+        } else {
+            e
+        };
+        if hop == INVALID {
+            None
+        } else {
+            Some(hop)
+        }
+    }
+
+    /// Number of allocated tbl8 segments.
+    pub fn tbl8_segments(&self) -> usize {
+        self.tbl8.len() / 256
+    }
+
+    /// Resident bytes of the tables (entries only; depth arrays are a
+    /// build-time aid the paper's DPDK implementation also carries).
+    pub fn table_bytes(&self) -> ByteSize {
+        ByteSize(vec_bytes(self.tbl24.len(), 4) + vec_bytes(self.tbl8.len(), 4))
+    }
+}
+
+fn mask(addr: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        addr & (u32::MAX << (32 - u32::from(len)))
+    }
+}
+
+/// Generate `count` random prefixes as NetBricks does (random address,
+/// random length 8–32, random hop).
+pub fn synth_prefixes(count: usize, seed: u64) -> Vec<Prefix> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Prefix {
+            addr: rng.random(),
+            len: rng.random_range(8..=32),
+            next_hop: rng.random_range(0..1 << 24),
+        })
+        .collect()
+}
+
+/// The LPM network function.
+#[derive(Debug)]
+pub struct LpmNf {
+    table: Dir24_8,
+    routed: u64,
+    unrouted: u64,
+}
+
+impl LpmNf {
+    /// Build from explicit prefixes.
+    pub fn new(prefixes: &[Prefix]) -> LpmNf {
+        let mut table = Dir24_8::new();
+        for &p in prefixes {
+            table.insert(p);
+        }
+        LpmNf {
+            table,
+            routed: 0,
+            unrouted: 0,
+        }
+    }
+
+    /// The paper's configuration: 16,000 random rules.
+    pub fn with_defaults(seed: u64) -> LpmNf {
+        LpmNf::new(&synth_prefixes(16_000, seed))
+    }
+
+    /// Packets with a route.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Packets with no matching prefix.
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Dir24_8 {
+        &self.table
+    }
+}
+
+impl NetworkFunction for LpmNf {
+    fn kind(&self) -> NfKind {
+        NfKind::Lpm
+    }
+
+    fn process(&mut self, pkt: &Packet, sink: &mut dyn AccessSink) -> Verdict {
+        sink.touch(layout::PKTBUF_BASE, AccessKind::Load, 150);
+        let Ok(ip) = pkt.ipv4() else {
+            return Verdict::Drop;
+        };
+        match self.table.lookup(ip.dst, sink) {
+            Some(hop) => {
+                self.routed += 1;
+                Verdict::Steer(hop)
+            }
+            None => {
+                self.unrouted += 1;
+                Verdict::Drop
+            }
+        }
+    }
+
+    fn memory_profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            heap_stack: self.table.table_bytes(),
+            ..paper_profile(NfKind::Lpm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{NullSink, RecordingSink};
+
+    fn p(addr: u32, len: u8, hop: u32) -> Prefix {
+        Prefix {
+            addr,
+            len,
+            next_hop: hop,
+        }
+    }
+
+    #[test]
+    fn exact_slash24_route() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000100, 24, 7));
+        assert_eq!(t.lookup(0x0a000100, &mut NullSink), Some(7));
+        assert_eq!(t.lookup(0x0a0001ff, &mut NullSink), Some(7));
+        assert_eq!(t.lookup(0x0a000200, &mut NullSink), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins_within_tbl24() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000000, 8, 1));
+        t.insert(p(0x0a0b0000, 16, 2));
+        assert_eq!(t.lookup(0x0a0b0105, &mut NullSink), Some(2));
+        assert_eq!(t.lookup(0x0a0c0105, &mut NullSink), Some(1));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = Dir24_8::new();
+        a.insert(p(0x0a000000, 8, 1));
+        a.insert(p(0x0a0b0000, 16, 2));
+        let mut b = Dir24_8::new();
+        b.insert(p(0x0a0b0000, 16, 2));
+        b.insert(p(0x0a000000, 8, 1));
+        for probe in [0x0a0b0105u32, 0x0a0c0105, 0x0b000000] {
+            assert_eq!(
+                a.lookup(probe, &mut NullSink),
+                b.lookup(probe, &mut NullSink)
+            );
+        }
+    }
+
+    #[test]
+    fn slash32_route_via_tbl8() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000000, 8, 1));
+        t.insert(p(0x0a000105, 32, 9));
+        assert_eq!(t.lookup(0x0a000105, &mut NullSink), Some(9));
+        // Neighbors in the same /24 fall back to the covering /8.
+        assert_eq!(t.lookup(0x0a000106, &mut NullSink), Some(1));
+        assert_eq!(t.tbl8_segments(), 1);
+    }
+
+    #[test]
+    fn long_prefix_then_short_overlay() {
+        // Insert /32 first, then a /16 that covers it: /32 must survive.
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000105, 32, 9));
+        t.insert(p(0x0a000000, 16, 1));
+        assert_eq!(t.lookup(0x0a000105, &mut NullSink), Some(9));
+        assert_eq!(t.lookup(0x0a000106, &mut NullSink), Some(1));
+    }
+
+    #[test]
+    fn lookup_agrees_with_naive_scan() {
+        let prefixes = synth_prefixes(300, 5);
+        let t = {
+            let mut t = Dir24_8::new();
+            for &x in &prefixes {
+                t.insert(x);
+            }
+            t
+        };
+        let naive = |addr: u32| {
+            prefixes
+                .iter()
+                .filter(|x| mask(addr, x.len) == mask(x.addr, x.len))
+                .max_by_key(|x| x.len)
+                .map(|x| x.next_hop)
+        };
+        let mut rng_state = 0x1234_5678u32;
+        for _ in 0..2000 {
+            rng_state = rng_state
+                .wrapping_mul(1_664_525)
+                .wrapping_add(1_013_904_223);
+            let addr = rng_state;
+            let got = t.lookup(addr, &mut NullSink);
+            let want = naive(addr);
+            // Ties between equal-length prefixes may resolve either way;
+            // compare only when the naive answer is unambiguous.
+            let candidates: Vec<_> = prefixes
+                .iter()
+                .filter(|x| mask(addr, x.len) == mask(x.addr, x.len))
+                .collect();
+            let max_len = candidates.iter().map(|x| x.len).max();
+            let ambiguous = candidates.iter().filter(|x| Some(x.len) == max_len).count() > 1;
+            if !ambiguous {
+                assert_eq!(got, want, "addr {addr:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0, 0, 42));
+        assert_eq!(t.lookup(0xffff_ffff, &mut NullSink), Some(42));
+        assert_eq!(t.lookup(0, &mut NullSink), Some(42));
+    }
+
+    #[test]
+    fn tbl24_lookup_touches_one_address_tbl8_two() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000000, 16, 1));
+        t.insert(p(0x0b000105, 32, 2));
+        let mut s1 = RecordingSink::new();
+        let _ = t.lookup(0x0a000001, &mut s1);
+        assert_eq!(s1.accesses().len(), 1);
+        let mut s2 = RecordingSink::new();
+        let _ = t.lookup(0x0b000105, &mut s2);
+        assert_eq!(s2.accesses().len(), 2);
+    }
+
+    #[test]
+    fn table_bytes_dominated_by_tbl24() {
+        let t = Dir24_8::new();
+        assert_eq!(t.table_bytes(), ByteSize((1u64 << 24) * 4));
+    }
+
+    #[test]
+    fn nf_routes_and_counts() {
+        use snic_types::packet::PacketBuilder;
+        use snic_types::Protocol;
+        let mut nf = LpmNf::new(&[p(0xc6330000, 16, 3)]);
+        let hit = PacketBuilder::new(1, 0xc633_0007, Protocol::Udp, 1, 2).build();
+        let miss = PacketBuilder::new(1, 0x0101_0101, Protocol::Udp, 1, 2).build();
+        assert_eq!(nf.process(&hit, &mut NullSink), Verdict::Steer(3));
+        assert_eq!(nf.process(&miss, &mut NullSink), Verdict::Drop);
+        assert_eq!((nf.routed(), nf.unrouted()), (1, 1));
+    }
+
+    #[test]
+    fn default_profile_close_to_paper_64mb() {
+        let nf = LpmNf::with_defaults(1);
+        let heap = nf.memory_profile().heap_stack.as_mib_f64();
+        // Paper: 64.90 MB. tbl24 alone is 64 MB; tbl8 segments add a bit.
+        assert!((64.0..70.0).contains(&heap), "heap = {heap} MiB");
+    }
+}

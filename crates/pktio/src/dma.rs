@@ -1,0 +1,230 @@
+//! The multi-bank DMA controller (§4.2).
+//!
+//! "S-NIC achieves these properties using a multi-bank DMA controller,
+//! with one bank per programmable core. Each bank has TLB entries for the
+//! upstream and downstream transfer directions." A transfer is validated
+//! against the bank's window for its direction; anything else is a
+//! [`snic_types::IsolationError::DmaViolation`].
+
+use snic_mem::planner::{plan_regions, PagePolicy};
+use snic_types::{ByteSize, CoreId, IsolationError, NfId, SnicError};
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDirection {
+    /// Host RAM → NIC RAM.
+    HostToNic,
+    /// NIC RAM → host RAM.
+    NicToHost,
+}
+
+/// One DMA window: `(base, len)` in the relevant address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaWindow {
+    /// Base address.
+    pub base: u64,
+    /// Window length in bytes.
+    pub len: u64,
+}
+
+impl DmaWindow {
+    fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.saturating_add(len) <= self.base + self.len
+    }
+}
+
+/// A per-core DMA bank.
+#[derive(Debug)]
+pub struct DmaBank {
+    core: CoreId,
+    owner: NfId,
+    /// NIC-side window (the NF-owned packet buffer).
+    nic_window: DmaWindow,
+    /// Host-side window (the host-sanctioned region).
+    host_window: DmaWindow,
+    locked: bool,
+    transfers: u64,
+    bytes: u64,
+}
+
+impl DmaBank {
+    /// Configure a bank; `nf_launch` locks it before the NF runs.
+    pub fn new(
+        core: CoreId,
+        owner: NfId,
+        nic_window: DmaWindow,
+        host_window: DmaWindow,
+    ) -> DmaBank {
+        DmaBank {
+            core,
+            owner,
+            nic_window,
+            host_window,
+            locked: false,
+            transfers: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The serving core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The owning NF.
+    pub fn owner(&self) -> NfId {
+        self.owner
+    }
+
+    /// Lock the bank's windows (read-only after `nf_launch`).
+    pub fn lock(&mut self) {
+        self.locked = true;
+    }
+
+    /// True once locked.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Reconfigure windows; fails after locking.
+    pub fn reconfigure(
+        &mut self,
+        nic_window: DmaWindow,
+        host_window: DmaWindow,
+    ) -> Result<(), SnicError> {
+        if self.locked {
+            return Err(IsolationError::TlbLocked.into());
+        }
+        self.nic_window = nic_window;
+        self.host_window = host_window;
+        Ok(())
+    }
+
+    /// Validate a transfer of `len` bytes between `nic_addr` and
+    /// `host_addr` in the given direction; returns the byte count on
+    /// success.
+    pub fn validate(
+        &mut self,
+        direction: DmaDirection,
+        nic_addr: u64,
+        host_addr: u64,
+        len: u64,
+    ) -> Result<u64, SnicError> {
+        let _ = direction; // Both directions check both windows.
+        if !self.nic_window.contains(nic_addr, len) {
+            return Err(IsolationError::DmaViolation { addr: nic_addr }.into());
+        }
+        if !self.host_window.contains(host_addr, len) {
+            return Err(IsolationError::DmaViolation { addr: host_addr }.into());
+        }
+        self.transfers += 1;
+        self.bytes += len;
+        Ok(len)
+    }
+
+    /// Completed transfer count.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Completed byte count.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// TLB entries one DMA bank needs: the NF packet buffer (2 MB) plus the
+/// DMA instruction queue (256 KB per SR-IOV function on a LiquidIO) —
+/// Table 4 says 2 under 2 MB pages.
+pub fn dma_bank_tlb_entries() -> u64 {
+    plan_regions(&[ByteSize::mib(2), ByteSize::kib(256)], &PagePolicy::Equal).total_entries()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> DmaBank {
+        DmaBank::new(
+            CoreId(0),
+            NfId(1),
+            DmaWindow {
+                base: 0x10_0000,
+                len: 0x10_000,
+            },
+            DmaWindow {
+                base: 0x8000_0000,
+                len: 0x10_000,
+            },
+        )
+    }
+
+    #[test]
+    fn valid_transfer_counts() {
+        let mut b = bank();
+        assert_eq!(
+            b.validate(DmaDirection::NicToHost, 0x10_0000, 0x8000_0000, 4096)
+                .unwrap(),
+            4096
+        );
+        assert_eq!(b.transfers(), 1);
+        assert_eq!(b.bytes(), 4096);
+    }
+
+    #[test]
+    fn nic_side_violation() {
+        let mut b = bank();
+        let err = b
+            .validate(DmaDirection::NicToHost, 0x20_0000, 0x8000_0000, 64)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnicError::Isolation(IsolationError::DmaViolation { addr: 0x20_0000 })
+        ));
+        assert_eq!(b.transfers(), 0);
+    }
+
+    #[test]
+    fn host_side_violation() {
+        let mut b = bank();
+        // The host must not be able to aim DMA at arbitrary host memory.
+        let err = b
+            .validate(DmaDirection::HostToNic, 0x10_0000, 0x9000_0000, 64)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnicError::Isolation(IsolationError::DmaViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn straddling_transfer_rejected() {
+        let mut b = bank();
+        assert!(b
+            .validate(
+                DmaDirection::NicToHost,
+                0x10_0000 + 0x10_000 - 32,
+                0x8000_0000,
+                64
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn lock_prevents_reconfiguration() {
+        let mut b = bank();
+        b.lock();
+        let w = DmaWindow {
+            base: 0,
+            len: u64::MAX / 2,
+        };
+        assert!(b.reconfigure(w, w).is_err());
+        // Windows unchanged: the wide transfer still fails.
+        assert!(b.validate(DmaDirection::NicToHost, 0, 0, 64).is_err());
+    }
+
+    #[test]
+    fn table4_dma_tlb_entries() {
+        assert_eq!(dma_bank_tlb_entries(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Packet IO: ports, switching, virtual packet pipelines, VXLAN, DMA.
+//!
+//! §4.4 of the paper: a *virtual packet pipeline* (VPP) bundles the
+//! hardware that moves one NF's packets between the wire and its private
+//! RAM — reserved RX/TX buffer space, a packet scheduler locked to the
+//! NF's memory, and the switching rules that select its packets.
+//!
+//! - [`rules`]: switching rules over five-tuples, MACs, and VXLAN VNIs,
+//! - [`vxlan`]: RFC 7348 encap/decap so NFs can act as VXLAN endpoints,
+//! - [`port`]: physical RX/TX port buffer accounting (reservations),
+//! - [`scheduler`]: FIFO (commodity) vs. deficit-round-robin (S-NIC)
+//!   packet schedulers for the output module,
+//! - [`vpp`]: the virtual packet pipeline with its buffer inventory
+//!   (PB/PDB/ODB — Table 4's TLB sizing) and per-VPP rate guarantees,
+//! - [`dma`]: the multi-bank DMA controller with per-direction windows
+//!   (§4.2's SR-IOV-style isolation for NIC/host transfers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod port;
+pub mod rules;
+pub mod scheduler;
+pub mod vpp;
+pub mod vxlan;
+
+pub use dma::{DmaBank, DmaDirection};
+pub use port::PortBuffers;
+pub use rules::{RuleMatch, RuleTable, SwitchRule};
+pub use scheduler::{DrrScheduler, FifoScheduler, PacketScheduler, TxItem};
+pub use vpp::{VirtualPacketPipeline, VppBufferSpec};
+pub use vxlan::{vxlan_decap, vxlan_encap};

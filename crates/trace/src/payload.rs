@@ -1,0 +1,103 @@
+//! Payload synthesis.
+//!
+//! DPI experiments need payloads in which a controllable fraction of
+//! packets contain signature patterns; everything else is filler drawn
+//! from a printable alphabet so Aho-Corasick walks realistic text.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A deterministic payload generator.
+#[derive(Debug)]
+pub struct PayloadGen {
+    rng: rand::rngs::StdRng,
+    /// Patterns that may be embedded into payloads.
+    patterns: Vec<Vec<u8>>,
+    /// Probability that a generated payload embeds one pattern.
+    hit_rate: f64,
+}
+
+impl PayloadGen {
+    /// Create a generator with the given embedded-pattern probability.
+    pub fn new(seed: u64, patterns: Vec<Vec<u8>>, hit_rate: f64) -> PayloadGen {
+        assert!(
+            (0.0..=1.0).contains(&hit_rate),
+            "hit_rate must be a probability"
+        );
+        PayloadGen {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            patterns,
+            hit_rate,
+        }
+    }
+
+    /// Generate `len` bytes of filler, embedding a pattern with the
+    /// configured probability (if any patterns were supplied and fit).
+    pub fn generate(&mut self, len: usize) -> Vec<u8> {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ./:-_";
+        let mut out: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[self.rng.random_range(0..ALPHABET.len())])
+            .collect();
+        if !self.patterns.is_empty() && self.rng.random::<f64>() < self.hit_rate {
+            let idx = self.rng.random_range(0..self.patterns.len());
+            let pat = self.patterns[idx].clone();
+            if pat.len() <= out.len() {
+                let pos = self.rng.random_range(0..=out.len() - pat.len());
+                out[pos..pos + pat.len()].copy_from_slice(&pat);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains(hay: &[u8], needle: &[u8]) -> bool {
+        hay.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn respects_length() {
+        let mut g = PayloadGen::new(1, vec![], 0.0);
+        assert_eq!(g.generate(64).len(), 64);
+        assert_eq!(g.generate(0).len(), 0);
+    }
+
+    #[test]
+    fn embeds_patterns_at_requested_rate() {
+        let pat = b"EVILSIG".to_vec();
+        let mut g = PayloadGen::new(2, vec![pat.clone()], 0.5);
+        let hits = (0..2000)
+            .filter(|_| contains(&g.generate(100), &pat))
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "{rate}");
+    }
+
+    #[test]
+    fn zero_hit_rate_never_embeds() {
+        let pat = b"XNEVERX".to_vec();
+        let mut g = PayloadGen::new(3, vec![pat.clone()], 0.0);
+        for _ in 0..500 {
+            assert!(!contains(&g.generate(80), &pat));
+        }
+    }
+
+    #[test]
+    fn pattern_longer_than_payload_skipped() {
+        let pat = vec![b'z'; 100];
+        let mut g = PayloadGen::new(4, vec![pat], 1.0);
+        // Must not panic when the payload is shorter than the pattern.
+        let p = g.generate(10);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = PayloadGen::new(9, vec![b"sig".to_vec()], 0.3);
+        let mut b = PayloadGen::new(9, vec![b"sig".to_vec()], 0.3);
+        assert_eq!(a.generate(128), b.generate(128));
+    }
+}

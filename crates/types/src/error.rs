@@ -1,0 +1,176 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{AccelClusterId, CoreId, NfId};
+
+/// An isolation violation detected by the trusted hardware.
+///
+/// On a commodity NIC these conditions are *not* errors — the access simply
+/// proceeds, which is precisely the weakness §3 of the paper demonstrates.
+/// Under S-NIC the device model returns one of these variants and the
+/// offending access has no effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsolationError {
+    /// A core attempted to touch a physical address outside its TLB mappings.
+    TlbMiss {
+        /// The core that faulted.
+        core: CoreId,
+        /// The offending physical (commodity) or virtual (S-NIC) address.
+        addr: u64,
+    },
+    /// The management core tried to access a denylisted physical page.
+    Denylisted {
+        /// The physical address that was refused.
+        addr: u64,
+        /// The function that owns the page.
+        owner: NfId,
+    },
+    /// An accelerator hardware thread faulted outside its TLB bank (fatal
+    /// for the cluster per §4.3).
+    AccelFault {
+        /// The faulting cluster.
+        cluster: AccelClusterId,
+        /// The offending address.
+        addr: u64,
+    },
+    /// A DMA request targeted memory outside the sanctioned windows (§4.2).
+    DmaViolation {
+        /// The offending bus address.
+        addr: u64,
+    },
+    /// Attempt to mutate a TLB that `nf_launch` has locked read-only.
+    TlbLocked,
+}
+
+impl core::fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsolationError::TlbMiss { core, addr } => {
+                write!(f, "TLB miss on {core} at {addr:#x} (fatal under S-NIC)")
+            }
+            IsolationError::Denylisted { addr, owner } => {
+                write!(
+                    f,
+                    "management access to {addr:#x} denied; page owned by {owner}"
+                )
+            }
+            IsolationError::AccelFault { cluster, addr } => write!(
+                f,
+                "accelerator cluster {:?}#{} faulted at {addr:#x}",
+                cluster.kind, cluster.index
+            ),
+            IsolationError::DmaViolation { addr } => {
+                write!(f, "DMA to unsanctioned address {addr:#x}")
+            }
+            IsolationError::TlbLocked => write!(f, "TLB is locked read-only after nf_launch"),
+        }
+    }
+}
+
+impl std::error::Error for IsolationError {}
+
+/// Top-level error type for S-NIC device-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnicError {
+    /// An isolation violation (see [`IsolationError`]).
+    Isolation(IsolationError),
+    /// `nf_launch` failed: a requested core is already bound to a live NF.
+    CoreBusy(CoreId),
+    /// `nf_launch` failed: a physical page is already owned by another NF.
+    PageOwned {
+        /// First conflicting physical page address.
+        addr: u64,
+        /// The current owner.
+        owner: NfId,
+    },
+    /// `nf_launch` failed: requested accelerator clusters are unavailable.
+    AccelUnavailable(AccelClusterId),
+    /// `nf_launch` failed: not enough RX/TX buffer space in physical ports.
+    PortBufferExhausted,
+    /// `nf_launch` failed: not enough cache capacity for the reservation.
+    CacheExhausted,
+    /// Operation referenced an NF id that does not exist (or was torn down).
+    NoSuchNf(NfId),
+    /// The request was malformed (bad config blob, zero cores, ...).
+    InvalidConfig(String),
+    /// Packet parsing failed.
+    Malformed(&'static str),
+    /// The NIC crashed (e.g. the bus-DoS attack on commodity hardware).
+    NicCrashed,
+}
+
+impl From<IsolationError> for SnicError {
+    fn from(e: IsolationError) -> Self {
+        SnicError::Isolation(e)
+    }
+}
+
+impl core::fmt::Display for SnicError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnicError::Isolation(e) => write!(f, "isolation violation: {e}"),
+            SnicError::CoreBusy(c) => write!(f, "nf_launch: {c} already bound to a live NF"),
+            SnicError::PageOwned { addr, owner } => {
+                write!(f, "nf_launch: page {addr:#x} already owned by {owner}")
+            }
+            SnicError::AccelUnavailable(c) => {
+                write!(
+                    f,
+                    "nf_launch: accelerator cluster {:?}#{} unavailable",
+                    c.kind, c.index
+                )
+            }
+            SnicError::PortBufferExhausted => {
+                write!(f, "nf_launch: insufficient RX/TX port buffer space")
+            }
+            SnicError::CacheExhausted => {
+                write!(f, "nf_launch: insufficient cache capacity for reservation")
+            }
+            SnicError::NoSuchNf(id) => write!(f, "no such network function: {id}"),
+            SnicError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SnicError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            SnicError::NicCrashed => write!(f, "NIC hard-crashed; power cycle required"),
+        }
+    }
+}
+
+impl std::error::Error for SnicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnicError::Isolation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let e = SnicError::from(IsolationError::Denylisted {
+            addr: 0x1000,
+            owner: NfId(3),
+        });
+        let s = e.to_string();
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("nf3"), "{s}");
+    }
+
+    #[test]
+    fn source_chains_to_isolation() {
+        use std::error::Error;
+        let e = SnicError::from(IsolationError::TlbLocked);
+        assert!(e.source().is_some());
+        assert!(SnicError::NicCrashed.source().is_none());
+    }
+
+    #[test]
+    fn tlb_miss_display_mentions_core() {
+        let e = IsolationError::TlbMiss {
+            core: CoreId(4),
+            addr: 0xdead_beef,
+        };
+        assert!(e.to_string().contains("core4"));
+    }
+}

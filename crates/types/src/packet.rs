@@ -1,0 +1,612 @@
+//! Packet representation and protocol header parsing/serialization.
+//!
+//! The device model moves packets as byte buffers ([`bytes::Bytes`] under a
+//! small metadata wrapper). Headers are parsed on demand with bounds-checked
+//! readers; serialization writes network byte order. Supported protocols are
+//! the ones the paper's workloads need: Ethernet II, IPv4, TCP, UDP, and
+//! VXLAN (RFC 7348, §4.4 of the paper).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SnicError;
+use crate::flow::Protocol;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministically derive a locally-administered unicast MAC from a seed.
+    pub fn from_seed(seed: u64) -> MacAddr {
+        let b = seed.to_be_bytes();
+        // Locally administered (bit 1 of first octet set), unicast (bit 0 clear).
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// UDP destination port assigned to VXLAN by RFC 7348.
+pub const VXLAN_UDP_PORT: u16 = 4789;
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType (e.g. [`ETHERTYPE_IPV4`]).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Wire length of an Ethernet II header.
+    pub const LEN: usize = 14;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<EthernetHeader, SnicError> {
+        if buf.len() < Self::LEN {
+            return Err(SnicError::Malformed("ethernet header truncated"));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+
+    /// Append the wire form to `out`.
+    pub fn write(&self, out: &mut BytesMut) {
+        out.put_slice(&self.dst.0);
+        out.put_slice(&self.src.0);
+        out.put_u16(self.ethertype);
+    }
+}
+
+/// An IPv4 header (options unsupported; IHL is always 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Layer-4 protocol.
+    pub protocol: Protocol,
+    /// Total length (header + payload) in bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Header checksum as found on the wire (recomputed by [`Self::write`]).
+    pub checksum: u16,
+}
+
+impl Ipv4Header {
+    /// Wire length (no options).
+    pub const LEN: usize = 20;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Ipv4Header, SnicError> {
+        if buf.len() < Self::LEN {
+            return Err(SnicError::Malformed("ipv4 header truncated"));
+        }
+        let vihl = buf[0];
+        if vihl >> 4 != 4 {
+            return Err(SnicError::Malformed("not an ipv4 packet"));
+        }
+        if vihl & 0x0f != 5 {
+            return Err(SnicError::Malformed("ipv4 options unsupported"));
+        }
+        Ok(Ipv4Header {
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ttl: buf[8],
+            protocol: Protocol::from_wire(buf[9]),
+            checksum: u16::from_be_bytes([buf[10], buf[11]]),
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        })
+    }
+
+    /// Compute the RFC 791 header checksum over the 20-byte header with the
+    /// checksum field zeroed.
+    pub fn compute_checksum(&self) -> u16 {
+        let mut tmp = BytesMut::with_capacity(Self::LEN);
+        self.write_with_checksum(&mut tmp, 0);
+        checksum16(&tmp)
+    }
+
+    /// Append the wire form to `out`, recomputing the checksum.
+    pub fn write(&self, out: &mut BytesMut) {
+        let csum = self.compute_checksum();
+        self.write_with_checksum(out, csum);
+    }
+
+    fn write_with_checksum(&self, out: &mut BytesMut, csum: u16) {
+        out.put_u8(0x45);
+        out.put_u8(0); // DSCP/ECN.
+        out.put_u16(self.total_len);
+        out.put_u16(0); // Identification.
+        out.put_u16(0); // Flags/fragment offset.
+        out.put_u8(self.ttl);
+        out.put_u8(self.protocol.to_wire());
+        out.put_u16(csum);
+        out.put_u32(self.src);
+        out.put_u32(self.dst);
+    }
+
+    /// True if the on-wire checksum matches the *modeled* header fields.
+    ///
+    /// Unmodeled fields (identification, DSCP, flags) are assumed zero,
+    /// which holds for headers built by [`PacketBuilder`]. To validate a
+    /// header of unknown provenance, use [`Packet::ipv4_checksum_ok`],
+    /// which checks the raw bytes.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// One's-complement 16-bit checksum over `data` (RFC 1071).
+pub fn checksum16(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A TCP header (no options parsed; data offset honored when skipping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header length in bytes (data offset × 4).
+    pub header_len: u8,
+    /// Flag bits (FIN=0x01, SYN=0x02, RST=0x04, PSH=0x08, ACK=0x10).
+    pub flags: u8,
+}
+
+impl TcpHeader {
+    /// Minimum wire length.
+    pub const MIN_LEN: usize = 20;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<TcpHeader, SnicError> {
+        if buf.len() < Self::MIN_LEN {
+            return Err(SnicError::Malformed("tcp header truncated"));
+        }
+        let header_len = (buf[12] >> 4) * 4;
+        if usize::from(header_len) < Self::MIN_LEN {
+            return Err(SnicError::Malformed("tcp data offset below minimum"));
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            header_len,
+            flags: buf[13],
+        })
+    }
+
+    /// Append a 20-byte wire form to `out` (checksum left zero; the NIC
+    /// checksum accelerator fills it in the real device).
+    pub fn write(&self, out: &mut BytesMut) {
+        out.put_u16(self.src_port);
+        out.put_u16(self.dst_port);
+        out.put_u32(self.seq);
+        out.put_u32(self.ack);
+        out.put_u8(5 << 4);
+        out.put_u8(self.flags);
+        out.put_u16(0xffff); // Window.
+        out.put_u16(0); // Checksum (offloaded).
+        out.put_u16(0); // Urgent pointer.
+    }
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of UDP header plus payload.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Wire length.
+    pub const LEN: usize = 8;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpHeader, SnicError> {
+        if buf.len() < Self::LEN {
+            return Err(SnicError::Malformed("udp header truncated"));
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+
+    /// Append the wire form to `out` (checksum zero = disabled, legal for IPv4).
+    pub fn write(&self, out: &mut BytesMut) {
+        out.put_u16(self.src_port);
+        out.put_u16(self.dst_port);
+        out.put_u16(self.len);
+        out.put_u16(0);
+    }
+}
+
+/// A VXLAN header (RFC 7348).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VxlanHeader {
+    /// 24-bit Virtual Network Identifier.
+    pub vni: u32,
+}
+
+impl VxlanHeader {
+    /// Wire length.
+    pub const LEN: usize = 8;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<VxlanHeader, SnicError> {
+        if buf.len() < Self::LEN {
+            return Err(SnicError::Malformed("vxlan header truncated"));
+        }
+        if buf[0] & 0x08 == 0 {
+            return Err(SnicError::Malformed("vxlan I flag not set"));
+        }
+        Ok(VxlanHeader {
+            vni: u32::from_be_bytes([0, buf[4], buf[5], buf[6]]),
+        })
+    }
+
+    /// Append the wire form to `out`.
+    pub fn write(&self, out: &mut BytesMut) {
+        out.put_u8(0x08); // Flags: I bit set.
+        out.put_slice(&[0, 0, 0]);
+        let v = self.vni.to_be_bytes();
+        out.put_slice(&[v[1], v[2], v[3]]);
+        out.put_u8(0); // Reserved.
+    }
+}
+
+/// A packet as handled by the device model.
+///
+/// The buffer always begins with an Ethernet header; `arrival` is the
+/// simulated time at which the packet entered the RX port (zero for
+/// synthetic packets that have not traversed the port model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Raw frame bytes starting at the Ethernet header.
+    pub data: Bytes,
+    /// Simulated arrival time in picoseconds.
+    pub arrival: crate::units::Picos,
+}
+
+impl Packet {
+    /// Wrap raw frame bytes.
+    pub fn from_bytes(data: Bytes) -> Packet {
+        Packet {
+            data,
+            arrival: crate::units::Picos::ZERO,
+        }
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Parse the Ethernet header.
+    pub fn ethernet(&self) -> Result<EthernetHeader, SnicError> {
+        EthernetHeader::parse(&self.data)
+    }
+
+    /// True if the IPv4 header checksum validates over the raw header
+    /// bytes (RFC 1071: the one's-complement sum of the full header,
+    /// including the checksum field, folds to zero). Unlike
+    /// [`Ipv4Header::checksum_ok`], this covers every byte of the
+    /// header, including fields the parsed struct does not model.
+    pub fn ipv4_checksum_ok(&self) -> bool {
+        let start = EthernetHeader::LEN;
+        self.data.len() >= start + Ipv4Header::LEN
+            && checksum16(&self.data[start..start + Ipv4Header::LEN]) == 0
+    }
+
+    /// Parse the IPv4 header, if this is an IPv4 frame.
+    pub fn ipv4(&self) -> Result<Ipv4Header, SnicError> {
+        let eth = self.ethernet()?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(SnicError::Malformed("not an ipv4 ethertype"));
+        }
+        Ipv4Header::parse(&self.data[EthernetHeader::LEN..])
+    }
+
+    /// Offset of the layer-4 header within the frame.
+    pub fn l4_offset(&self) -> usize {
+        EthernetHeader::LEN + Ipv4Header::LEN
+    }
+
+    /// Parse the TCP header of a TCP/IPv4 frame.
+    pub fn tcp(&self) -> Result<TcpHeader, SnicError> {
+        let ip = self.ipv4()?;
+        if ip.protocol != Protocol::Tcp {
+            return Err(SnicError::Malformed("not a tcp packet"));
+        }
+        TcpHeader::parse(&self.data[self.l4_offset()..])
+    }
+
+    /// Parse the UDP header of a UDP/IPv4 frame.
+    pub fn udp(&self) -> Result<UdpHeader, SnicError> {
+        let ip = self.ipv4()?;
+        if ip.protocol != Protocol::Udp {
+            return Err(SnicError::Malformed("not a udp packet"));
+        }
+        UdpHeader::parse(&self.data[self.l4_offset()..])
+    }
+
+    /// The application payload (bytes after the L4 header).
+    pub fn payload(&self) -> &[u8] {
+        let ip = match self.ipv4() {
+            Ok(ip) => ip,
+            Err(_) => return &[],
+        };
+        let l4 = self.l4_offset();
+        let l4_len = match ip.protocol {
+            Protocol::Tcp => match TcpHeader::parse(&self.data[l4..]) {
+                Ok(t) => usize::from(t.header_len),
+                Err(_) => return &[],
+            },
+            Protocol::Udp => UdpHeader::LEN,
+            Protocol::Other(_) => 0,
+        };
+        self.data.get(l4 + l4_len..).unwrap_or(&[])
+    }
+}
+
+/// Builder for synthetic test/workload packets.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    eth: EthernetHeader,
+    src_ip: u32,
+    dst_ip: u32,
+    protocol: Protocol,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    payload: Vec<u8>,
+}
+
+impl PacketBuilder {
+    /// Start building a packet with the given five-tuple fields.
+    pub fn new(src_ip: u32, dst_ip: u32, protocol: Protocol, src_port: u16, dst_port: u16) -> Self {
+        PacketBuilder {
+            eth: EthernetHeader {
+                dst: MacAddr::from_seed(u64::from(dst_ip)),
+                src: MacAddr::from_seed(u64::from(src_ip)),
+                ethertype: ETHERTYPE_IPV4,
+            },
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port,
+            dst_port,
+            ttl: 64,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Override the Ethernet source/destination MACs.
+    pub fn macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.eth.src = src;
+        self.eth.dst = dst;
+        self
+    }
+
+    /// Set the application payload bytes.
+    pub fn payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Set the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Serialize into a [`Packet`].
+    pub fn build(self) -> Packet {
+        let l4_len = match self.protocol {
+            Protocol::Tcp => TcpHeader::MIN_LEN,
+            Protocol::Udp => UdpHeader::LEN,
+            Protocol::Other(_) => 0,
+        };
+        let total_len = (Ipv4Header::LEN + l4_len + self.payload.len()) as u16;
+        let mut out = BytesMut::with_capacity(EthernetHeader::LEN + usize::from(total_len));
+        self.eth.write(&mut out);
+        let ip = Ipv4Header {
+            src: self.src_ip,
+            dst: self.dst_ip,
+            protocol: self.protocol,
+            total_len,
+            ttl: self.ttl,
+            checksum: 0,
+        };
+        ip.write(&mut out);
+        match self.protocol {
+            Protocol::Tcp => {
+                TcpHeader {
+                    src_port: self.src_port,
+                    dst_port: self.dst_port,
+                    seq: 0,
+                    ack: 0,
+                    header_len: 20,
+                    flags: 0x10,
+                }
+                .write(&mut out);
+            }
+            Protocol::Udp => {
+                UdpHeader {
+                    src_port: self.src_port,
+                    dst_port: self.dst_port,
+                    len: (UdpHeader::LEN + self.payload.len()) as u16,
+                }
+                .write(&mut out);
+            }
+            Protocol::Other(_) => {}
+        }
+        out.put_slice(&self.payload);
+        Packet::from_bytes(out.freeze())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        PacketBuilder::new(0x0a000001, 0x0a000002, Protocol::Tcp, 1234, 80)
+            .payload(b"hello world".to_vec())
+            .build()
+    }
+
+    #[test]
+    fn builder_round_trips_ethernet() {
+        let p = sample();
+        let eth = p.ethernet().unwrap();
+        assert_eq!(eth.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(eth.src, MacAddr::from_seed(0x0a000001));
+    }
+
+    #[test]
+    fn builder_round_trips_ipv4() {
+        let p = sample();
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.src, 0x0a000001);
+        assert_eq!(ip.dst, 0x0a000002);
+        assert_eq!(ip.protocol, Protocol::Tcp);
+        assert!(ip.checksum_ok());
+        assert_eq!(usize::from(ip.total_len), 20 + 20 + 11);
+    }
+
+    #[test]
+    fn builder_round_trips_tcp() {
+        let p = sample();
+        let tcp = p.tcp().unwrap();
+        assert_eq!(tcp.src_port, 1234);
+        assert_eq!(tcp.dst_port, 80);
+        assert_eq!(p.payload(), b"hello world");
+    }
+
+    #[test]
+    fn builder_round_trips_udp() {
+        let p = PacketBuilder::new(1, 2, Protocol::Udp, 53, 5353)
+            .payload(vec![9u8; 32])
+            .build();
+        let udp = p.udp().unwrap();
+        assert_eq!(udp.src_port, 53);
+        assert_eq!(udp.len, 8 + 32);
+        assert_eq!(p.payload().len(), 32);
+    }
+
+    #[test]
+    fn vxlan_round_trip() {
+        let hdr = VxlanHeader { vni: 0x00ab_cdef };
+        let mut out = BytesMut::new();
+        hdr.write(&mut out);
+        assert_eq!(out.len(), VxlanHeader::LEN);
+        assert_eq!(VxlanHeader::parse(&out).unwrap(), hdr);
+    }
+
+    #[test]
+    fn vxlan_rejects_missing_flag() {
+        let buf = [0u8; 8];
+        assert!(VxlanHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_headers_rejected() {
+        assert!(EthernetHeader::parse(&[0u8; 5]).is_err());
+        assert!(Ipv4Header::parse(&[0x45; 10]).is_err());
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn non_ipv4_version_rejected() {
+        let mut buf = [0u8; 20];
+        buf[0] = 0x65; // Version 6.
+        assert!(Ipv4Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn checksum16_known_vector() {
+        // Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum16(&data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum16_odd_length() {
+        // A trailing odd byte is padded with zero.
+        assert_eq!(checksum16(&[0xff]), checksum16(&[0xff, 0x00]));
+    }
+
+    #[test]
+    fn corrupting_header_breaks_checksum() {
+        let p = sample();
+        let mut raw = p.data.to_vec();
+        raw[EthernetHeader::LEN + 16] ^= 0xff; // Flip a dst-ip byte.
+        let bad = Packet::from_bytes(Bytes::from(raw));
+        assert!(!bad.ipv4().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([1, 2, 3, 4, 5, 0xab]).to_string(),
+            "01:02:03:04:05:ab"
+        );
+    }
+}

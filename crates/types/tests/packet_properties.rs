@@ -1,0 +1,73 @@
+//! Property tests for packet construction and parsing.
+
+use proptest::prelude::*;
+use snic_types::packet::{checksum16, PacketBuilder};
+use snic_types::{FiveTuple, Packet, Protocol};
+
+proptest! {
+    #[test]
+    fn builder_parse_round_trip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        tcp in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let proto = if tcp { Protocol::Tcp } else { Protocol::Udp };
+        let pkt = PacketBuilder::new(src, dst, proto, sport, dport)
+            .payload(payload.clone())
+            .build();
+        let ft = FiveTuple::from_packet(&pkt).unwrap();
+        prop_assert_eq!(ft.src_ip, src);
+        prop_assert_eq!(ft.dst_ip, dst);
+        prop_assert_eq!(ft.src_port, sport);
+        prop_assert_eq!(ft.dst_port, dport);
+        prop_assert_eq!(ft.protocol, proto);
+        prop_assert_eq!(pkt.payload(), payload.as_slice());
+        prop_assert!(pkt.ipv4().unwrap().checksum_ok());
+        prop_assert!(pkt.ipv4_checksum_ok());
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_breaks_checksum_or_parse(
+        flip in 14usize..34,
+        bit in 0u8..8,
+    ) {
+        // Flipping any single bit of the IPv4 header must be detectable:
+        // either the checksum fails or the parse rejects the packet.
+        let pkt = PacketBuilder::new(0x0a000001, 0xc6330001, Protocol::Tcp, 1000, 80).build();
+        let mut raw = pkt.data.to_vec();
+        raw[flip] ^= 1 << bit;
+        let bad = Packet::from_bytes(bytes::Bytes::from(raw));
+        let detectable = !bad.ipv4_checksum_ok() || bad.ipv4().is_err();
+        prop_assert!(detectable, "flip at byte {flip} bit {bit} went unnoticed");
+    }
+
+    #[test]
+    fn checksum16_detects_single_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 2..64),
+        idx in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        // Make length even so the flip never lands in implicit padding.
+        let mut data = data;
+        if data.len() % 2 == 1 {
+            data.pop();
+        }
+        let idx = idx % data.len();
+        let original = checksum16(&data);
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(checksum16(&data), original);
+    }
+
+    #[test]
+    fn stable_hash_symmetric_inputs_differ(a in any::<u32>(), b in any::<u32>()) {
+        prop_assume!(a != b);
+        // Directionality matters: (a→b) hashes differently from (b→a)
+        // (with overwhelming probability; equality would be a collision).
+        let fwd = FiveTuple { src_ip: a, dst_ip: b, protocol: Protocol::Tcp, src_port: 1, dst_port: 2 };
+        let rev = fwd.reversed();
+        prop_assert_ne!(fwd.stable_hash(), rev.stable_hash());
+    }
+}

@@ -1,0 +1,412 @@
+//! Set-associative cache models with isolation-aware sharing disciplines.
+//!
+//! Three disciplines are modeled (§4.2 of the paper):
+//!
+//! - [`Partition::Shared`]: ordinary LRU sharing — the commodity baseline.
+//!   Co-tenants evict each other's lines, which both hurts performance
+//!   and creates Prime+Probe-style side channels.
+//! - [`Partition::StaticWays`]: each tenant owns a fixed slice of the
+//!   ways in every set. No line is ever shared, so no cross-tenant
+//!   eviction is possible — the side-channel-free configuration S-NIC
+//!   evaluates.
+//! - [`Partition::SecDcp`]: SecDCP-style dynamic partitioning — way
+//!   allocations can be resized between *phases* (never mid-phase), which
+//!   permits a one-way channel from the NIC OS to functions but not the
+//!   reverse (§4.2).
+
+use std::collections::HashMap;
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero or non-dividing sizes).
+    pub fn sets(&self) -> u64 {
+        assert!(
+            self.size > 0 && self.ways > 0 && self.line > 0,
+            "degenerate cache geometry"
+        );
+        let per_way_bytes = u64::from(self.ways) * u64::from(self.line);
+        assert!(
+            self.size % per_way_bytes == 0 || self.size >= per_way_bytes,
+            "cache size must hold at least one set"
+        );
+        (self.size / per_way_bytes).max(1)
+    }
+}
+
+/// The sharing discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partition {
+    /// Free-for-all LRU (commodity).
+    Shared,
+    /// Static equal way slices for `tenants` tenants.
+    StaticWays {
+        /// Number of co-located tenants.
+        tenants: u32,
+    },
+    /// SecDCP-style allocation: explicit per-tenant way counts.
+    SecDcp {
+        /// Ways assigned to each tenant (index = tenant id).
+        allocation: Vec<u32>,
+    },
+}
+
+/// One cache line's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    owner: u32,
+    /// LRU timestamp (larger = more recent).
+    stamp: u64,
+    valid: bool,
+}
+
+/// A set-associative cache.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    partition: Partition,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    hits: HashMap<u32, u64>,
+    misses: HashMap<u32, u64>,
+}
+
+impl Cache {
+    /// Build a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a partitioned configuration cannot give every tenant at
+    /// least one way.
+    pub fn new(config: CacheConfig, partition: Partition) -> Cache {
+        match &partition {
+            Partition::StaticWays { tenants } => {
+                assert!(
+                    *tenants > 0 && *tenants <= config.ways,
+                    "more tenants than ways"
+                );
+            }
+            Partition::SecDcp { allocation } => {
+                let total: u32 = allocation.iter().sum();
+                assert!(total <= config.ways, "SecDCP allocation exceeds ways");
+                assert!(allocation.iter().all(|&w| w > 0), "SecDCP zero-way tenant");
+            }
+            Partition::Shared => {}
+        }
+        let sets = config.sets();
+        let empty = Line {
+            tag: 0,
+            owner: 0,
+            stamp: 0,
+            valid: false,
+        };
+        Cache {
+            config,
+            partition,
+            sets: vec![vec![empty; config.ways as usize]; sets as usize],
+            clock: 0,
+            hits: HashMap::new(),
+            misses: HashMap::new(),
+        }
+    }
+
+    /// The way range `[lo, hi)` tenant `t` may occupy.
+    fn way_range(&self, t: u32) -> (usize, usize) {
+        match &self.partition {
+            Partition::Shared => (0, self.config.ways as usize),
+            Partition::StaticWays { tenants } => {
+                let per = self.config.ways / tenants;
+                let lo = (t % tenants) * per;
+                // Last tenant absorbs any remainder ways.
+                let hi = if t % tenants == tenants - 1 {
+                    self.config.ways
+                } else {
+                    lo + per
+                };
+                (lo as usize, hi as usize)
+            }
+            Partition::SecDcp { allocation } => {
+                let idx = (t as usize).min(allocation.len() - 1);
+                let lo: u32 = allocation[..idx].iter().sum();
+                (lo as usize, (lo + allocation[idx]) as usize)
+            }
+        }
+    }
+
+    /// Access `addr` on behalf of tenant `t`; returns `true` on hit.
+    pub fn access(&mut self, t: u32, addr: u64) -> bool {
+        self.clock += 1;
+        let line_addr = addr / u64::from(self.config.line);
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let (lo, hi) = self.way_range(t);
+        let set = &mut self.sets[set_idx];
+
+        // Hit check: under Shared, a hit may be satisfied from any way
+        // (this is what makes soft partitioning like Intel CAT leaky —
+        // see §4.2 footnote). Under hard partitioning only the tenant's
+        // own slice is searched, because other slices can never hold the
+        // tenant's lines.
+        let (search_lo, search_hi) = match self.partition {
+            Partition::Shared => (0, self.config.ways as usize),
+            _ => (lo, hi),
+        };
+        for way in search_lo..search_hi {
+            let l = &mut set[way];
+            if l.valid
+                && l.tag == tag
+                && (matches!(self.partition, Partition::Shared) || l.owner == t)
+            {
+                l.stamp = self.clock;
+                *self.hits.entry(t).or_default() += 1;
+                return true;
+            }
+        }
+
+        // Miss: fill into the LRU way of the tenant's slice.
+        let victim = (lo..hi)
+            .min_by_key(|&w| if set[w].valid { set[w].stamp } else { 0 })
+            .expect("way range non-empty");
+        set[victim] = Line {
+            tag,
+            owner: t,
+            stamp: self.clock,
+            valid: true,
+        };
+        *self.misses.entry(t).or_default() += 1;
+        false
+    }
+
+    /// Hits recorded for tenant `t`.
+    pub fn hits(&self, t: u32) -> u64 {
+        self.hits.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Misses recorded for tenant `t`.
+    pub fn misses(&self, t: u32) -> u64 {
+        self.misses.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Miss ratio for tenant `t` (0 when no accesses).
+    pub fn miss_ratio(&self, t: u32) -> f64 {
+        let h = self.hits(t);
+        let m = self.misses(t);
+        if h + m == 0 {
+            0.0
+        } else {
+            m as f64 / (h + m) as f64
+        }
+    }
+
+    /// Invalidate every line owned by tenant `t` (teardown zeroization,
+    /// §4.6: "The instruction also zeroes out the registers and cache
+    /// lines used by F").
+    pub fn flush_owner(&mut self, t: u32) -> u64 {
+        let mut flushed = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.owner == t {
+                    line.valid = false;
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Resize a SecDCP allocation between phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is not SecDCP-partitioned or the new allocation
+    /// is invalid. Lines stranded outside a tenant's new slice are
+    /// invalidated (they may not be probed, which would leak).
+    pub fn secdcp_resize(&mut self, allocation: Vec<u32>) {
+        assert!(
+            matches!(self.partition, Partition::SecDcp { .. }),
+            "not a SecDCP cache"
+        );
+        let total: u32 = allocation.iter().sum();
+        assert!(total <= self.config.ways && allocation.iter().all(|&w| w > 0));
+        self.partition = Partition::SecDcp { allocation };
+        // Invalidate lines that now sit outside their owner's slice.
+        for set_idx in 0..self.sets.len() {
+            for way in 0..self.config.ways as usize {
+                let owner = self.sets[set_idx][way].owner;
+                let valid = self.sets[set_idx][way].valid;
+                if valid {
+                    let (lo, hi) = self.way_range(owner);
+                    if way < lo || way >= hi {
+                        self.sets[set_idx][way].valid = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(partition: Partition) -> Cache {
+        // 4 sets x 4 ways x 64B lines = 1 KiB.
+        Cache::new(
+            CacheConfig {
+                size: 1024,
+                ways: 4,
+                line: 64,
+            },
+            partition,
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(
+            CacheConfig {
+                size: 1024,
+                ways: 4,
+                line: 64
+            }
+            .sets(),
+            4
+        );
+        assert_eq!(
+            CacheConfig {
+                size: 4 << 20,
+                ways: 16,
+                line: 64
+            }
+            .sets(),
+            4096
+        );
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(Partition::Shared);
+        assert!(!c.access(0, 0x1000));
+        assert!(c.access(0, 0x1000));
+        assert!(c.access(0, 0x103f)); // Same line.
+        assert!(!c.access(0, 0x1040)); // Next line.
+        assert_eq!(c.hits(0), 2);
+        assert_eq!(c.misses(0), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(Partition::Shared);
+        // Fill all 4 ways of set 0 (addresses with same set index).
+        for i in 0..4u64 {
+            c.access(0, i * 4 * 64 * 4); // Stride = sets*line = 256; x4 ways.
+        }
+        // Re-touch line 0 so line 1 becomes LRU.
+        c.access(0, 0);
+        // A 5th distinct line evicts line 1, not line 0.
+        c.access(0, 4 * 1024);
+        assert!(c.access(0, 0), "recently used line must survive");
+        assert!(!c.access(0, 1024), "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn shared_cache_lets_tenants_evict_each_other() {
+        let mut c = tiny(Partition::Shared);
+        for i in 0..4u64 {
+            c.access(0, i * 256);
+        }
+        // Tenant 1 thrashes the same set.
+        for i in 10..14u64 {
+            c.access(1, i * 256);
+        }
+        // Tenant 0's lines are gone: the cross-tenant side channel.
+        assert!(!c.access(0, 0));
+    }
+
+    #[test]
+    fn static_partition_prevents_cross_tenant_eviction() {
+        let mut c = tiny(Partition::StaticWays { tenants: 2 });
+        for i in 0..2u64 {
+            c.access(0, i * 256);
+        }
+        // Tenant 1 thrashes hard — far more lines than its slice holds.
+        for i in 10..30u64 {
+            c.access(1, i * 256);
+        }
+        // Tenant 0's two lines (fitting its 2-way slice) are untouched.
+        assert!(c.access(0, 0));
+        assert!(c.access(0, 256));
+    }
+
+    #[test]
+    fn static_partition_shrinks_effective_capacity() {
+        let mut shared = tiny(Partition::Shared);
+        let mut part = tiny(Partition::StaticWays { tenants: 2 });
+        // A working set of 4 lines in one set: fits shared (4 ways), not
+        // a 2-way slice.
+        for rounds in 0..8 {
+            for i in 0..4u64 {
+                shared.access(0, i * 256);
+                part.access(0, i * 256);
+            }
+            let _ = rounds;
+        }
+        assert!(part.miss_ratio(0) > shared.miss_ratio(0));
+    }
+
+    #[test]
+    fn flush_owner_removes_lines() {
+        let mut c = tiny(Partition::StaticWays { tenants: 2 });
+        c.access(0, 0);
+        c.access(1, 512);
+        assert_eq!(c.flush_owner(0), 1);
+        assert!(!c.access(0, 0), "flushed line must miss");
+        assert!(c.access(1, 512), "other tenant's line must survive");
+    }
+
+    #[test]
+    fn secdcp_resize_invalidates_stranded_lines() {
+        let mut c = tiny(Partition::SecDcp {
+            allocation: vec![3, 1],
+        });
+        c.access(0, 0);
+        c.access(0, 256);
+        c.access(0, 512);
+        c.secdcp_resize(vec![1, 3]);
+        // Tenant 0 now owns only way 0; at most one of its lines survives.
+        let survivors = [0u64, 256, 512].iter().filter(|&&a| c.access(0, a)).count();
+        assert!(
+            survivors <= 1,
+            "{survivors} lines survived a shrink to 1 way"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more tenants than ways")]
+    fn too_many_tenants_panics() {
+        let _ = tiny(Partition::StaticWays { tenants: 5 });
+    }
+
+    #[test]
+    fn last_tenant_absorbs_remainder_ways() {
+        // 4 ways, 3 tenants: slices are 1,1,2.
+        let c = tiny(Partition::StaticWays { tenants: 3 });
+        assert_eq!(c.way_range(0), (0, 1));
+        assert_eq!(c.way_range(1), (1, 2));
+        assert_eq!(c.way_range(2), (2, 4));
+    }
+}

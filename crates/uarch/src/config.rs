@@ -1,0 +1,114 @@
+//! Machine parameters for the microarchitectural simulator.
+//!
+//! Defaults follow §5.3 of the paper: "Our simulated NIC had multiple
+//! out-of-order, 1.2 GHz ARM cores that used a two-level cache and 16 GB
+//! of 1,600 MHz DDR3 RAM. We configured the core frequency, cache line
+//! size, L1 cache size, and cache associativity and latency to match
+//! those of the Marvell smart NIC described in the iPipe paper."
+
+use crate::bus::BusKind;
+use crate::cache::{CacheConfig, Partition};
+
+/// Full machine configuration for one colocation run.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Core clock in Hz.
+    pub core_hz: u64,
+    /// Per-core private L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// L2 sharing discipline.
+    pub l2_partition: Partition,
+    /// L1-miss / L2-hit penalty in cycles.
+    pub l2_hit_cycles: u64,
+    /// DRAM access latency in cycles (after winning the bus).
+    pub dram_cycles: u64,
+    /// Bus occupancy of one cache-line transfer, in cycles.
+    pub bus_beat_cycles: u64,
+    /// Bus arbitration discipline.
+    pub bus: BusKind,
+    /// Temporal-partitioning epoch length in cycles (used when `bus` is
+    /// [`BusKind::Temporal`]).
+    pub epoch_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The commodity baseline: shared L2, FCFS bus.
+    pub fn commodity(tenants: u32, l2_bytes: u64) -> MachineConfig {
+        let _ = tenants; // Baseline has the same cotenancy, no partitioning.
+        MachineConfig {
+            core_hz: 1_200_000_000,
+            l1: CacheConfig {
+                size: 32 << 10,
+                ways: 4,
+                line: 64,
+            },
+            l2: CacheConfig {
+                size: l2_bytes,
+                ways: 16,
+                line: 64,
+            },
+            l2_partition: Partition::Shared,
+            l2_hit_cycles: 12,
+            dram_cycles: 110,
+            bus_beat_cycles: 16,
+            bus: BusKind::Fcfs,
+            epoch_cycles: 96,
+        }
+    }
+
+    /// The S-NIC configuration: statically way-partitioned L2, temporal
+    /// bus partitioning across `tenants` domains.
+    pub fn snic(tenants: u32, l2_bytes: u64) -> MachineConfig {
+        MachineConfig {
+            l2_partition: Partition::StaticWays { tenants },
+            bus: BusKind::Temporal { domains: tenants },
+            ..MachineConfig::commodity(tenants, l2_bytes)
+        }
+    }
+
+    /// S-NIC variant using SecDCP demand partitioning instead of static
+    /// slices (the §4.2 alternative; ablated in the benches).
+    pub fn snic_secdcp(allocation: Vec<u32>, l2_bytes: u64) -> MachineConfig {
+        let tenants = allocation.len() as u32;
+        MachineConfig {
+            l2_partition: Partition::SecDcp { allocation },
+            bus: BusKind::Temporal { domains: tenants },
+            ..MachineConfig::commodity(tenants, l2_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_defaults_match_paper_machine() {
+        let c = MachineConfig::commodity(4, 4 << 20);
+        assert_eq!(c.core_hz, 1_200_000_000);
+        assert_eq!(c.l2.size, 4 << 20);
+        assert_eq!(c.l1.size, 32 << 10);
+        assert_eq!(c.l2_partition, Partition::Shared);
+        assert_eq!(c.bus, BusKind::Fcfs);
+    }
+
+    #[test]
+    fn snic_flips_both_mechanisms() {
+        let c = MachineConfig::snic(4, 4 << 20);
+        assert_eq!(c.l2_partition, Partition::StaticWays { tenants: 4 });
+        assert_eq!(c.bus, BusKind::Temporal { domains: 4 });
+        // Everything else matches the baseline so the comparison isolates
+        // the two mechanisms.
+        let b = MachineConfig::commodity(4, 4 << 20);
+        assert_eq!(c.dram_cycles, b.dram_cycles);
+        assert_eq!(c.l2_hit_cycles, b.l2_hit_cycles);
+    }
+
+    #[test]
+    fn secdcp_domain_count_follows_allocation() {
+        let c = MachineConfig::snic_secdcp(vec![4, 4, 8], 4 << 20);
+        assert_eq!(c.bus, BusKind::Temporal { domains: 3 });
+    }
+}

@@ -1,0 +1,362 @@
+//! The multi-stream interleaving engine.
+//!
+//! Each colocated NF runs on its own core with a private L1; L1 misses go
+//! to the shared L2; L2 misses cross the IO bus to DRAM. The engine
+//! advances whichever NF has the smallest local clock, so shared-resource
+//! interleaving is deterministic and physically plausible. Per-NF IPC is
+//! `instructions / final cycle count` — "for a function that always has
+//! work to do, IPC is directly correlated with function throughput"
+//! (§5.3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
+use crate::cache::{Cache, Partition};
+use crate::config::MachineConfig;
+use crate::stream::{Access, AccessStream};
+
+/// Per-NF statistics from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NfRunStats {
+    /// Instructions retired.
+    pub insns: u64,
+    /// Final cycle count (the NF's local clock when its stream ended).
+    pub cycles: u64,
+    /// L1 hits/misses.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+}
+
+impl NfRunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insns as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Outcome of one colocation run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-NF statistics, indexed like the input stream vector.
+    pub nfs: Vec<NfRunStats>,
+}
+
+impl RunOutcome {
+    /// IPC degradation of NF `i` relative to `baseline` (same index).
+    ///
+    /// Positive = this run is slower than the baseline.
+    pub fn ipc_degradation_vs(&self, baseline: &RunOutcome, i: usize) -> f64 {
+        let b = baseline.nfs[i].ipc();
+        let s = self.nfs[i].ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            (b - s) / b * 100.0
+        }
+    }
+}
+
+/// Address-space tag: keep different NFs' lines from aliasing in shared
+/// caches. NF private address spaces are < 2^40 bytes.
+fn tagged(nf: usize, addr: u64) -> u64 {
+    ((nf as u64) << 40) | (addr & ((1u64 << 40) - 1))
+}
+
+/// Run `streams` to exhaustion under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty, or if a partitioned configuration has
+/// fewer tenants than streams.
+pub fn run_colocated(cfg: &MachineConfig, streams: Vec<Box<dyn AccessStream>>) -> RunOutcome {
+    run_colocated_warm(cfg, streams, &[])
+}
+
+/// Like [`run_colocated`], but statistics only cover events after the
+/// first `warmup_events` of each stream — mirroring §5.3's methodology
+/// ("we ran 1 billion instructions to warm microarchitectural structures
+/// like caches and branch predictors. We then collected experimental
+/// data...").
+pub fn run_colocated_warm(
+    cfg: &MachineConfig,
+    mut streams: Vec<Box<dyn AccessStream>>,
+    warmup_events: &[u64],
+) -> RunOutcome {
+    assert!(!streams.is_empty(), "need at least one stream");
+    if let Partition::StaticWays { tenants } = cfg.l2_partition {
+        assert!(
+            tenants as usize >= streams.len(),
+            "more streams than cache partitions"
+        );
+    }
+    let n = streams.len();
+    let mut l1: Vec<Cache> = (0..n)
+        .map(|_| Cache::new(cfg.l1, Partition::Shared))
+        .collect();
+    let mut l2 = Cache::new(cfg.l2, cfg.l2_partition.clone());
+    let mut arbiter: Box<dyn Arbiter> = match cfg.bus {
+        BusKind::Fcfs => Box::new(FcfsArbiter::new()),
+        BusKind::Temporal { domains } => Box::new(TemporalArbiter::new(domains, cfg.epoch_cycles)),
+    };
+
+    let mut stats: Vec<NfRunStats> = (0..n)
+        .map(|_| NfRunStats {
+            insns: 0,
+            cycles: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+        })
+        .collect();
+    // Per-NF event counts and the stats snapshot taken when warmup ends.
+    let mut events: Vec<u64> = vec![0; n];
+    let mut snapshot: Vec<Option<NfRunStats>> = vec![None; n];
+
+    // Pending event per NF, pulled lazily; heap orders by local clock.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut pending: Vec<Option<Access>> = Vec::with_capacity(n);
+    for (i, s) in streams.iter_mut().enumerate() {
+        let a = s.next_access();
+        if a.is_some() {
+            heap.push(Reverse((0, i)));
+        }
+        pending.push(a);
+    }
+
+    while let Some(Reverse((t, i))) = heap.pop() {
+        let access = pending[i]
+            .take()
+            .expect("heap entry implies pending access");
+        let mut now = t + u64::from(access.insns);
+        stats[i].insns += u64::from(access.insns);
+
+        let a = tagged(i, access.addr);
+        if l1[i].access(i as u32, a) {
+            stats[i].l1_hits += 1;
+        } else {
+            stats[i].l1_misses += 1;
+            if l2.access(i as u32, a) {
+                stats[i].l2_hits += 1;
+                now += cfg.l2_hit_cycles;
+            } else {
+                stats[i].l2_misses += 1;
+                let start = arbiter.grant(i as u32, now + cfg.l2_hit_cycles, cfg.bus_beat_cycles);
+                now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
+            }
+        }
+
+        stats[i].cycles = now;
+        events[i] += 1;
+        let warm = warmup_events.get(i).copied().unwrap_or(0);
+        if warm > 0 && events[i] == warm && snapshot[i].is_none() {
+            snapshot[i] = Some(stats[i].clone());
+        }
+        pending[i] = streams[i].next_access();
+        if pending[i].is_some() {
+            heap.push(Reverse((now, i)));
+        }
+    }
+
+    // Subtract the warmup portion (streams shorter than the warmup keep
+    // their full statistics).
+    let nfs = stats
+        .into_iter()
+        .zip(snapshot)
+        .map(|(total, snap)| match snap {
+            Some(w) => NfRunStats {
+                insns: total.insns - w.insns,
+                cycles: total.cycles.saturating_sub(w.cycles),
+                l1_hits: total.l1_hits - w.l1_hits,
+                l1_misses: total.l1_misses - w.l1_misses,
+                l2_hits: total.l2_hits - w.l2_hits,
+                l2_misses: total.l2_misses - w.l2_misses,
+            },
+            None => total,
+        })
+        .collect();
+    RunOutcome { nfs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SyntheticStream;
+
+    fn streams(n: usize, working_set: u64, events: u64) -> Vec<Box<dyn AccessStream>> {
+        (0..n)
+            .map(|i| {
+                Box::new(SyntheticStream::new(
+                    working_set,
+                    8,
+                    4,
+                    events,
+                    1000 + i as u64,
+                )) as Box<dyn AccessStream>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_working_set_achieves_high_ipc() {
+        // Everything fits in L1: IPC should approach 1.
+        let cfg = MachineConfig::commodity(1, 4 << 20);
+        let out = run_colocated(&cfg, streams(1, 4 << 10, 50_000));
+        assert!(out.nfs[0].ipc() > 0.95, "ipc = {}", out.nfs[0].ipc());
+    }
+
+    #[test]
+    fn dram_bound_working_set_crushes_ipc() {
+        let cfg = MachineConfig::commodity(1, 256 << 10);
+        // Working set far beyond L2.
+        let out = run_colocated(&cfg, streams(1, 64 << 20, 20_000));
+        assert!(out.nfs[0].ipc() < 0.3, "ipc = {}", out.nfs[0].ipc());
+        assert!(out.nfs[0].l2_misses > out.nfs[0].l2_hits);
+    }
+
+    #[test]
+    fn partitioning_degrades_ipc_when_hot_set_marginal() {
+        // Hot set ~2 MB: fits a 4 MB shared L2 shared by 2 NFs poorly
+        // but fits even worse in a hard 1/2 slice.
+        let base = run_colocated(
+            &MachineConfig::commodity(2, 4 << 20),
+            streams(2, 3 << 20, 60_000),
+        );
+        let snic = run_colocated(
+            &MachineConfig::snic(2, 4 << 20),
+            streams(2, 3 << 20, 60_000),
+        );
+        let deg = snic.ipc_degradation_vs(&base, 0);
+        assert!(deg > 0.0, "expected positive degradation, got {deg}");
+        assert!(deg < 60.0, "degradation implausibly large: {deg}");
+    }
+
+    #[test]
+    fn snic_victim_cycles_independent_of_attacker() {
+        // Run the victim alone (padded with an idle co-tenant slot) vs
+        // with a thrashing attacker, both under the S-NIC discipline.
+        let cfg = MachineConfig::snic(2, 1 << 20);
+        let victim =
+            || Box::new(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7)) as Box<dyn AccessStream>;
+        let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
+        let attacker =
+            Box::new(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9)) as Box<dyn AccessStream>;
+
+        let quiet = run_colocated(&cfg, vec![victim(), idle]);
+        let noisy = run_colocated(&cfg, vec![victim(), attacker]);
+        assert_eq!(
+            quiet.nfs[0].cycles, noisy.nfs[0].cycles,
+            "S-NIC victim timing must not depend on co-tenant activity"
+        );
+        assert_eq!(quiet.nfs[0].l2_misses, noisy.nfs[0].l2_misses);
+    }
+
+    #[test]
+    fn commodity_victim_cycles_depend_on_attacker() {
+        let cfg = MachineConfig::commodity(2, 1 << 20);
+        let victim =
+            || Box::new(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7)) as Box<dyn AccessStream>;
+        let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
+        let attacker =
+            Box::new(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9)) as Box<dyn AccessStream>;
+
+        let quiet = run_colocated(&cfg, vec![victim(), idle]);
+        let noisy = run_colocated(&cfg, vec![victim(), attacker]);
+        assert_ne!(
+            quiet.nfs[0].cycles, noisy.nfs[0].cycles,
+            "commodity victim timing should leak co-tenant activity"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = MachineConfig::snic(4, 4 << 20);
+        let a = run_colocated(&cfg, streams(4, 1 << 20, 10_000));
+        let b = run_colocated(&cfg, streams(4, 1 << 20, 10_000));
+        for i in 0..4 {
+            assert_eq!(a.nfs[i], b.nfs[i]);
+        }
+    }
+
+    #[test]
+    fn stats_accounting_consistent() {
+        let cfg = MachineConfig::commodity(2, 1 << 20);
+        let out = run_colocated(&cfg, streams(2, 8 << 20, 5_000));
+        for s in &out.nfs {
+            assert_eq!(s.l1_hits + s.l1_misses, 5_000);
+            assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
+            assert_eq!(s.insns, 5_000 * 8);
+            assert!(s.cycles >= s.insns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_streams_panics() {
+        let _ = run_colocated(&MachineConfig::commodity(1, 1 << 20), Vec::new());
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses() {
+        // A stream that fits L1: after warmup the measured window has
+        // zero L1 misses, while the unwarmed run reports the cold ones.
+        let cfg = MachineConfig::commodity(1, 1 << 20);
+        let mk = || {
+            vec![Box::new(SyntheticStream::new(8 << 10, 8, 4, 40_000, 5)) as Box<dyn AccessStream>]
+        };
+        let cold = run_colocated(&cfg, mk());
+        let warm = run_colocated_warm(&cfg, mk(), &[20_000]);
+        assert!(cold.nfs[0].l1_misses > 0);
+        assert_eq!(
+            warm.nfs[0].l1_misses, 0,
+            "all cold misses fall in the warmup window"
+        );
+        assert_eq!(warm.nfs[0].l1_hits + warm.nfs[0].l1_misses, 20_000);
+        assert!(warm.nfs[0].ipc() > cold.nfs[0].ipc());
+    }
+
+    #[test]
+    fn warmup_longer_than_stream_keeps_full_stats() {
+        let cfg = MachineConfig::commodity(1, 1 << 20);
+        let s =
+            vec![Box::new(SyntheticStream::new(4 << 10, 8, 4, 1_000, 5)) as Box<dyn AccessStream>];
+        let out = run_colocated_warm(&cfg, s, &[50_000]);
+        assert_eq!(out.nfs[0].l1_hits + out.nfs[0].l1_misses, 1_000);
+    }
+
+    #[test]
+    fn degradation_grows_with_cotenancy() {
+        // Median over the tenants at each cotenancy level; more tenants →
+        // thinner slices → more degradation (Figure 5b's trend).
+        let ws = 2 << 20;
+        let deg_at = |n: usize| {
+            let base = run_colocated(
+                &MachineConfig::commodity(n as u32, 4 << 20),
+                streams(n, ws, 20_000),
+            );
+            let snic = run_colocated(
+                &MachineConfig::snic(n as u32, 4 << 20),
+                streams(n, ws, 20_000),
+            );
+            let mut degs: Vec<f64> = (0..n).map(|i| snic.ipc_degradation_vs(&base, i)).collect();
+            degs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            degs[n / 2]
+        };
+        let d2 = deg_at(2);
+        let d8 = deg_at(8);
+        assert!(
+            d8 > d2,
+            "expected monotone degradation: 2NF={d2:.2}% 8NF={d8:.2}%"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The §3.3 attacks, side by side on commodity and S-NIC hardware.
+//!
+//! Run with: `cargo run --example attack_demo`
+
+use snic::attacks::{bus_dos, run_all, watermark};
+use snic::core::config::NicMode;
+
+fn main() {
+    println!("Reproducing the paper's §3.3 proof-of-concept attacks.\n");
+    for mode in [NicMode::Commodity, NicMode::Snic] {
+        println!("--- {mode:?} NIC ---");
+        let names = [
+            "packet corruption (LiquidIO, MazuNAT victim)",
+            "DPI ruleset stealing (LiquidIO)",
+            "IO bus denial-of-service (Agilio)",
+            "NIC OS tampering (threat model §2)",
+        ];
+        for (name, outcome) in names.iter().zip(run_all(mode)) {
+            let status = if outcome.succeeded {
+                "ATTACK SUCCEEDED"
+            } else {
+                "blocked by hardware"
+            };
+            println!("  {name}\n    -> {status}\n       {}", outcome.evidence);
+        }
+        println!();
+    }
+
+    let (fcfs, temporal) = bus_dos::flood_latency_impact();
+    println!("Quantified bus interference on a victim request:");
+    println!("  commodity FCFS arbiter: +{fcfs} cycles under attacker flood");
+    println!("  S-NIC temporal arbiter: +{temporal} cycles (bit-for-bit unchanged)");
+
+    let (wm_fcfs, wm_temporal) = watermark::run_watermark();
+    println!("\nFlow-watermarking channel (§4.5):");
+    println!(
+        "  FCFS bus: {:.0}% of watermark bits decoded by the observer",
+        wm_fcfs * 100.0
+    );
+    println!(
+        "  temporal partitioning: {:.0}% (chance level) — channel eliminated",
+        wm_temporal * 100.0
+    );
+}

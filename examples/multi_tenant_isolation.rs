@@ -1,0 +1,106 @@
+//! Multi-tenant colocation: four tenants' NFs share one S-NIC.
+//!
+//! Demonstrates (a) the packet path steering each tenant's flows to its
+//! own virtual packet pipeline, (b) the microarchitectural
+//! non-interference guarantee — a victim's cycle count is identical
+//! whether its co-tenant is idle or hostile — and (c) the modest IPC
+//! price of that guarantee.
+//!
+//! Run with: `cargo run --release --example multi_tenant_isolation`
+
+use rand::SeedableRng;
+use snic::core::config::NicConfig;
+use snic::core::device::SmartNic;
+use snic::core::instr::{LaunchRequest, NfImage};
+use snic::crypto::keys::VendorCa;
+use snic::nf::{build, record_stream, NfKind};
+use snic::pktio::rules::{RuleMatch, SwitchRule};
+use snic::trace::{IctfConfig, IctfLikeTrace};
+use snic::types::packet::PacketBuilder;
+use snic::types::{ByteSize, CoreId, NfId, Protocol};
+use snic::uarch::config::MachineConfig;
+use snic::uarch::engine::run_colocated;
+use snic::uarch::stream::{AccessStream, ReplayStream, SyntheticStream};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let vendor = VendorCa::new(&mut rng);
+    let mut nic = SmartNic::new(NicConfig::snic(), &vendor);
+
+    // Four tenants, four NFs, four disjoint port ranges.
+    let ports = [80u16, 443, 53, 8080];
+    let mut ids = Vec::new();
+    for (i, port) in ports.iter().enumerate() {
+        let request = LaunchRequest {
+            rules: vec![SwitchRule {
+                dst_port: RuleMatch::Exact(*port),
+                priority: 10,
+                ..SwitchRule::any(NfId(0))
+            }],
+            ..LaunchRequest::minimal(
+                CoreId(i as u16),
+                ByteSize::mib(16),
+                NfImage {
+                    code: format!("tenant-{i}-nf").into_bytes(),
+                    config: vec![],
+                },
+            )
+        };
+        ids.push(nic.nf_launch(request).expect("launch").nf_id);
+    }
+    println!("launched {} NFs on isolated virtual smart NICs", ids.len());
+
+    // Mixed traffic: each packet lands in exactly one tenant's VPP.
+    for i in 0..400u32 {
+        let port = ports[(i % 4) as usize];
+        let pkt = PacketBuilder::new(i, 0xc633_0001, Protocol::Tcp, 9999, port).build();
+        nic.rx_packet(&pkt).expect("rx");
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        let mut count = 0;
+        while nic.poll_packet(id).expect("poll").is_some() {
+            count += 1;
+        }
+        println!("tenant {i}: received {count} packets (expected 100)");
+        assert_eq!(count, 100);
+    }
+
+    // Microarchitectural non-interference: replay a real firewall's
+    // reference stream next to an idle vs. hostile co-tenant.
+    let mut fw = build(NfKind::Firewall, 5);
+    let mut trace = IctfLikeTrace::new(IctfConfig {
+        flows: 2000,
+        ..IctfConfig::default()
+    });
+    let packets: Vec<_> = (0..4000).map(|_| trace.next_packet()).collect();
+    let fw_stream = record_stream(fw.as_mut(), &packets);
+
+    let cfg = MachineConfig::snic(2, 4 << 20);
+    let victim = || Box::new(ReplayStream::new(fw_stream.clone())) as Box<dyn AccessStream>;
+    let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
+    let hostile =
+        Box::new(SyntheticStream::new(64 << 20, 1, 1, 500_000, 666)) as Box<dyn AccessStream>;
+    let quiet = run_colocated(&cfg, vec![victim(), idle]);
+    let noisy = run_colocated(&cfg, vec![victim(), hostile]);
+    println!(
+        "victim firewall cycles: {} (idle neighbor) vs {} (hostile neighbor)",
+        quiet.nfs[0].cycles, noisy.nfs[0].cycles
+    );
+    assert_eq!(
+        quiet.nfs[0].cycles, noisy.nfs[0].cycles,
+        "S-NIC non-interference"
+    );
+
+    // The price: IPC vs an unpartitioned commodity NIC.
+    let base = run_colocated(
+        &MachineConfig::commodity(2, 4 << 20),
+        vec![victim(), victim()],
+    );
+    let snic = run_colocated(&MachineConfig::snic(2, 4 << 20), vec![victim(), victim()]);
+    println!(
+        "firewall IPC: commodity {:.4}, S-NIC {:.4} ({:.2}% degradation — paper reports <1.7% worst case at 4 NFs)",
+        base.nfs[0].ipc(),
+        snic.nfs[0].ipc(),
+        snic.ipc_degradation_vs(&base, 0),
+    );
+}

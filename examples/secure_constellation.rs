@@ -1,0 +1,120 @@
+//! Figure 4: a constellation of trusted computations.
+//!
+//! Two enterprises outsource intrusion detection for a cross-enterprise
+//! flow to an S-NIC function in an untrusted cloud (Figure 4a): each
+//! gateway attests the NF (and a host-level enclave), then tunnels
+//! traffic over attested, encrypted channels so the cloud operator sees
+//! only ciphertext.
+//!
+//! Run with: `cargo run --example secure_constellation`
+
+use rand::SeedableRng;
+use snic::core::config::NicConfig;
+use snic::core::constellation::Constellation;
+use snic::core::device::SmartNic;
+use snic::core::enclave::HostEnclave;
+use snic::core::instr::{LaunchRequest, NfImage};
+use snic::crypto::dh::DhParams;
+use snic::crypto::keys::VendorCa;
+use snic::nf::{DpiNf, NetworkFunction, NullSink, Verdict};
+use snic::pktio::vxlan::{vxlan_decap, vxlan_encap};
+use snic::types::packet::PacketBuilder;
+use snic::types::{ByteSize, CoreId, Protocol};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xc0_57);
+
+    // Trust roots: the NIC vendor and the host-CPU vendor.
+    let nic_vendor = VendorCa::new(&mut rng);
+    let cpu_vendor = VendorCa::new(&mut rng);
+
+    // The cloud provider's S-NIC hosts the tenant's IDS function.
+    let mut nic = SmartNic::new(
+        NicConfig {
+            cores: 4,
+            ..NicConfig::snic()
+        },
+        &nic_vendor,
+    );
+    let ids_receipt = nic
+        .nf_launch(LaunchRequest::minimal(
+            CoreId(0),
+            ByteSize::mib(52), // Table 6: DPI needs 51.14 MB.
+            NfImage {
+                code: b"ids-dpi-engine-v3".to_vec(),
+                config: b"ruleset-2026".to_vec(),
+            },
+        ))
+        .expect("launch IDS");
+    println!(
+        "IDS function launched on the cloud S-NIC: {}",
+        ids_receipt.nf_id
+    );
+
+    // A host-level enclave holds the client enterprise's keys.
+    let key_manager = HostEnclave::load(&mut rng, &cpu_vendor, b"key-manager-enclave");
+
+    // Build the constellation: both gateways attest the IDS and the
+    // enclave before sending anything.
+    let mut constellation = Constellation::new(DhParams::rfc3526_group14());
+    constellation.register(
+        "client-gw",
+        nic_vendor.public().clone(),
+        ids_receipt.measurement,
+    );
+    constellation.register(
+        "dest-gw",
+        nic_vendor.public().clone(),
+        ids_receipt.measurement,
+    );
+    constellation.register("ids", nic_vendor.public().clone(), ids_receipt.measurement);
+    constellation.register("keys", cpu_vendor.public().clone(), key_manager.measurement);
+
+    constellation
+        .attest_nf(&mut rng, "client-gw", "ids", &mut nic, ids_receipt.nf_id)
+        .expect("client gateway attests IDS");
+    constellation
+        .attest_nf(&mut rng, "dest-gw", "ids", &mut nic, ids_receipt.nf_id)
+        .expect("destination gateway attests IDS");
+    constellation
+        .attest_enclave(&mut rng, "client-gw", "keys", &key_manager)
+        .expect("client gateway attests key manager");
+    println!(
+        "pairwise attestation complete: client-gw <-> ids, dest-gw <-> ids, client-gw <-> keys"
+    );
+
+    // The client gateway tunnels a frame to the IDS: VXLAN for the
+    // virtual L2 topology, sealed with the attested channel key.
+    let inner = PacketBuilder::new(0x0a00_0001, 0x0a00_0002, Protocol::Tcp, 44_000, 443)
+        .payload(b"cross-enterprise transaction".to_vec())
+        .build();
+    let tunneled = vxlan_encap(&inner, 0x1234, 0xc0a8_0101, 0xc0a8_0202).expect("encap");
+    let mut client_tx = constellation.channel("client-gw", "ids").expect("channel");
+    let sealed = client_tx.seal(&tunneled.data);
+    println!(
+        "client gateway sent {} ciphertext bytes (cloud sees no headers)",
+        sealed.ciphertext.len()
+    );
+
+    // The IDS opens the channel, decapsulates, and inspects.
+    let mut ids_rx = constellation.channel("ids", "client-gw").expect("channel");
+    let plain = ids_rx.open(&sealed).expect("decrypt");
+    let received = snic::types::Packet::from_bytes(bytes_from(plain));
+    let (vni, inspected) = vxlan_decap(&received).expect("decap");
+    let mut dpi = DpiNf::new(&[b"exploit".to_vec(), b"malware".to_vec()]);
+    let verdict = dpi.process(&inspected, &mut NullSink);
+    println!("IDS inspected VNI {vni:#x}: verdict {verdict:?}");
+    assert_eq!(verdict, Verdict::Matched(0), "clean traffic passes");
+
+    // Clean traffic is re-sealed toward the destination gateway.
+    let mut ids_tx = constellation.channel("ids", "dest-gw").expect("channel");
+    let forwarded = ids_tx.seal(&inspected.data);
+    let mut dest_rx = constellation.channel("dest-gw", "ids").expect("channel");
+    let delivered = dest_rx.open(&forwarded).expect("decrypt");
+    assert_eq!(delivered, inspected.data.to_vec());
+    println!("destination gateway received the inspected frame intact");
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}

@@ -1,0 +1,80 @@
+//! Bounded-memory flow monitoring: the sketch Monitor vs. the HashMap
+//! Monitor under S-NIC's fixed preallocation (§4.8's underutilization
+//! discussion).
+//!
+//! Run with: `cargo run --release --example sketch_monitor`
+
+use snic::nf::{MonitorNf, NullSink, SketchMonitor};
+use snic::trace::{CaidaConfig, CaidaLikeTrace};
+use snic::types::{ByteSize, Picos};
+
+fn main() {
+    // A CAIDA-like measurement window.
+    let trace = CaidaLikeTrace::generate(
+        &CaidaConfig {
+            flow_arrival_rate: 120_000.0,
+            ..CaidaConfig::default()
+        },
+        Picos::millis(300),
+    );
+    println!(
+        "trace: {} packets over {} distinct flows",
+        trace.records().len(),
+        trace.distinct_flows()
+    );
+
+    // Exact HashMap monitor: memory grows with the flow count, so an
+    // S-NIC launch must preallocate for the worst case.
+    let mut exact = MonitorNf::new(ByteSize::mib(8));
+    for r in trace.records() {
+        exact.observe(r.flow, r.time, &mut NullSink);
+    }
+    println!(
+        "\nHashMap Monitor:  peak {} / steady {}  (MUR {:.1}%) over {} flows",
+        exact.peak_bytes(),
+        exact.steady_bytes(),
+        exact.tracker().mur() * 100.0,
+        exact.tracked_flows(),
+    );
+
+    // Sketch monitor: constant memory by construction — MUR is 100%, a
+    // perfect fit for launch-time reservation.
+    let mut sketch = SketchMonitor::with_defaults(0);
+    for r in trace.records() {
+        sketch.observe(r.flow, &mut NullSink);
+    }
+    println!(
+        "Sketch Monitor:   {} constant (MUR 100%), {} packets",
+        sketch.bytes(),
+        sketch.packets(),
+    );
+
+    // Accuracy check: compare sketch estimates against exact counts for
+    // the top flows.
+    println!("\ntop flows (exact vs sketch estimate):");
+    let mut flows: Vec<_> = trace
+        .records()
+        .iter()
+        .map(|r| r.flow)
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .collect();
+    flows.sort_by_key(|f| std::cmp::Reverse(exact.count_of(f)));
+    let mut max_overestimate = 0i64;
+    for f in flows.iter().take(8) {
+        let truth = exact.count_of(f);
+        let est = sketch.estimate(f);
+        max_overestimate = max_overestimate.max(est as i64 - truth as i64);
+        println!("  {f}: exact {truth:>6}  sketch {est:>6}");
+        assert!(est >= truth, "count-min must never underestimate");
+    }
+    println!("max overestimate among top flows: {max_overestimate}");
+
+    let hh = sketch.heavy_hitters();
+    println!(
+        "\nsketch heavy hitters tracked: {} (top: {} ≈ {})",
+        hh.len(),
+        hh[0].0,
+        hh[0].1
+    );
+}

@@ -1,0 +1,342 @@
+//! `snicctl` — a small scriptable driver for the S-NIC device model.
+//!
+//! Reads commands from a script file (or stdin with `-`) and executes
+//! them against one simulated NIC, printing one result line per command.
+//!
+//! ```text
+//! nic snic                      # or: nic commodity
+//! launch fw core=0 mem=16 port=80
+//! send 100 port=80
+//! poll fw
+//! attest fw
+//! stats fw
+//! teardown fw
+//! ```
+//!
+//! Usage: `cargo run --release --bin snicctl -- script.snic`
+
+use std::collections::HashMap;
+use std::io::Read;
+
+use rand::SeedableRng;
+use snic::core::attest::{FunctionAttestation, Verifier};
+use snic::core::config::{NicConfig, NicMode};
+use snic::core::device::SmartNic;
+use snic::core::instr::{LaunchRequest, NfImage};
+use snic::crypto::dh::DhParams;
+use snic::crypto::keys::VendorCa;
+use snic::pktio::rules::{RuleMatch, SwitchRule};
+use snic::types::packet::PacketBuilder;
+use snic::types::{ByteSize, CoreId, NfId, Protocol};
+
+/// Interpreter state.
+struct Session {
+    vendor: VendorCa,
+    nic: Option<SmartNic>,
+    names: HashMap<String, (NfId, [u8; 32])>,
+    rng: rand::rngs::StdRng,
+    packet_seq: u32,
+}
+
+impl Session {
+    fn new() -> Session {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5111c);
+        Session {
+            vendor: VendorCa::new(&mut rng),
+            nic: None,
+            names: HashMap::new(),
+            rng,
+            packet_seq: 0,
+        }
+    }
+
+    fn nic(&mut self) -> Result<&mut SmartNic, String> {
+        self.nic
+            .as_mut()
+            .ok_or_else(|| "no NIC configured; run `nic snic` first".to_string())
+    }
+
+    fn lookup(&self, name: &str) -> Result<(NfId, [u8; 32]), String> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown NF '{name}'"))
+    }
+
+    /// Execute one script line; returns the output line.
+    fn execute(&mut self, line: &str) -> Result<String, String> {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(String::new());
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().expect("non-empty line");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "nic" => {
+                let mode = match args.first() {
+                    Some(&"snic") => NicMode::Snic,
+                    Some(&"commodity") => NicMode::Commodity,
+                    other => return Err(format!("nic: expected snic|commodity, got {other:?}")),
+                };
+                self.nic = Some(SmartNic::new(NicConfig::small(mode), &self.vendor));
+                self.names.clear();
+                Ok(format!("nic up in {mode:?} mode"))
+            }
+            "launch" => {
+                let name = args.first().ok_or("launch: missing name")?.to_string();
+                let kv = parse_kv(&args[1..])?;
+                let core = *kv.get("core").ok_or("launch: missing core=")? as u16;
+                let mem = *kv.get("mem").ok_or("launch: missing mem=")?;
+                let port = kv.get("port").copied();
+                let mut request = LaunchRequest::minimal(
+                    CoreId(core),
+                    ByteSize::mib(mem),
+                    NfImage {
+                        code: name.as_bytes().to_vec(),
+                        config: vec![],
+                    },
+                );
+                if let Some(p) = port {
+                    request.rules.push(SwitchRule {
+                        dst_port: RuleMatch::Exact(p as u16),
+                        priority: 10,
+                        ..SwitchRule::any(NfId(0))
+                    });
+                }
+                let receipt = self.nic()?.nf_launch(request).map_err(|e| e.to_string())?;
+                self.names
+                    .insert(name.clone(), (receipt.nf_id, receipt.measurement));
+                Ok(format!(
+                    "launched {name} as {} in {:.2} ms",
+                    receipt.nf_id,
+                    receipt.latency.total().as_millis_f64()
+                ))
+            }
+            "send" => {
+                let count: u32 = args
+                    .first()
+                    .ok_or("send: missing count")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                let kv = parse_kv(&args[1..])?;
+                let port = *kv.get("port").ok_or("send: missing port=")? as u16;
+                let mut delivered = 0u32;
+                for _ in 0..count {
+                    self.packet_seq += 1;
+                    let pkt = PacketBuilder::new(
+                        0x0a00_0000 + self.packet_seq,
+                        0xc633_0001,
+                        Protocol::Tcp,
+                        (1024 + self.packet_seq % 60_000) as u16,
+                        port,
+                    )
+                    .payload(b"snicctl".to_vec())
+                    .build();
+                    if self
+                        .nic()?
+                        .rx_packet(&pkt)
+                        .map_err(|e| e.to_string())?
+                        .is_some()
+                    {
+                        delivered += 1;
+                    }
+                }
+                Ok(format!(
+                    "sent {count} packets to port {port}; {delivered} matched a rule"
+                ))
+            }
+            "poll" => {
+                let (id, _) = self.lookup(args.first().ok_or("poll: missing name")?)?;
+                let mut n = 0;
+                while self
+                    .nic()?
+                    .poll_packet(id)
+                    .map_err(|e| e.to_string())?
+                    .is_some()
+                {
+                    n += 1;
+                }
+                Ok(format!("polled {n} packets"))
+            }
+            "attest" => {
+                let name = args.first().ok_or("attest: missing name")?;
+                let (id, measurement) = self.lookup(name)?;
+                let params = DhParams::tiny_test_group();
+                let mut verifier = Verifier::hello(&mut self.rng);
+                let nonce = verifier.nonce;
+                let vendor_pub = self.vendor.public().clone();
+                let nic = self.nic()?;
+                let f = FunctionAttestation::respond(
+                    &mut rand::rngs::StdRng::seed_from_u64(7),
+                    nic,
+                    id,
+                    &params,
+                    nonce,
+                )
+                .map_err(|e| e.to_string())?;
+                let v_pub = verifier
+                    .accept(
+                        &mut rand::rngs::StdRng::seed_from_u64(8),
+                        &vendor_pub,
+                        &measurement,
+                        &f.quote,
+                    )
+                    .map_err(|e| e.to_string())?;
+                let ok = f.session_key(&v_pub) == verifier.session_key(&f.quote.dh_public);
+                Ok(format!("attestation of {name}: verified={ok}"))
+            }
+            "stats" => {
+                let (id, _) = self.lookup(args.first().ok_or("stats: missing name")?)?;
+                let nic = self.nic()?;
+                let r = nic.record_of(id).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{}: cores={:?} mem={} delivered={} dropped={} sent={}",
+                    id, r.cores, r.memory, r.rx_delivered, r.rx_dropped, r.tx_sent
+                ))
+            }
+            "teardown" => {
+                let name = args.first().ok_or("teardown: missing name")?.to_string();
+                let (id, _) = self.lookup(&name)?;
+                let receipt = self.nic()?.nf_teardown(id).map_err(|e| e.to_string())?;
+                self.names.remove(&name);
+                Ok(format!(
+                    "tore down {name} in {:.2} ms ({:.2} ms scrubbing)",
+                    receipt.latency.total().as_millis_f64(),
+                    receipt.latency.scrub.as_millis_f64()
+                ))
+            }
+            "attacks" => {
+                let mode = self.nic()?.mode();
+                let outcomes = snic::attacks::run_all(mode);
+                let summary: Vec<String> = outcomes
+                    .iter()
+                    .map(|o| {
+                        if o.succeeded {
+                            "SUCCEEDED".into()
+                        } else {
+                            "blocked".to_string()
+                        }
+                    })
+                    .collect();
+                Ok(format!("attacks on {mode:?}: {}", summary.join(", ")))
+            }
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+fn parse_kv(args: &[&str]) -> Result<HashMap<String, u64>, String> {
+    let mut out = HashMap::new();
+    for a in args {
+        let (k, v) = a
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{a}'"))?;
+        out.insert(
+            k.to_string(),
+            v.parse::<u64>().map_err(|e| format!("{a}: {e}"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: snicctl <script.snic | ->");
+        std::process::exit(2);
+    });
+    let script = if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+            eprintln!("snicctl: cannot read {arg}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let mut session = Session::new();
+    for (lineno, line) in script.lines().enumerate() {
+        match session.execute(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("snicctl: line {}: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(script: &str) -> Vec<String> {
+        let mut s = Session::new();
+        script
+            .lines()
+            .map(|l| s.execute(l).expect("script line"))
+            .filter(|o| !o.is_empty())
+            .collect()
+    }
+
+    #[test]
+    fn full_lifecycle_script() {
+        let out = run("\
+nic snic
+launch fw core=0 mem=8 port=80
+send 10 port=80
+stats fw
+poll fw
+teardown fw
+");
+        assert!(out[0].contains("Snic"));
+        assert!(out[1].contains("launched fw"));
+        assert!(out[2].contains("10 matched"));
+        assert!(out[3].contains("delivered=0"));
+        assert!(out[4].contains("polled 10"));
+        assert!(out[5].contains("tore down fw"));
+    }
+
+    #[test]
+    fn attestation_command_verifies() {
+        let out = run("\
+nic snic
+launch ids core=1 mem=4
+attest ids
+");
+        assert!(out[2].contains("verified=true"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let out = run("# a comment\n\nnic commodity\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("Commodity"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.execute("launch x core=0 mem=4").is_err(), "no NIC yet");
+        s.execute("nic snic").unwrap();
+        assert!(s.execute("bogus").is_err());
+        assert!(s.execute("launch x core=0").is_err(), "missing mem=");
+        assert!(s.execute("teardown ghost").is_err());
+        // Core conflicts surface as errors too.
+        s.execute("launch a core=0 mem=4").unwrap();
+        assert!(s.execute("launch b core=0 mem=4").is_err());
+    }
+
+    #[test]
+    fn attacks_command_both_modes() {
+        let mut s = Session::new();
+        s.execute("nic commodity").unwrap();
+        let c = s.execute("attacks").unwrap();
+        assert_eq!(c.matches("SUCCEEDED").count(), 4, "{c}");
+        s.execute("nic snic").unwrap();
+        let p = s.execute("attacks").unwrap();
+        assert_eq!(p.matches("blocked").count(), 4, "{p}");
+    }
+}
