@@ -76,7 +76,7 @@ impl RaidAccel {
         }
         let n = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
         let body = &data[4..];
-        if n == 0 || body.is_empty() || body.len() % n != 0 {
+        if n == 0 || body.is_empty() || !body.len().is_multiple_of(n) {
             return None;
         }
         let bs = body.len() / n;

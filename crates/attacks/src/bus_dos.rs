@@ -59,12 +59,9 @@ pub fn run_bus_dos(mode: NicMode) -> AttackOutcome {
     // The tight loop: issue bus operations until crash or give-up.
     let mut crashed = false;
     for _ in 0..40 {
-        match nic.bus_flood(attacker, 10_000_000) {
-            Err(SnicError::NicCrashed) => {
-                crashed = true;
-                break;
-            }
-            Err(_) | Ok(_) => {}
+        if let Err(SnicError::NicCrashed) = nic.bus_flood(attacker, 10_000_000) {
+            crashed = true;
+            break;
         }
     }
 

@@ -25,12 +25,14 @@ pub mod bus_dos;
 pub mod nicos_tamper;
 pub mod packet_corruption;
 pub mod ruleset_theft;
+pub mod traced;
 pub mod watermark;
 
 pub use bus_dos::run_bus_dos;
 pub use nicos_tamper::run_nicos_tamper;
 pub use packet_corruption::run_packet_corruption;
 pub use ruleset_theft::run_ruleset_theft;
+pub use traced::{lint_all, TracedScenario};
 pub use watermark::run_watermark;
 
 use snic_core::config::NicMode;

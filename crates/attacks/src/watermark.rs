@@ -18,13 +18,13 @@
 use snic_uarch::bus::{Arbiter, FcfsArbiter, TemporalArbiter};
 
 /// Cycles per watermark bit window.
-const WINDOW_CYCLES: u64 = 4_000;
+pub(crate) const WINDOW_CYCLES: u64 = 4_000;
 /// Victim request cadence within a window.
-const VICTIM_PERIOD: u64 = 200;
+pub(crate) const VICTIM_PERIOD: u64 = 200;
 /// Victim transfer size in cycles.
-const VICTIM_BEAT: u64 = 16;
+pub(crate) const VICTIM_BEAT: u64 = 16;
 /// Attacker transfer size (keeps the bus busy when flooding).
-const ATTACKER_BEAT: u64 = 90;
+pub(crate) const ATTACKER_BEAT: u64 = 90;
 
 /// Imprint `watermark` through `arbiter` and decode it from the victim's
 /// delays; returns the decoded bits.

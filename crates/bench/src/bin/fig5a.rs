@@ -7,7 +7,7 @@ fn main() {
     let scale = Scale::from_args();
     let sizes: Vec<u64> = if std::env::args().any(|a| a == "--full") {
         // The paper's full sweep: 8 KB .. 16 MB.
-        (0..12).map(|i| 8 * 1024u64 << i).collect()
+        (0..12).map(|i| (8 * 1024u64) << i).collect()
     } else {
         vec![64 << 10, 512 << 10, 4 << 20, 16 << 20]
     };

@@ -8,6 +8,7 @@
 //! to select the latter.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod fig5;
 pub mod fig6;

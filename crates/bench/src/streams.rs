@@ -44,7 +44,7 @@ pub fn build_scaled(kind: NfKind, scale: &Scale, seed: u64) -> Box<dyn snic_nf::
 /// Record the reference stream of one NF kind over the shared workload.
 pub fn nf_access_trace(kind: NfKind, scale: &Scale, seed: u64) -> Vec<Access> {
     let mut nf = build_scaled(kind, scale, seed);
-    let packets = workload(scale, seed ^ kind as u64 as u64 ^ 0x5eed);
+    let packets = workload(scale, seed ^ kind as u64 ^ 0x5eed);
     record_stream(nf.as_mut(), &packets)
 }
 

@@ -10,8 +10,13 @@ use snic_pktio::dma::dma_bank_tlb_entries;
 use snic_pktio::vpp::VppBufferSpec;
 use snic_types::AccelKind;
 
+/// Cost estimates per unit count: `(count, estimate)` rows.
+pub type CostRows = Vec<(u64, CostEstimate)>;
+/// Named buffer regions with sizes in MiB.
+pub type RegionSizes = Vec<(&'static str, f64)>;
+
 /// Table 2: per-core TLB costs across memory-per-core and core counts.
-pub fn table2() -> Vec<(u64, u64, Vec<(u64, CostEstimate)>)> {
+pub fn table2() -> Vec<(u64, u64, CostRows)> {
     // (MB per core, TLB entries) rows; 2 MB pages.
     let rows = [(366u64, 183u64), (512, 256), (1024, 512)];
     let core_counts = [4u64, 8, 16, 48];
@@ -27,13 +32,15 @@ pub fn table2() -> Vec<(u64, u64, Vec<(u64, CostEstimate)>)> {
 }
 
 /// Table 3: accelerator TLB-bank costs across cluster configurations.
-pub fn table3() -> Vec<(AccelKind, u64, Vec<(u64, CostEstimate)>)> {
+pub fn table3() -> Vec<(AccelKind, u64, CostRows)> {
     let kinds = [AccelKind::Dpi, AccelKind::Zip, AccelKind::Raid];
     let cluster_counts = [16u64, 8, 4];
     kinds
         .iter()
         .map(|&k| {
-            let entries = accel_profile(k).tlb_entries(&PagePolicy::Equal);
+            let entries = accel_profile(k)
+                .expect("Table 7 profiles DPI/Zip/RAID")
+                .tlb_entries(&PagePolicy::Equal);
             let per_config = cluster_counts
                 .iter()
                 .map(|&c| (c, CostEstimate::tlbs(entries, c)))
@@ -44,7 +51,7 @@ pub fn table3() -> Vec<(AccelKind, u64, Vec<(u64, CostEstimate)>)> {
 }
 
 /// Table 4: VPP + DMA TLB costs across unit counts.
-pub fn table4() -> Vec<(&'static str, u64, Vec<(u64, CostEstimate)>)> {
+pub fn table4() -> Vec<(&'static str, u64, CostRows)> {
     let vpp_entries = VppBufferSpec::default().tlb_entries();
     // McPAT note: 2 entries cost the same as 3.
     let dma_entries = dma_bank_tlb_entries().max(3);
@@ -106,11 +113,11 @@ pub fn table6() -> Vec<(NfKind, [f64; 5], [u64; 3])> {
 }
 
 /// Table 7: accelerator buffer inventories and TLB entries.
-pub fn table7() -> Vec<(AccelKind, Vec<(&'static str, f64)>, f64, u64)> {
+pub fn table7() -> Vec<(AccelKind, RegionSizes, f64, u64)> {
     [AccelKind::Dpi, AccelKind::Zip, AccelKind::Raid]
         .iter()
         .map(|&k| {
-            let p = accel_profile(k);
+            let p = accel_profile(k).expect("Table 7 profiles DPI/Zip/RAID");
             let regions: Vec<(&'static str, f64)> = p
                 .regions
                 .iter()

@@ -143,8 +143,8 @@ mod tests {
         // any physical address through xkphys.
         let core = MipsCore::new(CoreId(0), LiquidIoMode::SeS, user_tlb());
         assert_eq!(
-            core.translate(XKPHYS_BASE + 0xdead_000, true).unwrap(),
-            0xdead_000
+            core.translate(XKPHYS_BASE + 0x0dea_d000, true).unwrap(),
+            0x0dea_d000
         );
     }
 
@@ -157,7 +157,7 @@ mod tests {
             },
             user_tlb(),
         );
-        assert!(core.translate(XKPHYS_BASE + 0x1234_000, false).is_ok());
+        assert!(core.translate(XKPHYS_BASE + 0x0123_4000, false).is_ok());
     }
 
     #[test]
@@ -169,7 +169,7 @@ mod tests {
             },
             user_tlb(),
         );
-        assert!(core.translate(XKPHYS_BASE + 0x1234_000, false).is_err());
+        assert!(core.translate(XKPHYS_BASE + 0x0123_4000, false).is_err());
         // But the function still cannot protect itself from the OS —
         // user-space translation is whatever the kernel installed.
         assert_eq!(core.translate(0x10, false).unwrap(), 0x100_0010);

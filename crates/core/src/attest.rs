@@ -28,7 +28,13 @@ use crate::device::SmartNic;
 pub struct SignedStatement {
     /// The function's launch measurement.
     pub measurement: [u8; 32],
-    /// AK signature over `measurement ‖ context`.
+    /// Static-verifier verdict at quote time: `true` iff Pass 1 of
+    /// `snic-verify` found the device's live manifest set violation-free.
+    /// The byte is covered by the signature, so a verifier learns not
+    /// just *what* launched but that the device's isolation invariants
+    /// held when the quote was cut.
+    pub verdict: bool,
+    /// AK signature over `measurement ‖ verdict ‖ context`.
     pub signature: RsaSignature,
     /// EK endorsement of the AK.
     pub ak_endorsement: Certificate,
@@ -49,6 +55,8 @@ pub struct AttestationQuote {
     pub dh_public: BigUint,
     /// Hash of the function's initial state.
     pub measurement: [u8; 32],
+    /// Static-verifier verdict embedded (and signed) by the hardware.
+    pub verdict: bool,
     /// Hardware signature over the transcript.
     pub signature: RsaSignature,
     /// AK endorsement by the EK.
@@ -99,6 +107,7 @@ impl FunctionAttestation {
                 nonce,
                 dh_public: keypair.public.clone(),
                 measurement: stmt.measurement,
+                verdict: stmt.verdict,
                 signature: stmt.signature,
                 ak_endorsement: stmt.ak_endorsement,
                 ek_certificate: stmt.ek_certificate,
@@ -117,8 +126,11 @@ impl FunctionAttestation {
 /// Step 4: verify a quote.
 ///
 /// Checks (a) the signature chain up to the vendor, (b) that the signed
-/// transcript matches the quote's parameters and nonce, and (c) that the
-/// measurement equals `expected_measurement`.
+/// transcript matches the quote's parameters and nonce, (c) that the
+/// measurement equals `expected_measurement`, and (d) that the device's
+/// static verifier vouched for the manifest set (`verdict` is true —
+/// a signed-but-failing verdict is an honest device reporting that its
+/// isolation invariants no longer hold, which the verifier must reject).
 pub fn verify_quote(
     vendor_public: &RsaPublicKey,
     expected_measurement: &[u8; 32],
@@ -128,9 +140,13 @@ pub fn verify_quote(
     if &quote.measurement != expected_measurement || &quote.nonce != expected_nonce {
         return false;
     }
+    if !quote.verdict {
+        return false;
+    }
     let context = transcript(&quote.g, &quote.p, &quote.nonce, &quote.dh_public);
-    let mut statement = Vec::with_capacity(32 + context.len());
+    let mut statement = Vec::with_capacity(33 + context.len());
     statement.extend_from_slice(&quote.measurement);
+    statement.push(u8::from(quote.verdict));
     statement.extend_from_slice(&context);
     snic_crypto::keys::verify_chain(
         vendor_public,
@@ -288,6 +304,26 @@ mod tests {
             FunctionAttestation::respond(&mut rng, &mut nic, nf, &params, verifier.nonce).unwrap();
         // A MitM swapping the DH public breaks the signature.
         f.quote.dh_public = f.quote.dh_public.add(&BigUint::one());
+        assert!(verifier
+            .accept(&mut rng, vendor.public(), &measurement, &f.quote)
+            .is_err());
+    }
+
+    #[test]
+    fn cleared_verdict_rejected() {
+        let (vendor, mut nic, nf, measurement) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let params = DhParams::tiny_test_group();
+        let mut verifier = Verifier::hello(&mut rng);
+        let mut f =
+            FunctionAttestation::respond(&mut rng, &mut nic, nf, &params, verifier.nonce).unwrap();
+        assert!(
+            f.quote.verdict,
+            "healthy device attests with a clean verdict"
+        );
+        // Flipping the verdict is rejected outright — and even if the flag
+        // check were skipped, the signature covers the verdict byte.
+        f.quote.verdict = false;
         assert!(verifier
             .accept(&mut rng, vendor.public(), &measurement, &f.quote)
             .is_err());

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use rand::SeedableRng;
 use snic_crypto::keys::{AttestationKey, EndorsementKey, VendorCa};
 use snic_crypto::sha256::Sha256;
-use snic_mem::guard::{MemoryGuard, Principal};
+use snic_mem::guard::{AccessRecord, MemoryGuard, Principal};
 use snic_mem::ownership::PageOwnership;
 use snic_mem::pagetable::PageMapping;
 use snic_mem::phys::PhysMem;
@@ -19,9 +19,14 @@ use snic_mem::tlb::Tlb;
 use snic_pktio::dma::{DmaBank, DmaDirection, DmaWindow};
 use snic_pktio::port::PortBuffers;
 use snic_pktio::rules::RuleTable;
+use snic_pktio::vpp::VppBufferSpec;
 use snic_types::{AccelClusterId, AccelKind, ByteSize, CoreId, NfId, Packet, Picos, SnicError};
+use snic_verify::{
+    verify_denylist_coverage, verify_manifests, verify_tlb_state, BusSpec, DeviceSpec,
+    EnforcementMode, VerificationReport, VnicManifest,
+};
 
-use crate::alloc::BufferAllocator;
+use crate::alloc::{BufferAllocator, META_BASE, META_SLOT, POOL_BASE};
 use crate::config::{NicConfig, NicMode};
 use crate::instr::{
     scrub_time, sha_digest_time, LaunchLatency, LaunchReceipt, LaunchRequest, TeardownLatency,
@@ -31,6 +36,10 @@ use snic_accel::cluster::ClusterPool;
 
 /// Physical base of the region pool used for S-NIC private regions.
 const REGION_BASE: u64 = 0x0800_0000;
+
+/// Epoch length (bus cycles) of the S-NIC temporal arbiter — the §4.5
+/// convention used across the attacks and uarch crates.
+const BUS_EPOCH: u64 = 96;
 
 /// Bookkeeping for one launched function.
 #[derive(Debug)]
@@ -48,6 +57,10 @@ pub struct NfRecord {
     pub accel: Vec<AccelClusterId>,
     /// Requested memory.
     pub memory: ByteSize,
+    /// Host-sanctioned DMA window, if any.
+    pub host_window: Option<(u64, u64)>,
+    /// The function's VPP buffer reservation.
+    pub vpp: VppBufferSpec,
     /// TLB entries installed per core.
     pub tlb_entries: u64,
     /// RX descriptor queue: `(base, len)` of packets in DRAM.
@@ -185,6 +198,130 @@ impl SmartNic {
         &self.guard
     }
 
+    // ------------------------------------------------------------------
+    // Static verification (snic-verify)
+    // ------------------------------------------------------------------
+
+    /// The device inventory as the static verifier sees it.
+    pub fn device_spec(&self) -> DeviceSpec {
+        let (mode, bus) = match self.config.mode {
+            NicMode::Commodity => (EnforcementMode::Commodity, BusSpec::Fcfs),
+            NicMode::Snic => (
+                EnforcementMode::Snic,
+                BusSpec::Temporal { epoch: BUS_EPOCH },
+            ),
+        };
+        DeviceSpec {
+            mode,
+            dram: self.config.dram.bytes(),
+            nf_region_base: REGION_BASE,
+            nic_os: vec![
+                (META_BASE, crate::alloc::META_SLOTS * META_SLOT),
+                (POOL_BASE, ByteSize::mib(64).min(self.config.dram).bytes()),
+            ],
+            cores: self.config.cores,
+            core_tlb_entries: self.config.core_tlb_entries,
+            accel: AccelKind::ALL
+                .iter()
+                .map(|&k| (k, self.config.accel_clusters))
+                .collect(),
+            rx_capacity: self.config.rx_buffer.bytes(),
+            tx_capacity: self.config.tx_buffer.bytes(),
+            bus,
+        }
+    }
+
+    /// The manifests of every live function.
+    pub fn live_manifests(&self) -> Vec<VnicManifest> {
+        self.launched
+            .iter()
+            .map(|(&id, r)| manifest_of(id, r))
+            .collect()
+    }
+
+    /// Pass 1 over a candidate launch: the live manifests plus the one
+    /// the request would create.
+    fn verify_launch(
+        &self,
+        nf: NfId,
+        req: &LaunchRequest,
+        base: u64,
+        region_len: u64,
+        tlb_entries: usize,
+    ) -> VerificationReport {
+        let mut manifests = self.live_manifests();
+        manifests.push(VnicManifest {
+            nf,
+            cores: req.cores.clone(),
+            region: (base, region_len),
+            host_window: req.host_window,
+            tlb_entries,
+            accel: req.accel.clone(),
+            vpp: req.vpp,
+            bus_slice: None,
+        });
+        verify_manifests(&self.device_spec(), &manifests)
+    }
+
+    /// Re-verify the *live* device: Pass 1 over the current manifests,
+    /// plus the §4.2 state checks (denylist covers the ownership map,
+    /// per-core TLBs locked and confined). `nf_attest` embeds this
+    /// report's verdict in its signed statement.
+    pub fn verify_state(&self) -> VerificationReport {
+        let spec = self.device_spec();
+        let manifests = self.live_manifests();
+        let mut report = verify_manifests(&spec, &manifests);
+        report.violations.extend(verify_denylist_coverage(
+            spec.mode,
+            &self.ownership.owned_ranges(),
+            self.guard.denylist(),
+        ));
+        for m in &manifests {
+            let tlbs: Vec<&Tlb> = m
+                .cores
+                .iter()
+                .filter_map(|c| self.core_tlbs.get(c))
+                .collect();
+            report
+                .violations
+                .extend(verify_tlb_state(spec.mode, m, &tlbs));
+        }
+        report
+    }
+
+    /// Begin recording every mediated physical access (Pass 2 input).
+    pub fn start_audit(&mut self) {
+        self.guard.start_audit();
+    }
+
+    /// Drain the recorded access trace; recording stays enabled.
+    pub fn take_audit(&mut self) -> Vec<AccessRecord> {
+        self.guard.take_audit()
+    }
+
+    /// The current security domains as `(base, len, owner)` ranges: every
+    /// NF-owned region plus every live shared-pool buffer (commodity
+    /// packet and image buffers are owned too, even though they sit
+    /// outside the ownership bitmap). This is the domain map the trace
+    /// linter checks memory references against.
+    pub fn security_domains(&self) -> Vec<(u64, u64, NfId)> {
+        let mut out = self.ownership.owned_ranges();
+        let mem = self.guard.raw_mem_ref();
+        let word = |addr: u64| {
+            let mut w = [0u8; 8];
+            mem.read(addr, &mut w);
+            u64::from_le_bytes(w)
+        };
+        for slot in 0..self.allocator.slots() {
+            let a = META_BASE + slot * META_SLOT;
+            let (owner, base, len, flags) = (word(a), word(a + 8), word(a + 16), word(a + 24));
+            if flags & crate::alloc::FLAG_IN_USE != 0 && len > 0 {
+                out.push((base, len, NfId(owner)));
+            }
+        }
+        out
+    }
+
     fn fail_if_crashed(&self) -> Result<(), SnicError> {
         if self.crashed {
             Err(SnicError::NicCrashed)
@@ -252,49 +389,69 @@ impl SmartNic {
                 self.config.core_tlb_entries
             )));
         }
-        // Reserve the physical region: first-fit from freed regions,
-        // falling back to the bump pointer.
+        // Reserve the physical region: the caller's placement hint if
+        // given, else first-fit from freed regions, falling back to the
+        // bump pointer.
         let region_len = plan.allocated().bytes();
-        let base = match self
-            .free_regions
-            .iter()
-            .position(|&(_, len)| len >= region_len)
-        {
-            Some(idx) => {
-                let (b, len) = self.free_regions.remove(idx);
-                if len > region_len {
-                    self.free_regions.push((b + region_len, len - region_len));
-                    self.free_regions.sort_unstable();
+        let base = match req.region_base {
+            Some(hint) => hint,
+            None => match self
+                .free_regions
+                .iter()
+                .position(|&(_, len)| len >= region_len)
+            {
+                Some(idx) => {
+                    let (b, len) = self.free_regions.remove(idx);
+                    if len > region_len {
+                        self.free_regions.push((b + region_len, len - region_len));
+                        self.free_regions.sort_unstable();
+                    }
+                    b
                 }
-                b
-            }
-            None => {
-                let b = self.next_region.div_ceil(4096) * 4096;
-                if b + region_len > self.config.dram.bytes() {
-                    return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+                None => {
+                    let b = self.next_region.div_ceil(4096) * 4096;
+                    if b + region_len > self.config.dram.bytes() {
+                        return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+                    }
+                    self.next_region = b + region_len;
+                    b
                 }
-                self.next_region = b + region_len;
-                b
-            }
+            },
         };
-        if base + region_len > self.config.dram.bytes() {
+        if base.saturating_add(region_len) > self.config.dram.bytes() {
             return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
         }
         if req.image.len() as u64 > region_len {
             return Err(SnicError::InvalidConfig("image larger than region".into()));
         }
-        // Page-table walk: claim ownership (fails atomically on overlap).
+
+        // Static verification (Pass 1 of `snic-verify`): prove the
+        // augmented manifest set is still an isolation-respecting
+        // partition of the device *before* any hardware state mutates.
+        // The report, not just a boolean, travels in the error so the
+        // operator sees every broken invariant with its paper citation.
         let nf = NfId(self.next_nf);
+        let report = self.verify_launch(nf, &req, base, region_len, plan.entries() as usize);
+        if report.concerning(nf).next().is_some() {
+            if req.region_base.is_none() {
+                // Return the speculatively reserved region.
+                self.free_region(base, region_len);
+            }
+            return Err(SnicError::Verification(report.to_string()));
+        }
+
+        // Page-table walk: claim ownership (fails atomically on overlap).
         self.ownership.claim(base, region_len, nf)?;
         // Accelerator clusters (§4.3) — atomic per pool; roll back on
         // failure.
         let mut accel = Vec::new();
         for &(kind, count) in &req.accel {
-            let pool = self
-                .pools
-                .iter_mut()
-                .find(|p| p.kind() == kind)
-                .expect("all kinds built");
+            let Some(pool) = self.pools.iter_mut().find(|p| p.kind() == kind) else {
+                self.rollback(nf);
+                return Err(SnicError::InvalidConfig(format!(
+                    "device has no {kind:?} accelerator pool"
+                )));
+            };
             match pool.allocate(nf, count) {
                 Ok(mut ids) => accel.append(&mut ids),
                 Err(e) => {
@@ -312,6 +469,34 @@ impl SmartNic {
             self.rollback(nf);
             return Err(e);
         }
+        // Build the locked per-core TLBs before committing anything, so a
+        // (planner-bug) capacity overflow still rolls back cleanly.
+        let mut new_tlbs: Vec<(CoreId, Tlb)> = Vec::new();
+        if self.config.mode == NicMode::Snic {
+            for &c in &req.cores {
+                let mut tlb = Tlb::new(c, self.config.core_tlb_entries);
+                let mut va = 0u64;
+                let mut pa = base;
+                for &(page_size, count) in &plan.pages {
+                    for _ in 0..count {
+                        let install = tlb.install(PageMapping {
+                            va,
+                            pa,
+                            page_size,
+                            writable: true,
+                        });
+                        if let Err(e) = install {
+                            self.rollback(nf);
+                            return Err(e.into());
+                        }
+                        va += page_size;
+                        pa += page_size;
+                    }
+                }
+                tlb.lock();
+                new_tlbs.push((c, tlb));
+            }
+        }
 
         // Commit point: everything below cannot fail.
         self.next_nf += 1;
@@ -322,27 +507,11 @@ impl SmartNic {
         let mut denylist_time = Picos::ZERO;
         if self.config.mode == NicMode::Snic {
             // Denylist the region against the management core (§4.2).
-            self.guard.denylist_mut().deny(base, region_len, nf);
+            // Ownership exclusivity makes an overlap impossible here.
+            self.guard.denylist_mut().deny(base, region_len, nf)?;
             denylist_time = DENYLISTING;
-            // Install locked per-core TLBs covering the planned pages.
-            for &c in &req.cores {
-                let mut tlb = Tlb::new(c, self.config.core_tlb_entries);
-                let mut va = 0u64;
-                let mut pa = base;
-                for &(page_size, count) in &plan.pages {
-                    for _ in 0..count {
-                        tlb.install(PageMapping {
-                            va,
-                            pa,
-                            page_size,
-                            writable: true,
-                        })
-                        .expect("capacity checked above");
-                        va += page_size;
-                        pa += page_size;
-                    }
-                }
-                tlb.lock();
+            // Install the locked per-core TLBs built above.
+            for (c, tlb) in new_tlbs {
                 self.core_tlbs.insert(c, tlb);
             }
         } else {
@@ -361,16 +530,12 @@ impl SmartNic {
             base
         };
         let hw = Principal::TrustedHardware;
-        self.guard
-            .write_phys(hw, image_base, &req.image.code)
-            .expect("region in bounds");
-        self.guard
-            .write_phys(
-                hw,
-                image_base + req.image.code.len() as u64,
-                &req.image.config,
-            )
-            .expect("region in bounds");
+        self.guard.write_phys(hw, image_base, &req.image.code)?;
+        self.guard.write_phys(
+            hw,
+            image_base + req.image.code.len() as u64,
+            &req.image.config,
+        )?;
 
         // Cumulative measurement (§4.6): code, config, rules, topology.
         let mut h = Sha256::new();
@@ -420,6 +585,8 @@ impl SmartNic {
             measurement,
             accel,
             memory: req.memory,
+            host_window: req.host_window,
+            vpp: req.vpp,
             tlb_entries: plan.entries(),
             rx_queue: VecDeque::new(),
             rx_bytes: 0,
@@ -554,9 +721,8 @@ impl SmartNic {
             }
         };
         self.guard
-            .write_phys(Principal::TrustedHardware, base, &pkt.data)
-            .expect("packet buffer in bounds");
-        let record = self.launched.get_mut(&nf).expect("checked above");
+            .write_phys(Principal::TrustedHardware, base, &pkt.data)?;
+        let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         record.rx_bytes += len;
         record.rx_queue.push_back((base, pkt.len() as u32));
         Ok(Some(nf))
@@ -576,8 +742,7 @@ impl SmartNic {
         record.rx_delivered += 1;
         let mut buf = vec![0u8; len as usize];
         self.guard
-            .read_phys(Principal::TrustedHardware, base, &mut buf)
-            .expect("in bounds");
+            .read_phys(Principal::TrustedHardware, base, &mut buf)?;
         Ok(Some(Packet::from_bytes(bytes::Bytes::from(buf))))
     }
 
@@ -784,18 +949,46 @@ impl SmartNic {
         context: &[u8],
     ) -> Result<crate::attest::SignedStatement, SnicError> {
         self.fail_if_crashed()?;
+        // The quote embeds the live verifier verdict: a relying party
+        // learns not just *what* launched but that the device's current
+        // allocation still verifies as an isolation-respecting partition.
+        let verdict = self.verify_state().is_ok();
         let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
-        let mut statement = Vec::with_capacity(32 + context.len());
+        let mut statement = Vec::with_capacity(33 + context.len());
         statement.extend_from_slice(&record.measurement);
+        statement.push(u8::from(verdict));
         statement.extend_from_slice(context);
         let signature = self.ak.sign(&statement);
         self.now += crate::instr::ATTEST_RSA + crate::instr::ATTEST_SHA;
         Ok(crate::attest::SignedStatement {
             measurement: record.measurement,
+            verdict,
             signature,
             ak_endorsement: self.ak.endorsement.clone(),
             ek_certificate: self.ek.certificate.clone(),
         })
+    }
+}
+
+/// A live function's record, rendered as the manifest the verifier
+/// checks.
+fn manifest_of(nf: NfId, r: &NfRecord) -> VnicManifest {
+    let mut accel: Vec<(AccelKind, usize)> = Vec::new();
+    for c in &r.accel {
+        match accel.iter_mut().find(|(k, _)| *k == c.kind) {
+            Some((_, n)) => *n += 1,
+            None => accel.push((c.kind, 1)),
+        }
+    }
+    VnicManifest {
+        nf,
+        cores: r.cores.clone(),
+        region: r.region,
+        host_window: r.host_window,
+        tlb_entries: r.tlb_entries as usize,
+        accel,
+        vpp: r.vpp,
+        bus_slice: None,
     }
 }
 
@@ -1048,8 +1241,10 @@ mod tests {
         let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &v);
         let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
         let stmt = nic.nf_attest(id, b"nonce+dh").unwrap();
+        assert!(stmt.verdict, "a healthy device verifies cleanly");
         let mut expected = Vec::new();
         expected.extend_from_slice(&stmt.measurement);
+        expected.push(1); // verifier verdict byte
         expected.extend_from_slice(b"nonce+dh");
         assert!(snic_crypto::keys::verify_chain(
             v.public(),
@@ -1058,6 +1253,81 @@ mod tests {
             &expected,
             &stmt.signature,
         ));
+    }
+
+    #[test]
+    fn launch_refuses_overlapping_manifest() {
+        for mut nic in [snic(), commodity()] {
+            let a = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+            let (base, _) = nic.record_of(a).unwrap().region;
+            // A manifest whose region overlaps the live function's.
+            let mut overlapping = req(1, 4);
+            overlapping.region_base = Some(base + 0x1000);
+            match nic.nf_launch(overlapping).unwrap_err() {
+                SnicError::Verification(report) => {
+                    assert!(report.contains("RegionOverlap"), "{report}");
+                    assert!(report.contains("§4.1"), "{report}");
+                }
+                other => panic!("expected Verification refusal, got {other:?}"),
+            }
+            // The refusal leaked nothing: the same core launches cleanly.
+            assert!(nic.nf_launch(req(1, 4)).is_ok());
+        }
+    }
+
+    #[test]
+    fn launch_refuses_nic_os_collision() {
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.region_base = Some(0x0200_0000); // inside the shared buffer pool
+        match nic.nf_launch(r).unwrap_err() {
+            SnicError::Verification(report) => {
+                assert!(report.contains("NicOsCollision"), "{report}");
+            }
+            other => panic!("expected Verification refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_refuses_duplicate_core_in_request() {
+        let mut nic = snic();
+        let mut r = req(0, 4);
+        r.cores = vec![CoreId(0), CoreId(0)];
+        match nic.nf_launch(r).unwrap_err() {
+            SnicError::Verification(report) => {
+                assert!(report.contains("CoreConflict"), "{report}");
+            }
+            other => panic!("expected Verification refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_device_verifies_cleanly_in_both_modes() {
+        for mut nic in [snic(), commodity()] {
+            nic.nf_launch(req(0, 4)).unwrap();
+            nic.nf_launch(req(1, 16)).unwrap();
+            let report = nic.verify_state();
+            assert!(report.is_ok(), "{report}");
+            assert_eq!(report.manifests_checked, 2);
+        }
+    }
+
+    #[test]
+    fn security_domains_cover_regions_and_pool_buffers() {
+        let mut nic = commodity();
+        let id = nic.nf_launch(req_with_rule(0, 4, 80)).unwrap().nf_id;
+        assert_eq!(nic.rx_packet(&pkt(80)).unwrap(), Some(id));
+        let domains = nic.security_domains();
+        let (rbase, rlen) = nic.record_of(id).unwrap().region;
+        assert!(domains.contains(&(rbase, rlen, id)), "region domain");
+        // The image and the queued packet live in the shared pool below
+        // REGION_BASE, still attributed to the owner.
+        assert!(
+            domains
+                .iter()
+                .any(|&(b, _, o)| o == id && b < rbase && b >= 0x0200_0000),
+            "{domains:?}"
+        );
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub struct LaunchRequest {
     /// (§4.2: "the function should only be able to transfer data to a
     /// host-sanctioned region in host RAM"). `None` = no host DMA.
     pub host_window: Option<(u64, u64)>,
+    /// Physical placement hint for the private region. `None` lets the
+    /// device choose; a hint is handed to the static verifier unmodified,
+    /// so demos and tests can construct overlapping manifests that the
+    /// verifier — not the ownership bitmap — must refuse.
+    pub region_base: Option<u64>,
 }
 
 impl LaunchRequest {
@@ -96,6 +101,7 @@ impl LaunchRequest {
             image,
             page_policy: None,
             host_window: None,
+            region_base: None,
         }
     }
 }

@@ -72,17 +72,16 @@ impl BigUint {
             clean.chars().all(|c| c.is_ascii_hexdigit()),
             "invalid hex constant"
         );
+        let nibble = |c: char| c.to_digit(16).expect("validated hex digit") as u8;
         let mut bytes = Vec::with_capacity(clean.len() / 2 + 1);
         let chars: Vec<char> = clean.chars().collect();
         let mut i = 0;
         if chars.len() % 2 == 1 {
-            bytes.push(chars[0].to_digit(16).unwrap() as u8);
+            bytes.push(nibble(chars[0]));
             i = 1;
         }
         while i < chars.len() {
-            let hi = chars[i].to_digit(16).unwrap() as u8;
-            let lo = chars[i + 1].to_digit(16).unwrap() as u8;
-            bytes.push((hi << 4) | lo);
+            bytes.push((nibble(chars[i]) << 4) | nibble(chars[i + 1]));
             i += 2;
         }
         BigUint::from_be_bytes(&bytes)
@@ -129,9 +128,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
+        for (i, &a) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
-            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = u64::from(c1) + u64::from(c2);
@@ -265,7 +264,11 @@ impl BigUint {
         }
 
         // Normalize so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let shift = divisor
+            .limbs
+            .last()
+            .expect("divisor is nonzero, so it has limbs")
+            .leading_zeros() as usize;
         let u = self.shl(shift);
         let v = divisor.shl(shift);
         let n = v.limbs.len();

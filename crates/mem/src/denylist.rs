@@ -6,7 +6,7 @@
 //! physical addresses, each interval tagged with the owning network
 //! function; lookups are the dual page-table walk the paper describes.
 
-use snic_types::{IsolationError, NfId};
+use snic_types::{IsolationError, NfId, SnicError};
 
 /// An interval-set denylist over physical addresses.
 #[derive(Debug, Clone, Default)]
@@ -23,19 +23,24 @@ impl Denylist {
 
     /// Deny `base..base+len`, recording `owner` as the owning NF.
     ///
-    /// # Panics
-    ///
-    /// Panics if the new range overlaps an existing denied range: the
-    /// ownership bitmap guarantees launch-time exclusivity, so an overlap
-    /// indicates a bug in the launch path.
-    pub fn deny(&mut self, base: u64, len: u64, owner: NfId) {
-        assert!(len > 0, "empty denylist range");
+    /// Fails if the range is empty or overlaps an existing denied range:
+    /// the ownership bitmap guarantees launch-time exclusivity, so an
+    /// overlap indicates a bug in the launch path.
+    pub fn deny(&mut self, base: u64, len: u64, owner: NfId) -> Result<(), SnicError> {
+        if len == 0 {
+            return Err(SnicError::InvalidConfig("empty denylist range".into()));
+        }
         for &(b, l, _) in &self.intervals {
             let disjoint = base + len <= b || b + l <= base;
-            assert!(disjoint, "overlapping denylist range at {base:#x}");
+            if !disjoint {
+                return Err(SnicError::InvalidConfig(format!(
+                    "overlapping denylist range at {base:#x}"
+                )));
+            }
         }
         self.intervals.push((base, len, owner));
         self.intervals.sort_by_key(|&(b, _, _)| b);
+        Ok(())
     }
 
     /// Remove every range owned by `owner` (the allowlisting step of
@@ -72,6 +77,12 @@ impl Denylist {
         Ok(())
     }
 
+    /// The sorted, disjoint `(base, len, owner)` intervals — consumed by
+    /// the static verifier's denylist-completeness check.
+    pub fn intervals(&self) -> &[(u64, u64, NfId)] {
+        &self.intervals
+    }
+
     /// Number of denied intervals.
     pub fn len(&self) -> usize {
         self.intervals.len()
@@ -102,7 +113,7 @@ mod tests {
     #[test]
     fn denied_range_rejected_with_owner() {
         let mut d = Denylist::new();
-        d.deny(0x1000, 0x1000, NfId(7));
+        d.deny(0x1000, 0x1000, NfId(7)).unwrap();
         match d.check(0x1800, 8) {
             Err(IsolationError::Denylisted { owner, .. }) => assert_eq!(owner, NfId(7)),
             other => panic!("expected Denylisted, got {other:?}"),
@@ -112,7 +123,7 @@ mod tests {
     #[test]
     fn boundary_conditions() {
         let mut d = Denylist::new();
-        d.deny(0x1000, 0x1000, NfId(1));
+        d.deny(0x1000, 0x1000, NfId(1)).unwrap();
         // One byte before and the first byte after are allowed.
         assert!(d.check(0xfff, 1).is_ok());
         assert!(d.check(0x2000, 1).is_ok());
@@ -126,8 +137,8 @@ mod tests {
     #[test]
     fn allow_owner_removes_only_that_owner() {
         let mut d = Denylist::new();
-        d.deny(0x1000, 0x1000, NfId(1));
-        d.deny(0x3000, 0x1000, NfId(2));
+        d.deny(0x1000, 0x1000, NfId(1)).unwrap();
+        d.deny(0x3000, 0x1000, NfId(2)).unwrap();
         let removed = d.allow_owner(NfId(1));
         assert_eq!(removed, vec![(0x1000, 0x1000)]);
         assert!(d.check(0x1000, 1).is_ok());
@@ -136,18 +147,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlapping")]
-    fn overlap_panics() {
+    fn overlap_and_empty_ranges_rejected() {
         let mut d = Denylist::new();
-        d.deny(0x1000, 0x1000, NfId(1));
-        d.deny(0x1800, 0x1000, NfId(2));
+        d.deny(0x1000, 0x1000, NfId(1)).unwrap();
+        assert!(matches!(
+            d.deny(0x1800, 0x1000, NfId(2)),
+            Err(SnicError::InvalidConfig(_))
+        ));
+        assert!(d.deny(0x9000, 0, NfId(3)).is_err());
+        // The failed calls left the interval set untouched.
+        assert_eq!(d.len(), 1);
     }
 
     #[test]
     fn denied_bytes_accumulate() {
         let mut d = Denylist::new();
-        d.deny(0, 100, NfId(1));
-        d.deny(200, 300, NfId(2));
+        d.deny(0, 100, NfId(1)).unwrap();
+        d.deny(200, 300, NfId(2)).unwrap();
         assert_eq!(d.denied_bytes(), 400);
     }
 
@@ -164,7 +180,7 @@ mod tests {
             for (i, &(b, l)) in ranges.iter().enumerate() {
                 if kept.iter().all(|&(kb, kl)| b + l <= kb || kb + kl <= b) {
                     kept.push((b, l));
-                    d.deny(b, l, NfId(i as u64));
+                    d.deny(b, l, NfId(i as u64)).unwrap();
                 }
             }
             let naive_denied = kept.iter().any(|&(b, l)| probe < b + l && b < probe + len);

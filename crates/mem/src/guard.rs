@@ -12,6 +12,8 @@
 //!   addressing at all (only TLB-mediated virtual access), and the
 //!   management core is subject to the denylist.
 
+use std::cell::RefCell;
+
 use snic_types::{ByteSize, CoreId, IsolationError, NfId, SnicError};
 
 use crate::denylist::Denylist;
@@ -39,12 +41,33 @@ pub enum AccessKind {
     Store,
 }
 
+/// One audited physical access, recorded for offline trace analysis.
+///
+/// `granted = false` entries are accesses the guard refused (S-NIC
+/// denials); analyzers that look for *leaks* consider only granted ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Who issued the access.
+    pub who: Principal,
+    /// Physical address.
+    pub addr: u64,
+    /// Bytes accessed.
+    pub len: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Whether the guard allowed it.
+    pub granted: bool,
+}
+
 /// The mediated physical memory of the NIC.
 #[derive(Debug)]
 pub struct MemoryGuard {
     mem: PhysMem,
     denylist: Denylist,
     enforcing: bool,
+    /// Audit log (`None` = recording off). `RefCell` because reads go
+    /// through `&self`.
+    audit: RefCell<Option<Vec<AccessRecord>>>,
 }
 
 impl MemoryGuard {
@@ -54,6 +77,39 @@ impl MemoryGuard {
             mem: PhysMem::new(size),
             denylist: Denylist::new(),
             enforcing,
+            audit: RefCell::new(None),
+        }
+    }
+
+    /// Begin recording every physical access into the audit log
+    /// (clearing any previous log).
+    pub fn start_audit(&mut self) {
+        *self.audit.borrow_mut() = Some(Vec::new());
+    }
+
+    /// Drain the audit log, leaving recording enabled. Returns an empty
+    /// vector if recording was never started.
+    pub fn take_audit(&mut self) -> Vec<AccessRecord> {
+        match self.audit.borrow_mut().as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether the audit log is recording.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.borrow().is_some()
+    }
+
+    fn record(&self, who: Principal, addr: u64, len: usize, kind: AccessKind, granted: bool) {
+        if let Some(log) = self.audit.borrow_mut().as_mut() {
+            log.push(AccessRecord {
+                who,
+                addr,
+                len: len as u64,
+                kind,
+                granted,
+            });
         }
     }
 
@@ -107,14 +163,18 @@ impl MemoryGuard {
 
     /// Physical read (`xkphys`-style on commodity NICs).
     pub fn read_phys(&self, who: Principal, addr: u64, out: &mut [u8]) -> Result<(), SnicError> {
-        self.check_phys(who, addr, out.len())?;
+        let checked = self.check_phys(who, addr, out.len());
+        self.record(who, addr, out.len(), AccessKind::Load, checked.is_ok());
+        checked?;
         self.mem.read(addr, out);
         Ok(())
     }
 
     /// Physical write.
     pub fn write_phys(&mut self, who: Principal, addr: u64, data: &[u8]) -> Result<(), SnicError> {
-        self.check_phys(who, addr, data.len())?;
+        let checked = self.check_phys(who, addr, data.len());
+        self.record(who, addr, data.len(), AccessKind::Store, checked.is_ok());
+        checked?;
         self.mem.write(addr, data);
         Ok(())
     }
@@ -202,7 +262,7 @@ mod tests {
         let mut g = snic();
         g.write_phys(Principal::TrustedHardware, 0x4000, b"nf-state")
             .unwrap();
-        g.denylist_mut().deny(0x4000, 0x1000, NfId(5));
+        g.denylist_mut().deny(0x4000, 0x1000, NfId(5)).unwrap();
         let mut buf = [0u8; 8];
         let err = g
             .read_phys(Principal::Management, 0x4000, &mut buf)
@@ -220,7 +280,7 @@ mod tests {
         // A commodity NIC has no denylist hardware; even if software
         // configures one, nothing enforces it.
         let mut g = commodity();
-        g.denylist_mut().deny(0x4000, 0x1000, NfId(5));
+        g.denylist_mut().deny(0x4000, 0x1000, NfId(5)).unwrap();
         let mut buf = [0u8; 8];
         assert!(g.read_phys(Principal::Management, 0x4000, &mut buf).is_ok());
     }
@@ -268,9 +328,42 @@ mod tests {
     }
 
     #[test]
+    fn audit_log_records_grants_and_denials() {
+        let mut g = snic();
+        assert!(!g.audit_enabled());
+        // Accesses before start_audit leave no trace.
+        let mut buf = [0u8; 4];
+        g.read_phys(Principal::Management, 0x1000, &mut buf)
+            .unwrap();
+        g.start_audit();
+        assert!(g.audit_enabled());
+        g.write_phys(Principal::TrustedHardware, 0x2000, b"ab")
+            .unwrap();
+        let _ = g.read_phys(Principal::Nf(NfId(1), CoreId(0)), 0x2000, &mut buf);
+        let log = g.take_audit();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log[0],
+            AccessRecord {
+                who: Principal::TrustedHardware,
+                addr: 0x2000,
+                len: 2,
+                kind: AccessKind::Store,
+                granted: true,
+            }
+        );
+        assert_eq!(log[1].who, Principal::Nf(NfId(1), CoreId(0)));
+        assert_eq!(log[1].kind, AccessKind::Load);
+        assert!(!log[1].granted, "S-NIC refuses NF physical loads");
+        // Draining keeps recording on.
+        assert!(g.audit_enabled());
+        assert!(g.take_audit().is_empty());
+    }
+
+    #[test]
     fn trusted_hardware_bypasses_denylist() {
         let mut g = snic();
-        g.denylist_mut().deny(0x1000, 0x1000, NfId(1));
+        g.denylist_mut().deny(0x1000, 0x1000, NfId(1)).unwrap();
         let mut buf = [0u8; 4];
         assert!(g
             .read_phys(Principal::TrustedHardware, 0x1000, &mut buf)

@@ -32,7 +32,7 @@ pub mod tlb;
 pub mod tracker;
 
 pub use denylist::Denylist;
-pub use guard::{AccessKind, MemoryGuard, Principal};
+pub use guard::{AccessKind, AccessRecord, MemoryGuard, Principal};
 pub use ownership::PageOwnership;
 pub use pagetable::{PageMapping, PageTable};
 pub use phys::{PhysMem, PAGE_GRANULE};

@@ -68,6 +68,23 @@ impl PageOwnership {
     pub fn total_owned(&self) -> ByteSize {
         ByteSize(self.owners.len() as u64 * PAGE_GRANULE)
     }
+
+    /// The owned address space as maximal `(base, len, owner)` ranges,
+    /// sorted by base — adjacent same-owner granules are coalesced. This
+    /// is the verifier's view of the ownership map.
+    pub fn owned_ranges(&self) -> Vec<(u64, u64, NfId)> {
+        let mut granules: Vec<(u64, NfId)> = self.owners.iter().map(|(&g, &o)| (g, o)).collect();
+        granules.sort_unstable_by_key(|&(g, _)| g);
+        let mut out: Vec<(u64, u64, NfId)> = Vec::new();
+        for (g, owner) in granules {
+            let base = g * PAGE_GRANULE;
+            match out.last_mut() {
+                Some((b, l, o)) if *o == owner && *b + *l == base => *l += PAGE_GRANULE,
+                _ => out.push((base, PAGE_GRANULE, owner)),
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +136,22 @@ mod tests {
         assert_eq!(o.owned_bytes(NfId(9)), ByteSize(3 * PAGE_GRANULE));
         assert_eq!(o.owned_bytes(NfId(1)), ByteSize::ZERO);
         assert_eq!(o.total_owned(), ByteSize(3 * PAGE_GRANULE));
+    }
+
+    #[test]
+    fn owned_ranges_coalesce_per_owner() {
+        let mut o = PageOwnership::new();
+        o.claim(0, 2 * PAGE_GRANULE, NfId(1)).unwrap();
+        o.claim(2 * PAGE_GRANULE, PAGE_GRANULE, NfId(2)).unwrap();
+        o.claim(10 * PAGE_GRANULE, PAGE_GRANULE, NfId(1)).unwrap();
+        assert_eq!(
+            o.owned_ranges(),
+            vec![
+                (0, 2 * PAGE_GRANULE, NfId(1)),
+                (2 * PAGE_GRANULE, PAGE_GRANULE, NfId(2)),
+                (10 * PAGE_GRANULE, PAGE_GRANULE, NfId(1)),
+            ]
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl PageTable {
         // The model stores base+length ranges rather than bit-sliced tags,
         // so bases need only page-granule (4 KiB) alignment; this lets the
         // launch path pack variable-sized pages back to back.
-        assert!(m.page_size > 0 && m.page_size % 4096 == 0, "odd page size");
+        assert!(
+            m.page_size > 0 && m.page_size.is_multiple_of(4096),
+            "odd page size"
+        );
         assert_eq!(m.va % 4096, 0, "virtual base misaligned");
         assert_eq!(m.pa % 4096, 0, "physical base misaligned");
         for e in &self.mappings {

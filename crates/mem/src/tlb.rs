@@ -60,18 +60,19 @@ impl Tlb {
 
     /// Install one entry.
     ///
-    /// Fails with [`IsolationError::TlbLocked`] after locking, and with an
-    /// `InvalidConfig`-style panic if hardware capacity is exceeded —
-    /// capacity must be validated by the launch planner first.
+    /// Fails with [`IsolationError::TlbLocked`] after locking, and with
+    /// [`IsolationError::TlbCapacity`] if hardware capacity is exceeded —
+    /// the launch planner must size mappings before installation.
     pub fn install(&mut self, mapping: PageMapping) -> Result<(), IsolationError> {
         if self.locked {
             return Err(IsolationError::TlbLocked);
         }
-        assert!(
-            self.entries.len() < self.capacity,
-            "TLB capacity {} exceeded; planner must size entries first",
-            self.capacity
-        );
+        if self.entries.len() >= self.capacity {
+            return Err(IsolationError::TlbCapacity {
+                core: self.core,
+                capacity: self.capacity,
+            });
+        }
         self.entries.push(TlbEntry { mapping });
         Ok(())
     }
@@ -196,11 +197,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn capacity_overflow_panics() {
+    fn capacity_overflow_is_typed_error() {
         let mut t = Tlb::new(CoreId(0), 1);
         t.install(mapping(0, 0, 2 * MB, true)).unwrap();
-        let _ = t.install(mapping(2 * MB, 2 * MB, 2 * MB, true));
+        let err = t
+            .install(mapping(2 * MB, 2 * MB, 2 * MB, true))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IsolationError::TlbCapacity {
+                core: CoreId(0),
+                capacity: 1,
+            }
+        );
     }
 
     #[test]

@@ -142,6 +142,11 @@ pub mod layout {
     pub const HEAP_BASE: u64 = 0x1000_0000;
     /// Base of the stack region.
     pub const STACK_BASE: u64 = 0x7f00_0000;
+
+    // The regions must stay disjoint and ordered; checked at compile time.
+    const _: () = assert!(PKTBUF_BASE < DATA_BASE);
+    const _: () = assert!(DATA_BASE < HEAP_BASE);
+    const _: () = assert!(HEAP_BASE < STACK_BASE);
 }
 
 #[cfg(test)]
@@ -170,13 +175,5 @@ mod tests {
     fn null_sink_is_noop() {
         let mut s = NullSink;
         s.touch(0, AccessKind::Load, 1); // Must not panic or allocate.
-    }
-
-    #[test]
-    fn layout_regions_are_disjoint_and_ordered() {
-        use layout::*;
-        assert!(PKTBUF_BASE < DATA_BASE);
-        assert!(DATA_BASE < HEAP_BASE);
-        assert!(HEAP_BASE < STACK_BASE);
     }
 }

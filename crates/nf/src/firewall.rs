@@ -69,22 +69,18 @@ pub fn synth_rules(count: usize, seed: u64) -> Vec<FirewallRule> {
         } else {
             rng.random()
         };
-        let port_lo = *[0u16, 80, 443, 22, 25, 53, 1024]
-            .get(rng.random_range(0..7))
-            .unwrap();
+        const PORTS: [u16; 7] = [0, 80, 443, 22, 25, 53, 1024];
+        let port_lo = PORTS[rng.random_range(0..PORTS.len())];
         let port_hi = if port_lo == 0 {
             u16::MAX
         } else {
             port_lo.saturating_add(rng.random_range(0..32))
         };
         rules.push(FirewallRule {
-            src: (
-                rng.random(),
-                *[0u8, 8, 16, 24].get(rng.random_range(0..4)).unwrap(),
-            ),
+            src: (rng.random(), [0u8, 8, 16, 24][rng.random_range(0..4usize)]),
             dst: (
                 dst_base | rng.random_range(0u32..1 << 16),
-                *[16u8, 24, 32].get(rng.random_range(0..3)).unwrap(),
+                [16u8, 24, 32][rng.random_range(0..3usize)],
             ),
             protocol: match rng.random_range(0..3) {
                 0 => Some(Protocol::Tcp),
@@ -166,7 +162,7 @@ impl FirewallNf {
         for (i, rule) in self.rules.iter().enumerate() {
             // The rule array is scanned linearly; report one load per
             // cache line of rules (4 rules per 64 B line).
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 sink.touch(
                     layout::DATA_BASE + (i as u64) * RULE_BYTES,
                     AccessKind::Load,

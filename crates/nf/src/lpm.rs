@@ -20,7 +20,7 @@ use crate::profile::{paper_profile, vec_bytes, MemoryProfile};
 /// Entry flag: the low 15 bits index a tbl8 segment instead of a hop.
 const EXTEND_FLAG: u32 = 1 << 31;
 /// "No route" marker.
-const INVALID: u32 = u32::MAX & !EXTEND_FLAG;
+const INVALID: u32 = !EXTEND_FLAG;
 
 /// A routing prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -123,9 +123,7 @@ impl SketchMonitor {
         let est = self.sketch.estimate(&flow);
         // Heavy-hitter maintenance (SpaceSaving: evict the current
         // minimum when full and the newcomer beats it).
-        if self.heavy.contains_key(&flow) {
-            self.heavy.insert(flow, est);
-        } else if self.heavy.len() < self.heavy_capacity {
+        if self.heavy.contains_key(&flow) || self.heavy.len() < self.heavy_capacity {
             self.heavy.insert(flow, est);
         } else if let Some((&victim, &victim_count)) = self.heavy.iter().min_by_key(|&(_, &c)| c) {
             if est > victim_count {

@@ -44,8 +44,7 @@ impl PortBuffers {
         if amount > self.available() {
             return Err(SnicError::PortBufferExhausted);
         }
-        let e = self.reservations.entry(owner).or_insert(ByteSize::ZERO);
-        *e = *e + amount;
+        *self.reservations.entry(owner).or_insert(ByteSize::ZERO) += amount;
         Ok(())
     }
 

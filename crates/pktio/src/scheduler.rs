@@ -111,11 +111,10 @@ impl DrrScheduler {
 
 impl PacketScheduler for DrrScheduler {
     fn enqueue(&mut self, item: TxItem) {
-        match self.queue_of(item.tenant) {
-            Some(q) => q.queue.push_back(item),
-            // Frames from unknown tenants are dropped: the output module
-            // only serves configured VPPs.
-            None => {}
+        // Frames from unknown tenants are dropped: the output module
+        // only serves configured VPPs.
+        if let Some(q) = self.queue_of(item.tenant) {
+            q.queue.push_back(item);
         }
     }
 

@@ -84,9 +84,7 @@ impl CaidaLikeTrace {
                     Protocol::Udp
                 },
                 src_port: rng.random_range(1024..u16::MAX),
-                dst_port: *[80u16, 443, 53, 123, 8443]
-                    .get(rng.random_range(0..5))
-                    .unwrap(),
+                dst_port: [80u16, 443, 53, 123, 8443][rng.random_range(0..5usize)],
             };
             // Pareto-distributed packet count.
             let u: f64 = 1.0 - rng.random::<f64>();

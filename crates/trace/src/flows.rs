@@ -50,9 +50,7 @@ impl FlowTable {
                 dst_ip: 0xc633_0000 | rng.random_range(0u32..1 << 16),
                 protocol,
                 src_port: rng.random_range(1024..u16::MAX),
-                dst_port: *[80u16, 443, 53, 8080, 22, 25]
-                    .get(rng.random_range(0..6))
-                    .unwrap(),
+                dst_port: [80u16, 443, 53, 8080, 22, 25][rng.random_range(0..6usize)],
             };
             if seen.insert(ft) {
                 flows.push(ft);

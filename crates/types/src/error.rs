@@ -39,6 +39,14 @@ pub enum IsolationError {
     },
     /// Attempt to mutate a TLB that `nf_launch` has locked read-only.
     TlbLocked,
+    /// Attempt to install more TLB entries than the hardware has slots —
+    /// the launch planner must size mappings before installation.
+    TlbCapacity {
+        /// The core whose TLB overflowed.
+        core: CoreId,
+        /// Hardware entry slots.
+        capacity: usize,
+    },
 }
 
 impl core::fmt::Display for IsolationError {
@@ -62,6 +70,9 @@ impl core::fmt::Display for IsolationError {
                 write!(f, "DMA to unsanctioned address {addr:#x}")
             }
             IsolationError::TlbLocked => write!(f, "TLB is locked read-only after nf_launch"),
+            IsolationError::TlbCapacity { core, capacity } => {
+                write!(f, "{core} TLB capacity {capacity} exceeded during install")
+            }
         }
     }
 }
@@ -96,6 +107,10 @@ pub enum SnicError {
     Malformed(&'static str),
     /// The NIC crashed (e.g. the bus-DoS attack on commodity hardware).
     NicCrashed,
+    /// The static verifier refused the manifest set; the payload is the
+    /// rendered verification report (every violation with its paper
+    /// citation).
+    Verification(String),
 }
 
 impl From<IsolationError> for SnicError {
@@ -129,6 +144,9 @@ impl core::fmt::Display for SnicError {
             SnicError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SnicError::Malformed(what) => write!(f, "malformed packet: {what}"),
             SnicError::NicCrashed => write!(f, "NIC hard-crashed; power cycle required"),
+            SnicError::Verification(report) => {
+                write!(f, "static verification refused the manifest: {report}")
+            }
         }
     }
 }

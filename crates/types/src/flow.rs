@@ -5,13 +5,11 @@
 //! destination port — so the five-tuple is the unit of flow identity used
 //! by every network function in the evaluation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SnicError;
 use crate::packet::Packet;
 
 /// Layer-4 protocol carried in an IPv4 header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
     /// TCP (IP protocol 6).
     Tcp,
@@ -42,7 +40,7 @@ impl Protocol {
 }
 
 /// Direction of a packet relative to a flow's initiator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlowDirection {
     /// From the flow initiator toward the responder.
     Forward,
@@ -51,7 +49,7 @@ pub enum FlowDirection {
 }
 
 /// A five-tuple flow key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: u32,

@@ -6,25 +6,23 @@
 //! binds to a virtual smart NIC: programmable cores, accelerator clusters,
 //! virtual packet pipelines, and physical ports.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a datacenter tenant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u32);
 
 /// Opaque identifier of a launched network function.
 ///
 /// Returned by the `nf_launch` trusted instruction (Table 1 of the paper);
 /// the NIC OS passes it back to `nf_teardown`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NfId(pub u64);
 
 /// Index of a programmable (or management) core on the NIC SoC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoreId(pub u16);
 
 /// Index of a hardware-thread cluster inside an accelerator (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AccelClusterId {
     /// Which accelerator the cluster belongs to.
     pub kind: AccelKind,
@@ -38,7 +36,7 @@ pub struct AccelClusterId {
 /// packet inspection engine, a compression engine, and a storage/RAID
 /// engine, plus the cryptographic co-processor used by attestation
 /// (Appendix C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccelKind {
     /// Deep packet inspection (regular-expression / Aho-Corasick engine).
     Dpi,
@@ -71,11 +69,11 @@ impl AccelKind {
 }
 
 /// Index of a virtual packet pipeline (§4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VppId(pub u16);
 
 /// Index of a physical RX or TX port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub u16);
 
 impl core::fmt::Display for TenantId {

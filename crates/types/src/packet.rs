@@ -7,13 +7,12 @@
 //! VXLAN (RFC 7348, §4.4 of the paper).
 
 use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SnicError;
 use crate::flow::Protocol;
 
 /// A 48-bit Ethernet MAC address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
@@ -45,7 +44,7 @@ pub const ETHERTYPE_IPV4: u16 = 0x0800;
 pub const VXLAN_UDP_PORT: u16 = 4789;
 
 /// An Ethernet II header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EthernetHeader {
     /// Destination MAC.
     pub dst: MacAddr,
@@ -84,7 +83,7 @@ impl EthernetHeader {
 }
 
 /// An IPv4 header (options unsupported; IHL is always 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ipv4Header {
     /// Source address.
     pub src: u32,
@@ -181,7 +180,7 @@ pub fn checksum16(data: &[u8]) -> u16 {
 }
 
 /// A TCP header (no options parsed; data offset honored when skipping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpHeader {
     /// Source port.
     pub src_port: u16,
@@ -236,7 +235,7 @@ impl TcpHeader {
 }
 
 /// A UDP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UdpHeader {
     /// Source port.
     pub src_port: u16,
@@ -272,7 +271,7 @@ impl UdpHeader {
 }
 
 /// A VXLAN header (RFC 7348).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VxlanHeader {
     /// 24-bit Virtual Network Identifier.
     pub vni: u32,

@@ -4,15 +4,11 @@
 //! are deterministic and never accumulate floating-point drift. Conversions
 //! to human-readable floating point happen only at reporting boundaries.
 
-use serde::{Deserialize, Serialize};
-
 /// A size in bytes.
 ///
 /// Thin wrapper so that byte quantities cannot be accidentally mixed with
 /// cycle or time quantities.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -90,7 +86,7 @@ impl core::iter::Sum for ByteSize {
 impl core::fmt::Display for ByteSize {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 * 1024 && b % (1024 * 1024) == 0 {
+        if b >= 1024 * 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{:.2}GiB", b as f64 / (1024.0 * 1024.0 * 1024.0))
         } else if b >= 1024 * 1024 {
             write!(f, "{:.2}MiB", b as f64 / (1024.0 * 1024.0))
@@ -103,9 +99,7 @@ impl core::fmt::Display for ByteSize {
 }
 
 /// A duration or timestamp in picoseconds of simulated time.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Picos(pub u64);
 
 impl Picos {
@@ -164,9 +158,7 @@ impl core::ops::Sub for Picos {
 }
 
 /// A count of clock cycles on some clock domain.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Cycles(pub u64);
 
 impl Cycles {
@@ -204,9 +196,7 @@ impl core::ops::Sub for Cycles {
 }
 
 /// Bandwidth in bytes per second.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Bandwidth(pub u64);
 
 impl Bandwidth {

@@ -40,7 +40,7 @@ impl CacheConfig {
         );
         let per_way_bytes = u64::from(self.ways) * u64::from(self.line);
         assert!(
-            self.size % per_way_bytes == 0 || self.size >= per_way_bytes,
+            self.size.is_multiple_of(per_way_bytes) || self.size >= per_way_bytes,
             "cache size must hold at least one set"
         );
         (self.size / per_way_bytes).max(1)
@@ -165,8 +165,7 @@ impl Cache {
             Partition::Shared => (0, self.config.ways as usize),
             _ => (lo, hi),
         };
-        for way in search_lo..search_hi {
-            let l = &mut set[way];
+        for l in set.iter_mut().take(search_hi).skip(search_lo) {
             if l.valid
                 && l.tag == tag
                 && (matches!(self.partition, Partition::Shared) || l.owner == t)

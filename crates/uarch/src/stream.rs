@@ -116,11 +116,12 @@ impl AccessStream for SyntheticStream {
             .wrapping_mul(6_364_136_223_846_793_005)
             .wrapping_add(1_442_695_040_888_963_407);
         let addr = self.state % self.working_set;
-        let kind = if self.store_every > 0 && self.produced % u64::from(self.store_every) == 0 {
-            AccessKind::Store
-        } else {
-            AccessKind::Load
-        };
+        let kind =
+            if self.store_every > 0 && self.produced.is_multiple_of(u64::from(self.store_every)) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
         Some(Access {
             insns: self.insns_per_access,
             addr,

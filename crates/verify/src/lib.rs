@@ -1,0 +1,51 @@
+//! Static isolation verifier for S-NIC (the analysis counterpart of §4).
+//!
+//! The device model in `snic-core` *enforces* isolation dynamically: the
+//! memory guard faults cross-domain loads, the temporal arbiter refuses
+//! out-of-window bus grants, and so on. This crate *proves* isolation
+//! statically, before anything runs, in two passes:
+//!
+//! - **Pass 1 — manifest verification** ([`manifest`]): given a
+//!   [`spec::DeviceSpec`] (the hardware inventory) and a set of proposed
+//!   [`spec::VnicManifest`]s (one per virtual NIC), decide whether the
+//!   allocation is an isolation-respecting partition of the device:
+//!   single-owner memory with no overlap between functions or with the
+//!   NIC OS (§4.1–§4.2), denylist completeness against the ownership map
+//!   (§4.2), TLB capacity and lock coverage (§4.2), exclusive accelerator
+//!   clusters (§4.3), packet-buffer reservations within port capacity
+//!   (§4.4), and a bus schedule that does not overcommit the epoch
+//!   (§4.5). The result is a typed [`report::VerificationReport`] whose
+//!   [`report::Violation`]s carry the offending function, resource range,
+//!   and the paper section whose guarantee would be broken — not a bare
+//!   boolean.
+//!
+//! - **Pass 2 — trace linting** ([`trace`]): an offline analyzer over
+//!   recorded execution traces (memory references, bus grants, cache
+//!   accesses) that recognizes the access patterns behind the §3.3
+//!   attacks: cross-domain physical references, walks over the shared
+//!   buffer allocator's metadata, bus-timing interference, and
+//!   cache-set co-residency probing. On a commodity-mode trace every
+//!   attack in `snic-attacks` lights up at least one
+//!   [`report::Finding`]; on an S-NIC-mode trace of the same scenarios
+//!   the linter stays silent, because the granted accesses it sees never
+//!   cross a domain boundary.
+//!
+//! `snic-core` runs Pass 1 inside `nf_launch` (a manifest that cannot be
+//! verified is refused before any state changes) and embeds the verdict
+//! in `nf_attest` quotes; `snic-bench` exposes both passes as the
+//! `verify` CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod report;
+pub mod spec;
+pub mod trace;
+
+pub use manifest::{verify_denylist_coverage, verify_manifests, verify_tlb_state};
+pub use report::{
+    Finding, FindingActor, FindingKind, VerificationReport, Violation, ViolationKind,
+};
+pub use spec::{BusSpec, DeviceSpec, EnforcementMode, VnicManifest};
+pub use trace::{BusGrantEvent, CacheAccessEvent, TraceBundle, TraceLinter};

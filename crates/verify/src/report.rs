@@ -1,0 +1,281 @@
+//! Typed verifier output: violations (Pass 1) and findings (Pass 2).
+//!
+//! The paper's isolation argument is per-mechanism, so the verifier's
+//! output is too: every violation and finding names the guarantee it
+//! breaks and cites the section of the paper that establishes it.
+
+use std::fmt;
+
+use snic_types::NfId;
+
+/// Which isolation invariant a manifest set breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Two manifests claim overlapping physical ranges (or one manifest
+    /// overlaps itself).
+    RegionOverlap,
+    /// A function region intrudes into NIC-OS / firmware memory.
+    NicOsCollision,
+    /// A region lies outside allocatable DRAM (or is empty).
+    OutOfDram,
+    /// An NF-owned range is reachable by the management core: the
+    /// denylist does not cover the ownership map.
+    DenylistGap,
+    /// Required TLB entries exceed per-core hardware capacity.
+    TlbOverflow,
+    /// A live function's TLB is not locked, or maps memory outside the
+    /// function's manifest.
+    TlbEscape,
+    /// A core is claimed twice, or does not exist on the device.
+    CoreConflict,
+    /// Accelerator-cluster requests exceed (or name nonexistent)
+    /// capacity, breaking exclusive assignment.
+    AccelOvercommit,
+    /// Summed VPP buffer reservations exceed port capacity.
+    VppOvercommit,
+    /// The temporal bus schedule overcommits the epoch.
+    BusOvercommit,
+}
+
+impl ViolationKind {
+    /// The paper section whose guarantee this violation would break.
+    pub fn citation(self) -> &'static str {
+        match self {
+            ViolationKind::RegionOverlap => "§4.1 (single-owner RAM)",
+            ViolationKind::NicOsCollision => "§4.2 (NIC-OS memory protection)",
+            ViolationKind::OutOfDram => "§4.1 (physical memory inventory)",
+            ViolationKind::DenylistGap => "§4.2 (management-core denylist)",
+            ViolationKind::TlbOverflow => "§4.2/§5.2 (TLB sizing, Tables 4-6)",
+            ViolationKind::TlbEscape => "§4.2 (locked per-core TLBs)",
+            ViolationKind::CoreConflict => "§4.1 (exclusive core binding)",
+            ViolationKind::AccelOvercommit => "§4.3 (exclusive accelerator clusters)",
+            ViolationKind::VppOvercommit => "§4.4 (reserved VPP buffers)",
+            ViolationKind::BusOvercommit => "§4.5 (temporal bus partitioning)",
+        }
+    }
+}
+
+/// One broken invariant, attributed to a function and a resource range.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant broken.
+    pub kind: ViolationKind,
+    /// The offending function, when attributable to one.
+    pub nf: Option<NfId>,
+    /// The offending resource range `(base, len)` — physical addresses
+    /// for memory violations, counts/cycles for capacity violations.
+    pub range: Option<(u64, u64)>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Paper citation for this violation's invariant.
+    pub fn citation(&self) -> &'static str {
+        self.kind.citation()
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.kind)?;
+        if let Some(nf) = self.nf {
+            write!(f, " nf={}", nf.0)?;
+        }
+        if let Some((base, len)) = self.range {
+            write!(f, " range={base:#x}+{len:#x}")?;
+        }
+        write!(f, ": {} [{}]", self.detail, self.citation())
+    }
+}
+
+/// The result of Pass 1 over a manifest set.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Every invariant violation found (empty = verified).
+    pub violations: Vec<Violation>,
+    /// How many manifests were checked.
+    pub manifests_checked: usize,
+}
+
+impl VerificationReport {
+    /// True if the manifest set verified cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations attributed to `nf` (plus unattributed ones).
+    pub fn concerning(&self, nf: NfId) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(move |v| v.nf.is_none() || v.nf == Some(nf))
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(
+                f,
+                "verified: {} manifest(s), no violations",
+                self.manifests_checked
+            );
+        }
+        writeln!(
+            f,
+            "REFUSED: {} violation(s) across {} manifest(s)",
+            self.violations.len(),
+            self.manifests_checked
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Who a trace finding is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingActor {
+    /// A network function (memory-trace findings).
+    Nf(NfId),
+    /// The NIC-OS management core.
+    Management,
+    /// A bus security domain (bus-trace findings).
+    BusDomain(u32),
+    /// A cache tenant slot (cache-trace findings).
+    CacheTenant(u32),
+}
+
+impl fmt::Display for FindingActor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindingActor::Nf(nf) => write!(f, "nf {}", nf.0),
+            FindingActor::Management => write!(f, "management core"),
+            FindingActor::BusDomain(d) => write!(f, "bus domain {d}"),
+            FindingActor::CacheTenant(t) => write!(f, "cache tenant {t}"),
+        }
+    }
+}
+
+/// Which §3.3 attack pattern a trace exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A granted memory reference crossed a domain boundary (an NF read
+    /// another NF's RAM, or the management core read NF RAM).
+    CrossDomainReference,
+    /// An NF walked the shared buffer allocator's metadata table — the
+    /// discovery step of the packet-corruption and ruleset-theft
+    /// attacks.
+    AllocatorMetadataWalk,
+    /// A domain's bus grants were delayed by another domain's traffic
+    /// (FCFS coupling: DoS and covert-channel substrate).
+    BusInterference,
+    /// A tenant repeatedly observed its cache lines evicted by
+    /// co-resident tenants (prime-and-probe substrate).
+    CacheSetCoResidency,
+}
+
+impl FindingKind {
+    /// The paper section describing the attack this pattern enables.
+    pub fn citation(self) -> &'static str {
+        match self {
+            FindingKind::CrossDomainReference => "§3.3 (xkphys cross-domain access)",
+            FindingKind::AllocatorMetadataWalk => "§3.3 (allocator-metadata scan)",
+            FindingKind::BusInterference => "§3.3 (bus DoS) / §4.5",
+            FindingKind::CacheSetCoResidency => "§3.3 (cache contention) / §4.2",
+        }
+    }
+}
+
+/// One attack pattern recognized in a trace by Pass 2.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The pattern recognized.
+    pub kind: FindingKind,
+    /// Who performed the suspect accesses.
+    pub actor: FindingActor,
+    /// How many trace events matched.
+    pub count: usize,
+    /// A representative offending location `(base, len)` — an address
+    /// range, or cycle offsets for bus findings.
+    pub range: Option<(u64, u64)>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Paper citation for this finding's attack pattern.
+    pub fn citation(&self) -> &'static str {
+        self.kind.citation()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} by {} x{}", self.kind, self.actor, self.count)?;
+        if let Some((base, len)) = self.range {
+            write!(f, " at {base:#x}+{len:#x}")?;
+        }
+        write!(f, ": {} [{}]", self.detail, self.citation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_includes_citation() {
+        let v = Violation {
+            kind: ViolationKind::RegionOverlap,
+            nf: Some(NfId(3)),
+            range: Some((0x0800_0000, 0x1000)),
+            detail: "overlaps nf 2".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("nf=3"));
+        assert!(s.contains("0x8000000"));
+        assert!(s.contains("§4.1"));
+    }
+
+    #[test]
+    fn report_display_and_filtering() {
+        let mut r = VerificationReport {
+            manifests_checked: 2,
+            ..Default::default()
+        };
+        assert!(r.is_ok());
+        assert!(r.to_string().contains("verified"));
+        r.violations.push(Violation {
+            kind: ViolationKind::CoreConflict,
+            nf: Some(NfId(1)),
+            range: None,
+            detail: "core 0 claimed twice".into(),
+        });
+        r.violations.push(Violation {
+            kind: ViolationKind::VppOvercommit,
+            nf: None,
+            range: None,
+            detail: "pb sum".into(),
+        });
+        assert!(!r.is_ok());
+        assert!(r.to_string().contains("REFUSED"));
+        assert_eq!(r.concerning(NfId(1)).count(), 2);
+        assert_eq!(r.concerning(NfId(9)).count(), 1);
+    }
+
+    #[test]
+    fn finding_display_names_actor() {
+        let f = Finding {
+            kind: FindingKind::AllocatorMetadataWalk,
+            actor: FindingActor::Nf(NfId(7)),
+            count: 12,
+            range: Some((0x0010_0000, 32)),
+            detail: "walked 12 slots".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("nf 7"));
+        assert!(s.contains("§3.3"));
+    }
+}

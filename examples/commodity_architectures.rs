@@ -30,7 +30,7 @@ fn main() {
 
     // SE-S: no kernel, everything privileged, full xkphys.
     let ses = MipsCore::new(CoreId(0), LiquidIoMode::SeS, user_tlb());
-    let victim_secret_pa = 0x0dead_000u64;
+    let victim_secret_pa = 0x0dea_d000u64;
     let pa = ses
         .translate(XKPHYS_BASE + victim_secret_pa, true)
         .expect("xkphys");

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting, clippy (deny warnings), then the
+# tier-1 check from ROADMAP.md. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "lint gate: OK"

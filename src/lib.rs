@@ -9,6 +9,7 @@
 //! full system inventory.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use snic_accel as accel;
 pub use snic_attacks as attacks;

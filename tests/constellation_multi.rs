@@ -82,11 +82,10 @@ fn three_host_constellation_full_mesh() {
     // Pairwise attestation: each NF attested by every other host's
     // enclave name (the verifier side), plus each local enclave.
     for i in 0..3 {
-        for j in 0..3 {
+        for (j, host) in hosts.iter_mut().enumerate() {
             if i == j {
                 continue;
             }
-            let host = &mut hosts[j];
             constellation
                 .attest_nf(
                     &mut rng,
