@@ -47,34 +47,29 @@ pub struct TracedScenario {
     pub findings: Vec<Finding>,
 }
 
+/// A traced attack replay: device mode in, linter findings out.
+type Scenario = fn(NicMode) -> Vec<Finding>;
+
+/// Every traced scenario, by name, in reporting order.
+const SCENARIOS: [(&str, Scenario); 6] = [
+    ("packet_corruption", traced_packet_corruption),
+    ("ruleset_theft", traced_ruleset_theft),
+    ("nicos_tamper", traced_nicos_tamper),
+    ("bus_dos", traced_bus_dos),
+    ("watermark", traced_watermark),
+    ("cache_probe", traced_cache_probe),
+];
+
 /// Run every traced scenario against `mode` and lint the recordings.
+///
+/// Each scenario builds its own device and records in isolation, so the
+/// six runs fan across the `snic-sim` worker pool; the reporting order
+/// stays fixed.
 pub fn lint_all(mode: NicMode) -> Vec<TracedScenario> {
-    vec![
-        TracedScenario {
-            name: "packet_corruption",
-            findings: traced_packet_corruption(mode),
-        },
-        TracedScenario {
-            name: "ruleset_theft",
-            findings: traced_ruleset_theft(mode),
-        },
-        TracedScenario {
-            name: "nicos_tamper",
-            findings: traced_nicos_tamper(mode),
-        },
-        TracedScenario {
-            name: "bus_dos",
-            findings: traced_bus_dos(mode),
-        },
-        TracedScenario {
-            name: "watermark",
-            findings: traced_watermark(mode),
-        },
-        TracedScenario {
-            name: "cache_probe",
-            findings: traced_cache_probe(mode),
-        },
-    ]
+    snic_sim::par_map(SCENARIOS.to_vec(), |(name, scenario)| TracedScenario {
+        name,
+        findings: scenario(mode),
+    })
 }
 
 fn fresh_nic(mode: NicMode, seed: u64) -> SmartNic {

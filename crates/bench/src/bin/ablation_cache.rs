@@ -4,16 +4,44 @@
 //! DESIGN.md calls out the static-vs-SecDCP choice; this bench
 //! quantifies what each isolation mechanism costs by toggling them
 //! independently: cache-partitioning-only, bus-partitioning-only, both
-//! (S-NIC), and SecDCP instead of static slices.
+//! (S-NIC), and SecDCP instead of static slices. All variant runs (plus
+//! the shared commodity baseline) are independent colocation
+//! simulations, so they fan across the `snic-sim` worker pool as one
+//! job list.
 
-use snic_bench::streams::all_traces;
+use snic_bench::streams::{all_traces, TraceSet};
 use snic_bench::{median, render_table, Scale};
 use snic_nf::NfKind;
+use snic_sim::{run_jobs, SendStream, SimJob};
 use snic_uarch::bus::BusKind;
 use snic_uarch::cache::Partition;
 use snic_uarch::config::MachineConfig;
-use snic_uarch::engine::run_colocated_warm;
-use snic_uarch::stream::{AccessStream, ReplayStream};
+use snic_uarch::stream::SharedReplayStream;
+
+const KINDS: [NfKind; 4] = [
+    NfKind::Firewall,
+    NfKind::Dpi,
+    NfKind::Nat,
+    NfKind::LoadBalancer,
+];
+
+fn job(traces: &TraceSet, cfg: MachineConfig) -> SimJob {
+    let find = |k: NfKind| {
+        &traces
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .expect("trace exists")
+            .1
+    };
+    // Replay twice: warm pass + measured pass, over the shared
+    // recording (no per-run copies).
+    let streams: Vec<SendStream> = KINDS
+        .iter()
+        .map(|&k| Box::new(SharedReplayStream::repeated(find(k).clone(), 2)) as SendStream)
+        .collect();
+    let warmups: Vec<u64> = KINDS.iter().map(|&k| find(k).len() as u64).collect();
+    SimJob::new(cfg, streams).with_warmups(warmups)
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -21,65 +49,48 @@ fn main() {
     let tenants = 4u32;
     let traces = all_traces(&scale, 0xab1a);
 
-    let variant = |name: &str, cfg: MachineConfig| -> (String, f64) {
-        let kinds = [
-            NfKind::Firewall,
-            NfKind::Dpi,
-            NfKind::Nat,
-            NfKind::LoadBalancer,
-        ];
-        let streams = || -> Vec<Box<dyn AccessStream>> {
-            kinds
-                .iter()
-                .map(|k| {
-                    let t = &traces.iter().find(|(kk, _)| kk == k).unwrap().1;
-                    // Replay twice: warm pass + measured pass.
-                    let mut v = t.clone();
-                    v.extend_from_slice(t);
-                    Box::new(ReplayStream::new(v)) as Box<dyn AccessStream>
-                })
-                .collect()
-        };
-        let warmups: Vec<u64> = kinds
-            .iter()
-            .map(|k| traces.iter().find(|(kk, _)| kk == k).unwrap().1.len() as u64)
-            .collect();
-        let base = run_colocated_warm(&MachineConfig::commodity(tenants, l2), streams(), &warmups);
-        let run = run_colocated_warm(&cfg, streams(), &warmups);
-        let mut degs: Vec<f64> = (0..kinds.len())
-            .map(|i| run.ipc_degradation_vs(&base, i))
-            .collect();
-        (name.to_string(), median(&mut degs))
-    };
-
-    let rows: Vec<Vec<String>> = [
-        variant(
+    let variants: Vec<(&str, MachineConfig)> = vec![
+        (
             "cache partitioning only",
             MachineConfig {
                 l2_partition: Partition::StaticWays { tenants },
                 ..MachineConfig::commodity(tenants, l2)
             },
         ),
-        variant(
+        (
             "bus partitioning only",
             MachineConfig {
                 bus: BusKind::Temporal { domains: tenants },
                 ..MachineConfig::commodity(tenants, l2)
             },
         ),
-        variant("both (S-NIC, static)", MachineConfig::snic(tenants, l2)),
-        variant(
+        ("both (S-NIC, static)", MachineConfig::snic(tenants, l2)),
+        (
             "both (S-NIC, SecDCP 4/4/4/4)",
             MachineConfig::snic_secdcp(vec![4, 4, 4, 4], l2),
         ),
-        variant(
+        (
             "both (SecDCP skewed 7/3/3/3)",
             MachineConfig::snic_secdcp(vec![7, 3, 3, 3], l2),
         ),
-    ]
-    .into_iter()
-    .map(|(name, deg)| vec![name, format!("{deg:.3}%")])
-    .collect();
+    ];
+
+    // Job 0 is the shared commodity baseline; jobs 1.. are the variants.
+    let mut jobs = vec![job(&traces, MachineConfig::commodity(tenants, l2))];
+    jobs.extend(variants.iter().map(|(_, cfg)| job(&traces, cfg.clone())));
+    let outcomes = run_jobs(jobs);
+    let base = &outcomes[0];
+
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&outcomes[1..])
+        .map(|((name, _), run)| {
+            let mut degs: Vec<f64> = (0..KINDS.len())
+                .map(|i| run.ipc_degradation_vs(base, i))
+                .collect();
+            vec![name.to_string(), format!("{:.3}%", median(&mut degs))]
+        })
+        .collect();
 
     print!(
         "{}",

@@ -1,9 +1,12 @@
-//! Run every experiment binary in sequence (quick scale unless
-//! `--full`). This is the one-shot regeneration entry point referenced
-//! by EXPERIMENTS.md.
+//! Run every experiment binary (quick scale unless `--full`). This is
+//! the one-shot regeneration entry point referenced by EXPERIMENTS.md.
 //!
-//! Sibling binaries are invoked through `cargo run` so they are built on
-//! demand; pass `--full` to forward the paper-scale flag to each.
+//! Sibling binaries are invoked through `cargo run` so they are built
+//! on demand; pass `--full` to forward the paper-scale flag to each.
+//! The binaries are independent processes, so they fan across the
+//! `snic-sim` worker pool with their output captured and printed in the
+//! fixed input order — the transcript is byte-identical to a serial
+//! run, only the wall clock changes.
 
 use std::process::Command;
 
@@ -32,9 +35,16 @@ fn main() {
         "fig5a",
         "fig5b",
     ];
-    for bin in bins {
-        println!("\n########## {bin} ##########");
-        let status = Command::new("cargo")
+    // Build everything up front so the concurrent `cargo run`s below
+    // only contend on a no-op build lock, not on compilation.
+    let build = Command::new("cargo")
+        .args(["build", "--release", "-q", "-p", "snic-bench", "--bins"])
+        .status()
+        .expect("failed to spawn cargo build");
+    assert!(build.success(), "building the experiment binaries failed");
+
+    let outputs = snic_sim::par_map(bins.to_vec(), |bin| {
+        Command::new("cargo")
             .args([
                 "run",
                 "--release",
@@ -46,9 +56,15 @@ fn main() {
                 "--",
             ])
             .args(&forward)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"))
+    });
+
+    for (bin, out) in bins.iter().zip(outputs) {
+        println!("\n########## {bin} ##########");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        assert!(out.status.success(), "{bin} failed");
     }
     println!("\nall experiments completed");
 }

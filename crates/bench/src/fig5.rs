@@ -4,13 +4,21 @@
 //! degradation of a function by running every possible colocation with
 //! other functions, and determining the median IPC decrease", with
 //! 1st/99th percentile error bars.
+//!
+//! Every colocation is an independent simulation, so the sweeps build
+//! the full job list up front and fan it across [`snic_sim`]'s worker
+//! pool. Results come back in input order and each job replays shared
+//! [`SharedTrace`] recordings instead of private `Vec` clones, so the
+//! parallel sweep is bit-identical to the serial one (proved in
+//! `crates/bench/tests/parallel_determinism.rs`).
 
 use snic_nf::NfKind;
+use snic_sim::{execute, Exec, SendStream, SimJob};
 use snic_uarch::config::MachineConfig;
-use snic_uarch::engine::run_colocated_warm;
-use snic_uarch::stream::{Access, AccessStream, ReplayStream};
+use snic_uarch::engine::RunOutcome;
+use snic_uarch::stream::SharedReplayStream;
 
-use crate::streams::all_traces;
+use crate::streams::{all_traces, SharedTrace, TraceSet};
 use crate::{median, percentile, Scale};
 
 /// One measured point: an NF at one setting.
@@ -28,20 +36,21 @@ pub struct DegradationPoint {
 
 /// A stream that replays the recorded trace twice: the first pass warms
 /// the caches (as §5.3's 1-billion-instruction warmup does), the second
-/// is measured.
-fn doubled(trace: &[Access]) -> Box<dyn AccessStream> {
-    let mut v = trace.to_vec();
-    v.extend_from_slice(trace);
-    Box::new(ReplayStream::new(v))
+/// is measured. The recording is shared, not copied — the old owned
+/// version materialised four full copies of every trace per measured
+/// point (two streams × two machine configs).
+fn doubled(trace: &SharedTrace) -> SendStream {
+    Box::new(SharedReplayStream::repeated(SharedTrace::clone(trace), 2))
 }
 
-/// Measure one colocation: NF `focus` (index 0) plus `partners`.
-fn degradation_of(
-    traces: &[(NfKind, Vec<Access>)],
+/// The two jobs (commodity baseline, S-NIC) measuring one colocation:
+/// NF `focus` (index 0) plus `partners`.
+fn colocation_jobs(
+    traces: &TraceSet,
     focus: NfKind,
     partners: &[NfKind],
     l2_bytes: u64,
-) -> f64 {
+) -> [SimJob; 2] {
     let find = |k: NfKind| {
         &traces
             .iter()
@@ -50,8 +59,8 @@ fn degradation_of(
             .1
     };
     let tenants = (partners.len() + 1) as u32;
-    let mk_streams = || {
-        let mut v: Vec<Box<dyn AccessStream>> = vec![doubled(find(focus))];
+    let mk_streams = || -> Vec<SendStream> {
+        let mut v = vec![doubled(find(focus))];
         v.extend(partners.iter().map(|&p| doubled(find(p))));
         v
     };
@@ -59,42 +68,66 @@ fn degradation_of(
         .chain(partners.iter().copied())
         .map(|k| find(k).len() as u64)
         .collect();
-    let base = run_colocated_warm(
-        &MachineConfig::commodity(tenants, l2_bytes),
-        mk_streams(),
-        &warmups,
-    );
-    let snic = run_colocated_warm(
-        &MachineConfig::snic(tenants, l2_bytes),
-        mk_streams(),
-        &warmups,
-    );
-    snic.ipc_degradation_vs(&base, 0)
+    [
+        SimJob::new(MachineConfig::commodity(tenants, l2_bytes), mk_streams())
+            .with_warmups(warmups.clone()),
+        SimJob::new(MachineConfig::snic(tenants, l2_bytes), mk_streams()).with_warmups(warmups),
+    ]
+}
+
+/// Degradation of the focus NF from one (baseline, snic) outcome pair.
+fn degradation(pair: &[RunOutcome]) -> f64 {
+    pair[1].ipc_degradation_vs(&pair[0], 0)
+}
+
+/// Fold a flat list of per-colocation degradations — `group` values per
+/// focus NF, [`NfKind::ALL`] focus order — into [`DegradationPoint`]s.
+fn points_from(degs: &[f64], group: usize) -> Vec<DegradationPoint> {
+    NfKind::ALL
+        .iter()
+        .zip(degs.chunks_exact(group))
+        .map(|(&kind, chunk)| {
+            let mut degs = chunk.to_vec();
+            DegradationPoint {
+                kind,
+                median_pct: median(&mut degs.clone()),
+                p1_pct: percentile(&mut degs.clone(), 1.0),
+                p99_pct: percentile(&mut degs, 99.0),
+            }
+        })
+        .collect()
 }
 
 /// Figure 5a: vary L2 size with two colocated NFs.
 pub fn fig5a(scale: &Scale, l2_sizes: &[u64]) -> Vec<(u64, Vec<DegradationPoint>)> {
+    fig5a_with(Exec::Parallel, scale, l2_sizes)
+}
+
+/// [`fig5a`] with an explicit executor (the serial path exists so the
+/// determinism test can hold the pool to bit-identical outputs).
+pub fn fig5a_with(
+    exec: Exec,
+    scale: &Scale,
+    l2_sizes: &[u64],
+) -> Vec<(u64, Vec<DegradationPoint>)> {
     let traces = all_traces(scale, 0xf15a);
+    // Job order: size-major, then focus, then partner — two jobs
+    // (commodity, snic) per colocation.
+    let mut jobs = Vec::new();
+    for &l2 in l2_sizes {
+        for &focus in &NfKind::ALL {
+            for &partner in &NfKind::ALL {
+                jobs.extend(colocation_jobs(&traces, focus, &[partner], l2));
+            }
+        }
+    }
+    let outcomes = execute(exec, jobs);
+    let degs: Vec<f64> = outcomes.chunks_exact(2).map(degradation).collect();
+    let per_size = NfKind::ALL.len() * NfKind::ALL.len();
     l2_sizes
         .iter()
-        .map(|&l2| {
-            let points = NfKind::ALL
-                .iter()
-                .map(|&focus| {
-                    let mut degs: Vec<f64> = NfKind::ALL
-                        .iter()
-                        .map(|&partner| degradation_of(&traces, focus, &[partner], l2))
-                        .collect();
-                    DegradationPoint {
-                        kind: focus,
-                        median_pct: median(&mut degs.clone()),
-                        p1_pct: percentile(&mut degs.clone(), 1.0),
-                        p99_pct: percentile(&mut degs, 99.0),
-                    }
-                })
-                .collect();
-            (l2, points)
-        })
+        .zip(degs.chunks_exact(per_size))
+        .map(|(&l2, chunk)| (l2, points_from(chunk, NfKind::ALL.len())))
         .collect()
 }
 
@@ -108,33 +141,38 @@ pub fn fig5b(
     nf_counts: &[usize],
     l2_bytes: u64,
 ) -> Vec<(usize, Vec<DegradationPoint>)> {
+    fig5b_with(Exec::Parallel, scale, nf_counts, l2_bytes)
+}
+
+/// [`fig5b`] with an explicit executor.
+pub fn fig5b_with(
+    exec: Exec,
+    scale: &Scale,
+    nf_counts: &[usize],
+    l2_bytes: u64,
+) -> Vec<(usize, Vec<DegradationPoint>)> {
     let traces = all_traces(scale, 0xf15b);
+    let rotations = NfKind::ALL.len();
+    let mut jobs = Vec::new();
+    for &n in nf_counts {
+        assert!(n >= 2, "cotenancy below 2 is meaningless");
+        for &focus in &NfKind::ALL {
+            // Rotate which kinds fill the other n-1 slots.
+            for rot in 0..rotations {
+                let partners: Vec<NfKind> = (0..n - 1)
+                    .map(|i| NfKind::ALL[(rot + i) % rotations])
+                    .collect();
+                jobs.extend(colocation_jobs(&traces, focus, &partners, l2_bytes));
+            }
+        }
+    }
+    let outcomes = execute(exec, jobs);
+    let degs: Vec<f64> = outcomes.chunks_exact(2).map(degradation).collect();
+    let per_count = NfKind::ALL.len() * rotations;
     nf_counts
         .iter()
-        .map(|&n| {
-            assert!(n >= 2, "cotenancy below 2 is meaningless");
-            let points = NfKind::ALL
-                .iter()
-                .map(|&focus| {
-                    // Rotate which kinds fill the other n-1 slots.
-                    let mut degs: Vec<f64> = (0..NfKind::ALL.len())
-                        .map(|rot| {
-                            let partners: Vec<NfKind> = (0..n - 1)
-                                .map(|i| NfKind::ALL[(rot + i) % NfKind::ALL.len()])
-                                .collect();
-                            degradation_of(&traces, focus, &partners, l2_bytes)
-                        })
-                        .collect();
-                    DegradationPoint {
-                        kind: focus,
-                        median_pct: median(&mut degs.clone()),
-                        p1_pct: percentile(&mut degs.clone(), 1.0),
-                        p99_pct: percentile(&mut degs, 99.0),
-                    }
-                })
-                .collect();
-            (n, points)
-        })
+        .zip(degs.chunks_exact(per_count))
+        .map(|(&n, chunk)| (n, points_from(chunk, rotations)))
         .collect()
 }
 

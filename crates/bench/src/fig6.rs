@@ -26,39 +26,40 @@ pub struct InstrLatencies {
 }
 
 /// Run the experiment for all six NFs.
+///
+/// Each NF launches on its own freshly built device, so the six
+/// measurements are independent and fan across the worker pool; the
+/// result order still follows [`NfKind::ALL`].
 pub fn run() -> Vec<InstrLatencies> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xf16);
     let vendor = VendorCa::new(&mut rng);
-    NfKind::ALL
-        .iter()
-        .map(|&kind| {
-            let memory = paper_profile(kind).total();
-            let mut nic = SmartNic::new(
-                NicConfig {
-                    dram: ByteSize::gib(2),
-                    ..NicConfig::small(NicMode::Snic)
-                },
-                &vendor,
-            );
-            let receipt = nic
-                .nf_launch(LaunchRequest::minimal(
-                    CoreId(0),
-                    memory,
-                    NfImage {
-                        code: vec![0x90; 4096],
-                        config: vec![0x42; 1024],
-                    },
-                ))
-                .expect("launch");
-            let teardown = nic.nf_teardown(receipt.nf_id).expect("teardown");
-            InstrLatencies {
-                kind,
+    snic_sim::par_map(NfKind::ALL.to_vec(), |kind| {
+        let memory = paper_profile(kind).total();
+        let mut nic = SmartNic::new(
+            NicConfig {
+                dram: ByteSize::gib(2),
+                ..NicConfig::small(NicMode::Snic)
+            },
+            &vendor,
+        );
+        let receipt = nic
+            .nf_launch(LaunchRequest::minimal(
+                CoreId(0),
                 memory,
-                launch: receipt.latency,
-                teardown: teardown.latency,
-            }
-        })
-        .collect()
+                NfImage {
+                    code: vec![0x90; 4096],
+                    config: vec![0x42; 1024],
+                },
+            ))
+            .expect("launch");
+        let teardown = nic.nf_teardown(receipt.nf_id).expect("teardown");
+        InstrLatencies {
+            kind,
+            memory,
+            launch: receipt.latency,
+            teardown: teardown.latency,
+        }
+    })
 }
 
 #[cfg(test)]

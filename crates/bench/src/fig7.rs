@@ -30,6 +30,11 @@ pub struct MonitorRun {
 }
 
 /// Drive the Monitor over a CAIDA-like trace of `scale.monitor_ms`.
+///
+/// Unlike the fig5/fig6/fig8 sweeps this is a *single* stateful
+/// simulation (one Monitor, one ordered flow trace), so there is
+/// nothing to fan out; it runs concurrently with its sibling
+/// experiments via the `all_experiments` driver instead.
 pub fn run(scale: &Scale) -> MonitorRun {
     let trace = CaidaLikeTrace::generate(
         &CaidaConfig {

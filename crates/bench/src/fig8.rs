@@ -18,20 +18,21 @@ pub const FRAMES: [usize; 4] = [64, 512, 1500, 9000];
 
 /// Measured throughput matrix: `rows[f][t]` in Mpps for frame `FRAMES[f]`
 /// and thread count `THREADS[t]`.
+///
+/// The twelve `(frame, threads)` cells are independent closed-form
+/// evaluations over one shared accelerator, fanned across the worker
+/// pool per frame-size row.
 pub fn run(scale: &Scale) -> Vec<Vec<f64>> {
     let accel = DpiAccel::new(
         &synth_patterns(scale.patterns, 0xf18),
         DpiAccelConfig::default(),
     );
-    FRAMES
-        .iter()
-        .map(|&frame| {
-            THREADS
-                .iter()
-                .map(|&t| accel.throughput_pps(t, frame) / 1e6)
-                .collect()
-        })
-        .collect()
+    snic_sim::par_map(FRAMES.to_vec(), |frame| {
+        THREADS
+            .iter()
+            .map(|&t| accel.throughput_pps(t, frame) / 1e6)
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@ pub mod tables;
 use std::fmt::Write as _;
 
 /// Workload scale for experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because a scale (plus a seed) keys the memoized trace cache
+/// in [`streams::all_traces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scale {
     /// Distinct flows in the ICTF-like pool.
     pub flows: usize,

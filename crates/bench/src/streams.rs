@@ -1,5 +1,15 @@
 //! Reference-stream recording: run each NF over an ICTF-like trace and
 //! capture its memory accesses (the Figure 5 workload, §5.3).
+//!
+//! Recordings are expensive (each one drives a full NF over thousands
+//! of packets) and every figure/bench/test replays the *same* streams,
+//! so [`all_traces`] records the six kinds in parallel and memoizes the
+//! result per `(scale, seed)`: bench bins, `fig5`, the ablation, and
+//! the paper-claims tests all share one immutable [`SharedTrace`] per
+//! NF instead of regenerating and recloning it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use snic_nf::{build, record_stream, NfKind};
 use snic_trace::{IctfConfig, IctfLikeTrace};
@@ -7,6 +17,14 @@ use snic_types::Packet;
 use snic_uarch::stream::Access;
 
 use crate::Scale;
+
+/// One NF's recorded reference stream, shareable across runs and
+/// worker threads without copying.
+pub type SharedTrace = Arc<[Access]>;
+
+/// The six NF recordings at one `(scale, seed)`, in [`NfKind::ALL`]
+/// order.
+pub type TraceSet = Arc<[(NfKind, SharedTrace)]>;
 
 /// Generate the packet workload shared by all NFs at this scale.
 pub fn workload(scale: &Scale, seed: u64) -> Vec<Packet> {
@@ -48,12 +66,38 @@ pub fn nf_access_trace(kind: NfKind, scale: &Scale, seed: u64) -> Vec<Access> {
     record_stream(nf.as_mut(), &packets)
 }
 
-/// Record streams for all six kinds (memoize at the caller).
-pub fn all_traces(scale: &Scale, seed: u64) -> Vec<(NfKind, Vec<Access>)> {
-    NfKind::ALL
-        .iter()
-        .map(|&k| (k, nf_access_trace(k, scale, seed)))
-        .collect()
+/// Record streams for all six kinds, in parallel, memoized per
+/// `(scale, seed)`.
+///
+/// The first call at a given key fans the six recordings across the
+/// worker pool and caches the resulting [`TraceSet`]; later calls —
+/// from other figure modules, bench bins, or test binaries in the same
+/// process — get the cached set for the cost of one `Arc` clone.
+/// Recording is deterministic per key, so a racing duplicate compute
+/// produces an identical set and either copy may win the cache slot.
+pub fn all_traces(scale: &Scale, seed: u64) -> TraceSet {
+    static CACHE: OnceLock<Mutex<HashMap<(Scale, u64), TraceSet>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&(*scale, seed))
+    {
+        return Arc::clone(hit);
+    }
+    // Record outside the lock so a slow first recording never blocks an
+    // unrelated key.
+    let recorded: TraceSet = snic_sim::par_map(NfKind::ALL.to_vec(), |k| {
+        (k, SharedTrace::from(nf_access_trace(k, scale, seed)))
+    })
+    .into();
+    Arc::clone(
+        cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry((*scale, seed))
+            .or_insert(recorded),
+    )
 }
 
 #[cfg(test)]
@@ -86,6 +130,19 @@ mod tests {
             let t = nf_access_trace(kind, &tiny(), 3);
             assert!(!t.is_empty(), "{kind:?} produced no accesses");
             assert!(t.iter().all(|a| a.insns >= 1));
+        }
+    }
+
+    #[test]
+    fn all_traces_memoizes_per_key() {
+        let a = all_traces(&tiny(), 11);
+        let b = all_traces(&tiny(), 11);
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        let c = all_traces(&tiny(), 12);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different set");
+        // The cached set matches a direct recording, kind for kind.
+        for (kind, trace) in a.iter() {
+            assert_eq!(trace.as_ref(), nf_access_trace(*kind, &tiny(), 11));
         }
     }
 

@@ -1,0 +1,266 @@
+//! Deterministic parallel execution for colocation simulations.
+//!
+//! The §5.3 sweeps ("every possible colocation") are embarrassingly
+//! parallel: each colocation run is an independent, side-effect-free
+//! call to [`snic_uarch::engine::run_colocated_warm`]. This crate gives
+//! them a fan-out layer:
+//!
+//! - [`SimJob`] — one pending colocation run (machine config, streams,
+//!   warmup window), runnable on any thread;
+//! - [`run_jobs`] / [`run_jobs_on`] — a worker pool on
+//!   [`std::thread::scope`] that drains a job list across cores and
+//!   returns outcomes **in input order**, so parallel results are
+//!   bit-identical to [`run_jobs_serial`];
+//! - [`par_map`] / [`par_map_on`] — the same order-preserving pool for
+//!   arbitrary independent work (per-NF launches, per-domain solo
+//!   replays, per-scenario attack recordings).
+//!
+//! Determinism is the contract: every function here is a pure reorder
+//! of *when* work happens, never of *what* is computed or in which slot
+//! the result lands. `crates/bench/tests/parallel_determinism.rs` holds
+//! the engine to it bit-for-bit.
+//!
+//! The pool uses only the standard library (the workspace is offline;
+//! no rayon). Worker count defaults to
+//! [`std::thread::available_parallelism`] and can be pinned with the
+//! `SNIC_SIM_THREADS` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use snic_uarch::config::MachineConfig;
+use snic_uarch::engine::{run_colocated_warm, RunOutcome};
+use snic_uarch::stream::AccessStream;
+
+/// A boxed reference stream that can move to a worker thread.
+pub type SendStream = Box<dyn AccessStream + Send>;
+
+/// One pending colocation run: everything
+/// [`snic_uarch::engine::run_colocated_warm`] needs, packaged so the run
+/// can execute on any worker thread.
+pub struct SimJob {
+    cfg: MachineConfig,
+    streams: Vec<SendStream>,
+    warmups: Vec<u64>,
+}
+
+impl SimJob {
+    /// A job with no warmup window (statistics cover the whole run).
+    pub fn new(cfg: MachineConfig, streams: Vec<SendStream>) -> SimJob {
+        SimJob {
+            cfg,
+            streams,
+            warmups: Vec::new(),
+        }
+    }
+
+    /// Exclude the first `warmups[i]` events of stream `i` from the
+    /// statistics (§5.3's warmup methodology).
+    pub fn with_warmups(mut self, warmups: Vec<u64>) -> SimJob {
+        self.warmups = warmups;
+        self
+    }
+
+    /// Execute the job on the current thread.
+    pub fn run(self) -> RunOutcome {
+        let streams: Vec<Box<dyn AccessStream>> = self
+            .streams
+            .into_iter()
+            .map(|s| s as Box<dyn AccessStream>)
+            .collect();
+        run_colocated_warm(&self.cfg, streams, &self.warmups)
+    }
+}
+
+impl std::fmt::Debug for SimJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimJob")
+            .field("cfg", &self.cfg)
+            .field("streams", &self.streams.len())
+            .field("warmups", &self.warmups)
+            .finish()
+    }
+}
+
+/// Which execution strategy a sweep uses. The two must produce
+/// bit-identical results; `Serial` exists so tests can prove it and so
+/// debugging sessions can take the simple path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exec {
+    /// Run jobs one after another on the calling thread.
+    Serial,
+    /// Fan jobs across the worker pool ([`default_threads`] workers).
+    Parallel,
+}
+
+/// Worker count used by [`run_jobs`] and [`par_map`]:
+/// `SNIC_SIM_THREADS` when set to a positive integer, else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    std::env::var("SNIC_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run every job on the calling thread, in order.
+pub fn run_jobs_serial(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
+    jobs.into_iter().map(SimJob::run).collect()
+}
+
+/// Run jobs across [`default_threads`] workers; outcomes come back in
+/// input order.
+pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
+    run_jobs_on(jobs, default_threads())
+}
+
+/// Run jobs across exactly `threads` workers; outcomes come back in
+/// input order.
+pub fn run_jobs_on(jobs: Vec<SimJob>, threads: usize) -> Vec<RunOutcome> {
+    par_map_on(jobs, threads, SimJob::run)
+}
+
+/// Dispatch on [`Exec`]: the serial path or the default pool.
+pub fn execute(exec: Exec, jobs: Vec<SimJob>) -> Vec<RunOutcome> {
+    match exec {
+        Exec::Serial => run_jobs_serial(jobs),
+        Exec::Parallel => run_jobs(jobs),
+    }
+}
+
+/// Apply `f` to every item using [`default_threads`] workers, returning
+/// results in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_on(items, default_threads(), f)
+}
+
+/// Apply `f` to every item using exactly `threads` workers, returning
+/// results in input order.
+///
+/// Work is pulled from a shared queue, so long and short items mix
+/// freely without a static partition; the result of item `i` always
+/// lands in slot `i`. With `threads <= 1` (or a single item) this is a
+/// plain in-order map on the calling thread.
+pub fn par_map_on<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // A panicking sibling poisons the queue lock; recover the
+                // guard so remaining workers drain what is left (the
+                // panic still propagates out of the scope).
+                let next = queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front();
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every queue index was drained by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_uarch::stream::SyntheticStream;
+
+    fn job(seed: u64, tenants: usize) -> SimJob {
+        let streams: Vec<SendStream> = (0..tenants)
+            .map(|i| {
+                Box::new(SyntheticStream::new(2 << 20, 8, 4, 4_000, seed + i as u64)) as SendStream
+            })
+            .collect();
+        SimJob::new(MachineConfig::commodity(tenants as u32, 1 << 20), streams)
+            .with_warmups(vec![500; tenants])
+    }
+
+    #[test]
+    fn pool_matches_serial_bitwise() {
+        let serial = run_jobs_serial((0..12).map(|s| job(s, 2)).collect());
+        for threads in [1, 2, 5, 32] {
+            let pooled = run_jobs_on((0..12).map(|s| job(s, 2)).collect(), threads);
+            assert_eq!(serial.len(), pooled.len());
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert_eq!(a.nfs, b.nfs, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jobs with wildly different lengths: if ordering followed
+        // completion, the short job would finish first.
+        let long = job(1, 4);
+        let short = job(2, 1);
+        let serial_long = job(1, 4).run();
+        let serial_short = job(2, 1).run();
+        let out = run_jobs_on(vec![long, short], 2);
+        assert_eq!(out[0].nfs, serial_long.nfs);
+        assert_eq!(out[1].nfs, serial_short.nfs);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 3, 8, 200] {
+            assert_eq!(par_map_on(items.clone(), threads, |x| x * x), expect);
+        }
+        assert_eq!(par_map(items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(run_jobs(Vec::new()).is_empty());
+        assert!(par_map_on(Vec::<u32>::new(), 8, |x| x).is_empty());
+    }
+
+    #[test]
+    fn execute_dispatches_both_paths() {
+        let a = execute(Exec::Serial, vec![job(3, 2)]);
+        let b = execute(Exec::Parallel, vec![job(3, 2)]);
+        assert_eq!(a[0].nfs, b[0].nfs);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -116,8 +116,20 @@ impl TemporalArbiter {
 }
 
 impl Arbiter for TemporalArbiter {
+    /// # Panics
+    ///
+    /// Panics if `domain` is outside the configured schedule. Wrapping
+    /// it (the old `domain % domains` behaviour) would silently hand
+    /// two NFs the *same* epoch slot, coupling their grant times and
+    /// masking exactly the interference this arbiter exists to prevent.
     fn grant(&mut self, domain: u32, ready: u64, duration: u64) -> u64 {
-        let d = u64::from(domain) % self.domains;
+        let d = u64::from(domain);
+        assert!(
+            d < self.domains,
+            "domain {domain} out of range for a {}-domain temporal schedule: \
+             wrapping would share one epoch slot between two NFs",
+            self.domains
+        );
         let earliest = ready.max(self.own_busy_until[d as usize]);
         let start = self.next_window(d, earliest, duration);
         self.own_busy_until[d as usize] = start + duration;
@@ -215,6 +227,23 @@ mod tests {
     fn oversized_transfer_panics() {
         let mut a = TemporalArbiter::new(2, 100);
         let _ = a.grant(0, 0, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 2-domain temporal schedule")]
+    fn out_of_range_domain_rejected() {
+        // Before the fix this wrapped to domain 0 and silently shared
+        // its epoch slot (and its busy-until register) with domain 2.
+        let mut a = TemporalArbiter::new(2, 100);
+        let _ = a.grant(2, 0, 10);
+    }
+
+    #[test]
+    fn last_domain_still_granted() {
+        let mut a = TemporalArbiter::new(4, 100);
+        // Domain 3 owns [300,400): the bound check is strict, not
+        // off-by-one.
+        assert_eq!(a.grant(3, 0, 10), 300);
     }
 
     #[test]

@@ -66,10 +66,23 @@ impl RunOutcome {
     }
 }
 
+/// Width of an NF's private address space: addresses must fit in
+/// [`NF_ADDR_BITS`] bits so the tag in the bits above never collides
+/// with another NF's range.
+pub const NF_ADDR_BITS: u32 = 40;
+
 /// Address-space tag: keep different NFs' lines from aliasing in shared
-/// caches. NF private address spaces are < 2^40 bytes.
+/// caches. NF private address spaces are < 2^40 bytes; an address at or
+/// above that bound would silently alias into a *different* NF's tagged
+/// range in the shared L2 — exactly the cross-tenant sharing the tag
+/// exists to rule out — so debug builds reject it outright.
 fn tagged(nf: usize, addr: u64) -> u64 {
-    ((nf as u64) << 40) | (addr & ((1u64 << 40) - 1))
+    debug_assert!(
+        addr < (1u64 << NF_ADDR_BITS),
+        "address {addr:#x} of NF {nf} exceeds the 2^{NF_ADDR_BITS}-byte private \
+         address space and would alias another NF's cache lines"
+    );
+    ((nf as u64) << NF_ADDR_BITS) | (addr & ((1u64 << NF_ADDR_BITS) - 1))
 }
 
 /// Run `streams` to exhaustion under `cfg`.
@@ -304,6 +317,52 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_streams_panics() {
         let _ = run_colocated(&MachineConfig::commodity(1, 1 << 20), Vec::new());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "would alias another NF's cache lines")]
+    fn out_of_range_address_rejected() {
+        use crate::stream::{AccessKind, ReplayStream};
+        let cfg = MachineConfig::commodity(1, 1 << 20);
+        let s = vec![Box::new(ReplayStream::new(vec![Access {
+            insns: 1,
+            addr: 1u64 << NF_ADDR_BITS,
+            kind: AccessKind::Load,
+        }])) as Box<dyn AccessStream>];
+        let _ = run_colocated(&cfg, s);
+    }
+
+    #[test]
+    fn boundary_address_accepted_and_isolated() {
+        // The largest legal address still tags into the owner's own
+        // range: two NFs touching it must not share a cache line.
+        use crate::stream::{AccessKind, ReplayStream};
+        let top = (1u64 << NF_ADDR_BITS) - 64;
+        let mk = || {
+            (0..2)
+                .map(|_| {
+                    Box::new(ReplayStream::new(vec![
+                        Access {
+                            insns: 1,
+                            addr: top,
+                            kind: AccessKind::Load,
+                        };
+                        2
+                    ])) as Box<dyn AccessStream>
+                })
+                .collect::<Vec<_>>()
+        };
+        let out = run_colocated(&MachineConfig::commodity(2, 1 << 20), mk());
+        // Proper tagging: both NFs cold-miss the shared L2 on their
+        // first touch. Truncation aliasing would let the second NF hit
+        // the first NF's line instead.
+        for s in &out.nfs {
+            assert_eq!(s.l1_misses, 1);
+            assert_eq!(s.l1_hits, 1);
+            assert_eq!(s.l2_misses, 1, "tagged addresses must not alias across NFs");
+            assert_eq!(s.l2_hits, 0);
+        }
     }
 
     #[test]

@@ -36,4 +36,6 @@ pub use bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
 pub use cache::{Cache, CacheConfig, Partition};
 pub use config::MachineConfig;
 pub use engine::{run_colocated, NfRunStats, RunOutcome};
-pub use stream::{Access, AccessKind, AccessStream, ReplayStream, SyntheticStream};
+pub use stream::{
+    Access, AccessKind, AccessStream, ReplayStream, SharedReplayStream, SyntheticStream,
+};

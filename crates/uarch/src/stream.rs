@@ -63,6 +63,62 @@ impl AccessStream for ReplayStream {
     }
 }
 
+/// Replays a shared, immutable recording without copying it.
+///
+/// Reference traces are recorded once and replayed many times — every
+/// colocation of a §5.3 sweep replays the same six NF recordings, and
+/// the parallel pool replays them from many threads at once. Wrapping
+/// the recording in an [`Arc`] slice means each replay costs one
+/// refcount bump instead of a full `Vec<Access>` clone. `passes > 1`
+/// loops the recording, which is how the figure sweeps express "replay
+/// once to warm the caches, then measure the second pass" without
+/// materialising a doubled trace.
+#[derive(Debug, Clone)]
+pub struct SharedReplayStream {
+    accesses: std::sync::Arc<[Access]>,
+    pos: usize,
+    passes_left: u32,
+}
+
+impl SharedReplayStream {
+    /// Replay the shared recording once.
+    pub fn new(accesses: std::sync::Arc<[Access]>) -> SharedReplayStream {
+        SharedReplayStream::repeated(accesses, 1)
+    }
+
+    /// Replay the shared recording `passes` times back to back.
+    pub fn repeated(accesses: std::sync::Arc<[Access]>, passes: u32) -> SharedReplayStream {
+        SharedReplayStream {
+            accesses,
+            pos: 0,
+            passes_left: passes,
+        }
+    }
+
+    /// Number of events remaining across all passes.
+    pub fn remaining(&self) -> usize {
+        if self.passes_left == 0 {
+            return 0;
+        }
+        (self.accesses.len() - self.pos) + (self.passes_left as usize - 1) * self.accesses.len()
+    }
+}
+
+impl AccessStream for SharedReplayStream {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.accesses.is_empty() || self.passes_left == 0 {
+            return None;
+        }
+        let a = self.accesses[self.pos];
+        self.pos += 1;
+        if self.pos == self.accesses.len() {
+            self.pos = 0;
+            self.passes_left -= 1;
+        }
+        Some(a)
+    }
+}
+
 /// A synthetic stream with a configurable working set and access mix —
 /// used for engine unit tests and for modeling the NIC OS's background
 /// activity. Addresses cycle pseudo-randomly (LCG) through `working_set`
@@ -171,6 +227,65 @@ mod tests {
         }
         assert_eq!(n, 100);
         assert_eq!(stores, 25);
+    }
+
+    #[test]
+    fn shared_replay_matches_owned_replay() {
+        let v = vec![
+            Access {
+                insns: 1,
+                addr: 0,
+                kind: AccessKind::Load,
+            },
+            Access {
+                insns: 2,
+                addr: 64,
+                kind: AccessKind::Store,
+            },
+        ];
+        let shared: std::sync::Arc<[Access]> = v.clone().into();
+        let mut owned = ReplayStream::new(v);
+        let mut s = SharedReplayStream::new(shared);
+        assert_eq!(s.remaining(), 2);
+        while let Some(a) = owned.next_access() {
+            assert_eq!(s.next_access(), Some(a));
+        }
+        assert_eq!(s.next_access(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn repeated_replay_loops_without_copying() {
+        let v = vec![
+            Access {
+                insns: 1,
+                addr: 0,
+                kind: AccessKind::Load,
+            },
+            Access {
+                insns: 3,
+                addr: 128,
+                kind: AccessKind::Load,
+            },
+        ];
+        let shared: std::sync::Arc<[Access]> = v.clone().into();
+        let mut s = SharedReplayStream::repeated(shared, 3);
+        assert_eq!(s.remaining(), 6);
+        let mut seen = Vec::new();
+        while let Some(a) = s.next_access() {
+            seen.push(a);
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(&seen[..2], &v[..]);
+        assert_eq!(&seen[2..4], &v[..]);
+        assert_eq!(&seen[4..], &v[..]);
+    }
+
+    #[test]
+    fn empty_shared_replay_terminates() {
+        let shared: std::sync::Arc<[Access]> = Vec::new().into();
+        let mut s = SharedReplayStream::repeated(shared, 1_000_000);
+        assert_eq!(s.next_access(), None);
     }
 
     #[test]

@@ -204,6 +204,10 @@ impl TraceLinter {
     /// FCFS any contention shows up as observed grants later than the
     /// solo replay — the coupling the §3.3 DoS and the watermark covert
     /// channel both exploit.
+    ///
+    /// Each domain's solo replay is independent (its own fresh arbiter),
+    /// so the replays fan across the worker pool; findings come back in
+    /// ascending domain order either way.
     pub fn lint_bus(&self, trace: &[BusGrantEvent]) -> Vec<Finding> {
         if trace.is_empty() {
             return Vec::new();
@@ -213,11 +217,9 @@ impl TraceLinter {
         for e in trace {
             per_domain.entry(e.domain).or_default().push(e);
         }
-        let mut out = Vec::new();
-        let mut domains: Vec<u32> = per_domain.keys().copied().collect();
-        domains.sort_unstable();
-        for d in domains {
-            let events = &per_domain[&d];
+        let mut replays: Vec<(u32, Vec<&BusGrantEvent>)> = per_domain.into_iter().collect();
+        replays.sort_unstable_by_key(|(d, _)| *d);
+        let findings = snic_sim::par_map(replays, |(d, events)| {
             let mut solo: Box<dyn Arbiter> = match self.bus {
                 BusSpec::Fcfs => Box::new(FcfsArbiter::new()),
                 BusSpec::Temporal { epoch } => Box::new(TemporalArbiter::new(domain_count, epoch)),
@@ -233,19 +235,17 @@ impl TraceLinter {
                     example.get_or_insert((e.ready, e.granted - alone));
                 }
             }
-            if delayed > 0 {
-                out.push(Finding {
-                    kind: FindingKind::BusInterference,
-                    actor: FindingActor::BusDomain(d),
-                    count: delayed,
-                    range: example,
-                    detail: format!(
-                        "{delayed} grant(s) delayed {total_delay} cycle(s) total vs. a solo replay"
-                    ),
-                });
-            }
-        }
-        out
+            (delayed > 0).then(|| Finding {
+                kind: FindingKind::BusInterference,
+                actor: FindingActor::BusDomain(d),
+                count: delayed,
+                range: example,
+                detail: format!(
+                    "{delayed} grant(s) delayed {total_delay} cycle(s) total vs. a solo replay"
+                ),
+            })
+        });
+        findings.into_iter().flatten().collect()
     }
 
     /// Cache lint: replay each tenant's access stream *alone* through a
@@ -256,6 +256,9 @@ impl TraceLinter {
     /// slice. On a shared cache, co-tenant evictions turn solo-replay
     /// hits into observed misses: the set-co-residency signal that
     /// Prime+Probe reads.
+    /// Like the bus lint, each tenant's solo cache replay is independent
+    /// (its own fresh cache of the claimed discipline), so replays fan
+    /// across the worker pool in ascending tenant order.
     pub fn lint_cache(&self, trace: &[CacheAccessEvent]) -> Vec<Finding> {
         let Some((cfg, partition)) = &self.cache else {
             return Vec::new();
@@ -264,34 +267,31 @@ impl TraceLinter {
         for e in trace {
             per_tenant.entry(e.tenant).or_default().push(e);
         }
-        let mut tenants: Vec<u32> = per_tenant.keys().copied().collect();
-        tenants.sort_unstable();
-        let mut out = Vec::new();
-        for t in tenants {
+        let mut replays: Vec<(u32, Vec<&CacheAccessEvent>)> = per_tenant.into_iter().collect();
+        replays.sort_unstable_by_key(|(t, _)| *t);
+        let findings = snic_sim::par_map(replays, |(t, events)| {
             let mut solo = Cache::new(*cfg, partition.clone());
             let mut evicted = 0usize;
             let mut example = None;
-            for e in &per_tenant[&t] {
+            for e in events {
                 let alone = solo.access(e.tenant, e.addr);
                 if alone && !e.hit {
                     evicted += 1;
                     example.get_or_insert(e.addr);
                 }
             }
-            if evicted >= CORESIDENCY_MIN_EVICTIONS {
-                out.push(Finding {
-                    kind: FindingKind::CacheSetCoResidency,
-                    actor: FindingActor::CacheTenant(t),
-                    count: evicted,
-                    range: example.map(|a| (a, u64::from(cfg.line))),
-                    detail: format!(
-                        "{evicted} miss(es) on lines a solo replay keeps resident \
-                         (co-tenant evictions)"
-                    ),
-                });
-            }
-        }
-        out
+            (evicted >= CORESIDENCY_MIN_EVICTIONS).then(|| Finding {
+                kind: FindingKind::CacheSetCoResidency,
+                actor: FindingActor::CacheTenant(t),
+                count: evicted,
+                range: example.map(|a| (a, u64::from(cfg.line))),
+                detail: format!(
+                    "{evicted} miss(es) on lines a solo replay keeps resident \
+                     (co-tenant evictions)"
+                ),
+            })
+        });
+        findings.into_iter().flatten().collect()
     }
 }
 

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Workspace lint gate: formatting, clippy (deny warnings), then the
-# tier-1 check from ROADMAP.md. Run from anywhere inside the repo.
+# tier-1 check from ROADMAP.md with a per-test-binary runtime budget.
+# Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Any single test binary (or doctest batch) slower than this many
+# seconds fails the gate — the wall-clock regression ISSUE 2 fixed must
+# not silently return. Override for slow machines: SNIC_TEST_BUDGET_S.
+budget="${SNIC_TEST_BUDGET_S:-120}"
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -10,8 +16,18 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1: cargo build --release && cargo test -q (budget ${budget}s per test binary)"
 cargo build --release
-cargo test -q
+test_log="$(mktemp)"
+trap 'rm -f "$test_log"' EXIT
+cargo test -q 2>&1 | tee "$test_log"
+
+# `cargo test -q` ends each binary's summary with "... finished in X.XXs".
+slow="$(awk -v budget="$budget" '/finished in [0-9.]+s$/ { if ($NF + 0 > budget) print }' "$test_log")"
+if [ -n "$slow" ]; then
+    echo "FAIL: test runtime budget of ${budget}s exceeded:" >&2
+    echo "$slow" >&2
+    exit 1
+fi
 
 echo "lint gate: OK"

@@ -19,6 +19,7 @@ pub use snic_crypto as crypto;
 pub use snic_mem as mem;
 pub use snic_nf as nf;
 pub use snic_pktio as pktio;
+pub use snic_sim as sim;
 pub use snic_trace as trace;
 pub use snic_types as types;
 pub use snic_uarch as uarch;
