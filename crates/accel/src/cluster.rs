@@ -19,10 +19,16 @@ use snic_types::{AccelClusterId, AccelKind, IsolationError, NfId, Picos, SnicErr
 use crate::engine::{AccelEngine, AccelRequest, AccelResponse};
 
 /// Tracks cluster allocation for one accelerator family.
+///
+/// Clusters can be *poisoned* by a hardware fault (§4.3: "S-NIC treats
+/// any cluster TLB misses as fatal errors"): a faulted cluster stays
+/// out of the allocatable pool — even after its owner is torn down —
+/// until the device repairs it on the next power cycle.
 #[derive(Debug)]
 pub struct ClusterPool {
     kind: AccelKind,
     owners: Vec<Option<NfId>>,
+    faulted: Vec<bool>,
     threads_per_cluster: u32,
 }
 
@@ -34,6 +40,7 @@ impl ClusterPool {
         ClusterPool {
             kind,
             owners: vec![None; clusters as usize],
+            faulted: vec![false; clusters as usize],
             threads_per_cluster,
         }
     }
@@ -48,14 +55,45 @@ impl ClusterPool {
         self.threads_per_cluster
     }
 
-    /// Unallocated cluster count.
+    /// Unallocated, healthy cluster count.
     pub fn available(&self) -> usize {
-        self.owners.iter().filter(|o| o.is_none()).count()
+        self.owners
+            .iter()
+            .zip(&self.faulted)
+            .filter(|(o, &f)| o.is_none() && !f)
+            .count()
+    }
+
+    /// Mark cluster `index` as faulted; it is withheld from allocation
+    /// until [`ClusterPool::repair_all`].
+    pub fn fault(&mut self, index: u16) {
+        if let Some(f) = self.faulted.get_mut(usize::from(index)) {
+            *f = true;
+        }
+    }
+
+    /// Whether cluster `index` is faulted.
+    pub fn is_faulted(&self, index: u16) -> bool {
+        self.faulted
+            .get(usize::from(index))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of faulted clusters.
+    pub fn faulted_count(&self) -> usize {
+        self.faulted.iter().filter(|&&f| f).count()
+    }
+
+    /// Clear every fault flag (power-cycle repair).
+    pub fn repair_all(&mut self) {
+        self.faulted.fill(false);
     }
 
     /// Allocate `count` clusters to `owner` atomically.
     ///
-    /// Fails (allocating nothing) if not enough clusters are free.
+    /// Fails (allocating nothing) if not enough healthy clusters are
+    /// free.
     pub fn allocate(
         &mut self,
         owner: NfId,
@@ -64,8 +102,9 @@ impl ClusterPool {
         let free: Vec<usize> = self
             .owners
             .iter()
+            .zip(&self.faulted)
             .enumerate()
-            .filter(|(_, o)| o.is_none())
+            .filter(|(_, (o, &f))| o.is_none() && !f)
             .map(|(i, _)| i)
             .take(count)
             .collect();

@@ -1,0 +1,26 @@
+//! Blast-radius fault matrix: per fault scenario, victim containment at
+//! the device layer (scripted episodes + Pass-3 lint) and at the
+//! microarchitectural layer (fig5-style colocation with perturbed
+//! aggressor streams).
+
+use snic_bench::blast::{blast_matrix, render_matrix, FaultScenario};
+use snic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = blast_matrix(&scale);
+    print!("{}", render_matrix(&rows));
+    println!(
+        "{} scenarios; expectation: S-NIC victims bit-identical + transcripts lint clean, \
+         commodity victims perturbed (except pure management-plane faults at the device layer).",
+        FaultScenario::ALL.len()
+    );
+    for r in &rows {
+        for f in &r.device_commodity.findings {
+            println!("  commodity/{}: {f}", r.scenario.name());
+        }
+        for f in &r.device_snic.findings {
+            println!("  S-NIC/{}: {f}", r.scenario.name());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blast;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

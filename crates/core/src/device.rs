@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use rand::SeedableRng;
 use snic_crypto::keys::{AttestationKey, EndorsementKey, VendorCa};
 use snic_crypto::sha256::Sha256;
+use snic_faults::{FaultEventKind, FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultSite};
 use snic_mem::guard::{AccessRecord, MemoryGuard, Principal};
 use snic_mem::ownership::PageOwnership;
 use snic_mem::pagetable::PageMapping;
@@ -20,7 +21,10 @@ use snic_pktio::dma::{DmaBank, DmaDirection, DmaWindow};
 use snic_pktio::port::PortBuffers;
 use snic_pktio::rules::RuleTable;
 use snic_pktio::vpp::VppBufferSpec;
-use snic_types::{AccelClusterId, AccelKind, ByteSize, CoreId, NfId, Packet, Picos, SnicError};
+use snic_types::{
+    AccelClusterId, AccelKind, ByteSize, CoreId, NfId, NfState, Packet, Picos, SnicError,
+    TransientResource,
+};
 use snic_verify::{
     verify_denylist_coverage, verify_manifests, verify_tlb_state, BusSpec, DeviceSpec,
     EnforcementMode, VerificationReport, VnicManifest,
@@ -40,6 +44,57 @@ const REGION_BASE: u64 = 0x0800_0000;
 /// Epoch length (bus cycles) of the S-NIC temporal arbiter — the §4.5
 /// convention used across the attacks and uarch crates.
 const BUS_EPOCH: u64 = 96;
+
+/// Teardown zeroization proceeds in chunks of this size; the scrub
+/// watermark (and any injected power loss) has chunk granularity.
+const SCRUB_CHUNK: u64 = 256 * 1024;
+
+/// Crash-consistent record of an interrupted teardown scrub (§4.6).
+///
+/// When power is lost mid-scrub the ticket — not the region — survives:
+/// the region stays denylisted and off the free list until
+/// [`SmartNic::resume_scrubs`] finishes zeroizing from `watermark`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubTicket {
+    /// The torn-down function the region belonged to.
+    pub nf: NfId,
+    /// Region base.
+    pub base: u64,
+    /// Region length.
+    pub len: u64,
+    /// Bytes already zeroized (scrub resumes here).
+    pub watermark: u64,
+}
+
+/// A comparable snapshot of every allocatable resource the device
+/// tracks. Launch-rollback and power-cycle regression tests snapshot
+/// before an operation and assert equality after a failed one: any
+/// field drift is a leak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSnapshot {
+    /// Free-region list (sorted, coalesced).
+    pub free_regions: Vec<(u64, u64)>,
+    /// Bump pointer for fresh regions.
+    pub next_region: u64,
+    /// Per-core owner map.
+    pub core_owner: Vec<Option<NfId>>,
+    /// Healthy, unallocated clusters per accelerator family.
+    pub accel_available: Vec<(AccelKind, usize)>,
+    /// RX buffer bytes reserved.
+    pub rx_reserved: u64,
+    /// TX buffer bytes reserved.
+    pub tx_reserved: u64,
+    /// Denylist intervals `(base, len, owner)`.
+    pub denylist: Vec<(u64, u64, NfId)>,
+    /// Page-ownership ranges `(base, len, owner)`.
+    pub owned: Vec<(u64, u64, NfId)>,
+    /// Pending interrupted scrubs.
+    pub pending_scrubs: Vec<ScrubTicket>,
+    /// Live function count.
+    pub live_nfs: usize,
+    /// Cores with an installed DMA bank.
+    pub dma_banks: usize,
+}
 
 /// Bookkeeping for one launched function.
 #[derive(Debug)]
@@ -63,6 +118,9 @@ pub struct NfRecord {
     pub vpp: VppBufferSpec,
     /// TLB entries installed per core.
     pub tlb_entries: u64,
+    /// Lifecycle state (`Launched → Running → Faulted → Scrubbing →
+    /// Reclaimed`; data-path calls refuse non-operational states).
+    pub state: NfState,
     /// RX descriptor queue: `(base, len)` of packets in DRAM.
     rx_queue: VecDeque<(u64, u32)>,
     rx_bytes: u64,
@@ -106,6 +164,10 @@ pub struct SmartNic {
     /// Host RAM model, target of the multi-bank DMA controller (§4.2).
     host_mem: PhysMem,
     dma_banks: HashMap<CoreId, DmaBank>,
+    /// Deterministic fault injector + lifecycle transcript recorder.
+    injector: FaultInjector,
+    /// Interrupted teardown scrubs awaiting resumption (sorted by base).
+    pending_scrubs: Vec<ScrubTicket>,
 }
 
 impl SmartNic {
@@ -143,6 +205,90 @@ impl SmartNic {
             tx_wire: VecDeque::new(),
             host_mem: PhysMem::new(ByteSize::gib(1)),
             dma_banks: HashMap::new(),
+            injector: FaultInjector::disarmed(),
+            pending_scrubs: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & lifecycle observation
+    // ------------------------------------------------------------------
+
+    /// Arm the device with a deterministic fault plan. Replaces any
+    /// previous injector but preserves nothing: counters and transcript
+    /// start fresh.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.injector = FaultInjector::new(plan);
+    }
+
+    /// The fault/lifecycle transcript so far.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.injector.log()
+    }
+
+    /// Drain the transcript (the armed plan and counters stay).
+    pub fn take_fault_log(&mut self) -> Vec<FaultRecord> {
+        self.injector.take_log()
+    }
+
+    /// Consult the injector at `site` on behalf of a management caller
+    /// (the NIC OS and harnesses use this for sites the device itself
+    /// does not instrument).
+    pub fn fault_check(&mut self, site: FaultSite, nf: Option<NfId>) -> Option<FaultKind> {
+        self.injector.check(site, self.now, nf)
+    }
+
+    /// Append an externally observed event to the transcript so device
+    /// and harness events share one total order.
+    pub fn fault_note(&mut self, nf: Option<NfId>, kind: FaultEventKind) {
+        self.injector.note(self.now, nf, kind);
+    }
+
+    /// Lifecycle state of a live NF.
+    pub fn state_of(&self, nf: NfId) -> Result<NfState, SnicError> {
+        Ok(self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?.state)
+    }
+
+    /// Interrupted teardown scrubs awaiting [`SmartNic::resume_scrubs`].
+    pub fn pending_scrubs(&self) -> &[ScrubTicket] {
+        &self.pending_scrubs
+    }
+
+    /// The free-region list (sorted, coalesced) — exposed for the
+    /// allocator-invariant property tests.
+    pub fn free_regions(&self) -> &[(u64, u64)] {
+        &self.free_regions
+    }
+
+    /// Record a lifecycle transition for a *live* NF and log it.
+    fn transition(&mut self, nf: NfId, to: NfState) {
+        if let Some(record) = self.launched.get_mut(&nf) {
+            let from = record.state;
+            debug_assert!(from.can_transition(to), "illegal {from} -> {to}");
+            record.state = to;
+            self.injector
+                .note(self.now, Some(nf), FaultEventKind::Transition { from, to });
+        }
+    }
+
+    /// Comparable snapshot of every allocatable resource (leak tests).
+    pub fn resource_snapshot(&self) -> ResourceSnapshot {
+        ResourceSnapshot {
+            free_regions: self.free_regions.clone(),
+            next_region: self.next_region,
+            core_owner: self.core_owner.clone(),
+            accel_available: self
+                .pools
+                .iter()
+                .map(|p| (p.kind(), p.available()))
+                .collect(),
+            rx_reserved: self.rx_port.reserved().bytes(),
+            tx_reserved: self.tx_port.reserved().bytes(),
+            denylist: self.guard.denylist().intervals().to_vec(),
+            owned: self.ownership.owned_ranges(),
+            pending_scrubs: self.pending_scrubs.clone(),
+            live_nfs: self.launched.len(),
+            dma_banks: self.dma_banks.len(),
         }
     }
 
@@ -173,13 +319,112 @@ impl SmartNic {
 
     /// Power-cycle the NIC: clears the crash flag and all NF state
     /// (everything is lost, as the paper's attack required).
+    ///
+    /// Reclamation is *forced*: if an NF's orderly teardown fails
+    /// partway (e.g. power is lost again mid-scrub), its cores, ports,
+    /// clusters and ownership are reclaimed anyway — but its region is
+    /// routed through the pending-scrub queue, never handed out dirty.
+    /// The cycle also repairs faulted accelerator clusters and resumes
+    /// any interrupted scrubs. If a scrub is interrupted *again* during
+    /// the cycle, the device comes back crashed with the remaining
+    /// tickets still pending; another cycle finishes the job.
     pub fn power_cycle(&mut self) {
         let ids: Vec<NfId> = self.launched.keys().copied().collect();
-        self.crashed = false;
+        self.restore_power();
         for id in ids {
-            let _ = self.nf_teardown(id);
+            if self.nf_teardown(id).is_err() {
+                self.force_reclaim(id);
+            }
         }
         self.bus_ops.clear();
+        for pool in &mut self.pools {
+            pool.repair_all();
+        }
+        self.resume_scrubs();
+    }
+
+    /// Restore power after a loss WITHOUT resuming interrupted scrubs —
+    /// a boot where the background scrub janitor has not run yet.
+    /// Admission control refuses pending regions in the meantime
+    /// ([`SnicError::ScrubPending`]); [`SmartNic::resume_scrubs`] or a
+    /// full [`SmartNic::power_cycle`] drains them.
+    pub fn restore_power(&mut self) {
+        self.crashed = false;
+        self.injector
+            .note(self.now, None, FaultEventKind::PowerRestored);
+    }
+
+    /// Reclaim every resource bound to `nf` without running (or after a
+    /// failed) orderly teardown. Volatile bindings are simply dropped;
+    /// the DRAM region is queued for scrubbing under S-NIC so it cannot
+    /// be reused before zeroization.
+    fn force_reclaim(&mut self, nf: NfId) {
+        if let Some(record) = self.launched.remove(&nf) {
+            for &c in &record.cores {
+                self.core_owner[usize::from(c.0)] = None;
+                self.dma_banks.remove(&c);
+                if let Some(tlb) = self.core_tlbs.get_mut(&c) {
+                    tlb.reset();
+                }
+            }
+            self.ownership.release_owner(nf);
+            for pool in &mut self.pools {
+                pool.release_owner(nf);
+            }
+            let _ = self.rx_port.release_owner(nf);
+            let _ = self.tx_port.release_owner(nf);
+            self.rules.remove_target(nf);
+            let (base, len) = record.region;
+            if self.config.mode == NicMode::Snic {
+                self.pending_scrubs.push(ScrubTicket {
+                    nf,
+                    base,
+                    len,
+                    watermark: 0,
+                });
+                self.pending_scrubs.sort_unstable_by_key(|t| t.base);
+            } else {
+                self.free_region(base, len);
+            }
+        }
+        self.bus_ops.remove(&nf);
+    }
+
+    /// Resume every interrupted teardown scrub from its watermark;
+    /// completed regions are allowlisted and returned to the free list.
+    /// Returns how many tickets completed. Stops early (leaving the
+    /// rest pending) if power is lost again mid-scrub.
+    pub fn resume_scrubs(&mut self) -> usize {
+        let mut done = 0;
+        while let Some(ticket) = self.pending_scrubs.first().copied() {
+            self.pending_scrubs.remove(0);
+            self.injector.note(
+                self.now,
+                Some(ticket.nf),
+                FaultEventKind::Transition {
+                    from: NfState::Scrubbing,
+                    to: NfState::Scrubbing,
+                },
+            );
+            match self.scrub_region(ticket.nf, ticket.base, ticket.len, ticket.watermark) {
+                Ok(t) => {
+                    self.now += t;
+                    self.guard.denylist_mut().allow_owner(ticket.nf);
+                    self.free_region(ticket.base, ticket.len);
+                    self.injector.note(
+                        self.now,
+                        Some(ticket.nf),
+                        FaultEventKind::Transition {
+                            from: NfState::Scrubbing,
+                            to: NfState::Reclaimed,
+                        },
+                    );
+                    done += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        done
     }
 
     /// The EK certificate chain root material, for verifiers.
@@ -349,6 +594,12 @@ impl SmartNic {
         self.launched.len()
     }
 
+    /// Ids of every live NF, in ascending order (the durable truth a
+    /// restarted NIC OS rebuilds its managed list from).
+    pub fn live_nf_ids(&self) -> Vec<NfId> {
+        self.launched.keys().copied().collect()
+    }
+
     // ------------------------------------------------------------------
     // nf_launch (§4.1–§4.5)
     // ------------------------------------------------------------------
@@ -356,6 +607,23 @@ impl SmartNic {
     /// The `nf_launch` trusted instruction.
     pub fn nf_launch(&mut self, mut req: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
         self.fail_if_crashed()?;
+        // Injected admission faults (all transient except power loss):
+        // the orchestrator is expected to retry these with backoff.
+        match self.injector.check(FaultSite::Launch, self.now, None) {
+            Some(FaultKind::DramExhaustion) => {
+                return Err(SnicError::Transient(TransientResource::Dram));
+            }
+            Some(FaultKind::AccelPoolExhaustion) => {
+                return Err(SnicError::Transient(TransientResource::AccelPool));
+            }
+            Some(FaultKind::PowerLoss) => {
+                self.injector
+                    .note(self.now, None, FaultEventKind::PowerLost);
+                self.crashed = true;
+                return Err(SnicError::PowerLoss);
+            }
+            _ => {}
+        }
         if req.cores.is_empty() {
             return Err(SnicError::InvalidConfig("nf_launch with zero cores".into()));
         }
@@ -391,8 +659,12 @@ impl SmartNic {
         }
         // Reserve the physical region: the caller's placement hint if
         // given, else first-fit from freed regions, falling back to the
-        // bump pointer.
+        // bump pointer. The pre-reservation allocator state is saved so
+        // every error path below can restore it exactly — a failed
+        // launch must not leak (or even fragment) region space.
         let region_len = plan.allocated().bytes();
+        let saved_free_regions = self.free_regions.clone();
+        let saved_next_region = self.next_region;
         let base = match req.region_base {
             Some(hint) => hint,
             None => match self
@@ -411,17 +683,38 @@ impl SmartNic {
                 None => {
                     let b = self.next_region.div_ceil(4096) * 4096;
                     if b + region_len > self.config.dram.bytes() {
-                        return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+                        // DRAM held hostage by interrupted scrubs is
+                        // coming back; report that as retryable.
+                        if self.pending_scrubs.is_empty() {
+                            return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
+                        }
+                        return Err(SnicError::Transient(TransientResource::Dram));
                     }
                     self.next_region = b + region_len;
                     b
                 }
             },
         };
+        // A region still awaiting zeroization is not reusable (§4.6),
+        // no matter what placement hint the caller supplied.
+        if let Some(t) = self
+            .pending_scrubs
+            .iter()
+            .find(|t| base < t.base + t.len && t.base < base + region_len)
+        {
+            let pending = t.base;
+            self.free_regions = saved_free_regions;
+            self.next_region = saved_next_region;
+            return Err(SnicError::ScrubPending { base: pending });
+        }
         if base.saturating_add(region_len) > self.config.dram.bytes() {
+            self.free_regions = saved_free_regions;
+            self.next_region = saved_next_region;
             return Err(SnicError::InvalidConfig("DRAM exhausted".into()));
         }
         if req.image.len() as u64 > region_len {
+            self.free_regions = saved_free_regions;
+            self.next_region = saved_next_region;
             return Err(SnicError::InvalidConfig("image larger than region".into()));
         }
 
@@ -433,21 +726,26 @@ impl SmartNic {
         let nf = NfId(self.next_nf);
         let report = self.verify_launch(nf, &req, base, region_len, plan.entries() as usize);
         if report.concerning(nf).next().is_some() {
-            if req.region_base.is_none() {
-                // Return the speculatively reserved region.
-                self.free_region(base, region_len);
-            }
+            // Restore the pre-reservation allocator state exactly
+            // (free_region() here would leak on hinted launches and
+            // fragment the bump pointer on fresh ones).
+            self.free_regions = saved_free_regions;
+            self.next_region = saved_next_region;
             return Err(SnicError::Verification(report.to_string()));
         }
 
         // Page-table walk: claim ownership (fails atomically on overlap).
-        self.ownership.claim(base, region_len, nf)?;
+        if let Err(e) = self.ownership.claim(base, region_len, nf) {
+            self.free_regions = saved_free_regions;
+            self.next_region = saved_next_region;
+            return Err(e);
+        }
         // Accelerator clusters (§4.3) — atomic per pool; roll back on
         // failure.
         let mut accel = Vec::new();
         for &(kind, count) in &req.accel {
             let Some(pool) = self.pools.iter_mut().find(|p| p.kind() == kind) else {
-                self.rollback(nf);
+                self.rollback(nf, saved_free_regions, saved_next_region);
                 return Err(SnicError::InvalidConfig(format!(
                     "device has no {kind:?} accelerator pool"
                 )));
@@ -455,18 +753,18 @@ impl SmartNic {
             match pool.allocate(nf, count) {
                 Ok(mut ids) => accel.append(&mut ids),
                 Err(e) => {
-                    self.rollback(nf);
+                    self.rollback(nf, saved_free_regions, saved_next_region);
                     return Err(e);
                 }
             }
         }
         // VPP buffer reservations (§4.4).
         if let Err(e) = self.rx_port.reserve(nf, req.vpp.pb) {
-            self.rollback(nf);
+            self.rollback(nf, saved_free_regions, saved_next_region);
             return Err(e);
         }
         if let Err(e) = self.tx_port.reserve(nf, req.vpp.odb) {
-            self.rollback(nf);
+            self.rollback(nf, saved_free_regions, saved_next_region);
             return Err(e);
         }
         // Build the locked per-core TLBs before committing anything, so a
@@ -486,7 +784,7 @@ impl SmartNic {
                             writable: true,
                         });
                         if let Err(e) = install {
-                            self.rollback(nf);
+                            self.rollback(nf, saved_free_regions, saved_next_region);
                             return Err(e.into());
                         }
                         va += page_size;
@@ -500,6 +798,14 @@ impl SmartNic {
 
         // Commit point: everything below cannot fail.
         self.next_nf += 1;
+        self.injector.note(
+            self.now,
+            Some(nf),
+            FaultEventKind::RegionReused {
+                base,
+                len: region_len,
+            },
+        );
         for &c in &req.cores {
             self.core_owner[usize::from(c.0)] = Some(nf);
         }
@@ -588,6 +894,7 @@ impl SmartNic {
             host_window: req.host_window,
             vpp: req.vpp,
             tlb_entries: plan.entries(),
+            state: NfState::Launched,
             rx_queue: VecDeque::new(),
             rx_bytes: 0,
             pb_cap: req.vpp.pb.bytes(),
@@ -612,7 +919,13 @@ impl SmartNic {
         })
     }
 
-    fn rollback(&mut self, nf: NfId) {
+    /// Undo a partially admitted launch: release every binding claimed
+    /// so far and restore the region allocator to its pre-launch state
+    /// (both the free list and the bump pointer — merely re-freeing the
+    /// region would leave fragmentation and, on hinted launches, leaks).
+    fn rollback(&mut self, nf: NfId, saved_free_regions: Vec<(u64, u64)>, saved_next_region: u64) {
+        self.free_regions = saved_free_regions;
+        self.next_region = saved_next_region;
         self.ownership.release_owner(nf);
         for pool in &mut self.pools {
             pool.release_owner(nf);
@@ -639,27 +952,88 @@ impl SmartNic {
         self.free_regions = merged;
     }
 
-    /// The `nf_teardown` trusted instruction.
-    pub fn nf_teardown(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
-        let record = self.launched.remove(&nf).ok_or(SnicError::NoSuchNf(nf))?;
-        let mut scrub = Picos::ZERO;
-        let mut allowlist = Picos::ZERO;
-        if self.config.mode == NicMode::Snic {
-            // Zero the function's pages before releasing them.
-            let (base, len) = record.region;
-            self.guard.raw_mem().scrub(base, len);
-            scrub = scrub_time(ByteSize(len));
-            self.guard.denylist_mut().allow_owner(nf);
-            allowlist = ALLOWLISTING;
-            for &c in &record.cores {
-                if let Some(tlb) = self.core_tlbs.get_mut(&c) {
-                    tlb.reset();
-                }
+    /// Zeroize `[base+start, base+len)` in [`SCRUB_CHUNK`] steps,
+    /// consulting the injector before each chunk. On an injected power
+    /// loss the progress watermark is pushed as a [`ScrubTicket`] (the
+    /// crash-consistent §4.6 metadata), the device is marked crashed,
+    /// and the region stays denylisted and off the free list.
+    fn scrub_region(
+        &mut self,
+        nf: NfId,
+        base: u64,
+        len: u64,
+        start: u64,
+    ) -> Result<Picos, SnicError> {
+        let mut watermark = start;
+        while watermark < len {
+            if let Some(FaultKind::PowerLoss) =
+                self.injector.check(FaultSite::Scrub, self.now, Some(nf))
+            {
+                self.injector.note(
+                    self.now,
+                    Some(nf),
+                    FaultEventKind::ScrubProgress {
+                        base,
+                        watermark,
+                        len,
+                    },
+                );
+                self.injector
+                    .note(self.now, None, FaultEventKind::PowerLost);
+                self.pending_scrubs.push(ScrubTicket {
+                    nf,
+                    base,
+                    len,
+                    watermark,
+                });
+                self.pending_scrubs.sort_unstable_by_key(|t| t.base);
+                self.crashed = true;
+                return Err(SnicError::PowerLoss);
             }
+            let chunk = SCRUB_CHUNK.min(len - watermark);
+            self.guard.raw_mem().scrub(base + watermark, chunk);
+            watermark += chunk;
         }
+        self.injector.note(
+            self.now,
+            Some(nf),
+            FaultEventKind::ScrubCompleted { base, len },
+        );
+        Ok(scrub_time(ByteSize(len - start)))
+    }
+
+    /// The `nf_teardown` trusted instruction.
+    ///
+    /// Volatile bindings (cores, TLBs, DMA banks, clusters, VPP buffers,
+    /// switch rules) are released first; DRAM zeroization then runs
+    /// chunk by chunk. If power is lost mid-scrub the call returns
+    /// [`SnicError::PowerLoss`] with the region still denylisted and
+    /// unavailable — [`SmartNic::resume_scrubs`] (or the next power
+    /// cycle) finishes the job from the saved watermark.
+    pub fn nf_teardown(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        let (base, len) = record.region;
+        let from = record.state;
+        self.injector.note(
+            self.now,
+            Some(nf),
+            FaultEventKind::TeardownStarted { base, len },
+        );
+        self.injector.note(
+            self.now,
+            Some(nf),
+            FaultEventKind::Transition {
+                from,
+                to: NfState::Scrubbing,
+            },
+        );
+        let record = self.launched.remove(&nf).expect("checked above");
         for &c in &record.cores {
             self.core_owner[usize::from(c.0)] = None;
             self.dma_banks.remove(&c);
+            if let Some(tlb) = self.core_tlbs.get_mut(&c) {
+                tlb.reset();
+            }
         }
         self.ownership.release_owner(nf);
         for pool in &mut self.pools {
@@ -668,7 +1042,24 @@ impl SmartNic {
         let _ = self.rx_port.release_owner(nf);
         let _ = self.tx_port.release_owner(nf);
         self.rules.remove_target(nf);
-        self.free_region(record.region.0, record.region.1);
+        self.bus_ops.remove(&nf);
+        let mut scrub = Picos::ZERO;
+        let mut allowlist = Picos::ZERO;
+        if self.config.mode == NicMode::Snic {
+            // Zero the function's pages before releasing them (§4.6).
+            scrub = self.scrub_region(nf, base, len, 0)?;
+            self.guard.denylist_mut().allow_owner(nf);
+            allowlist = ALLOWLISTING;
+        }
+        self.free_region(base, len);
+        self.injector.note(
+            self.now,
+            Some(nf),
+            FaultEventKind::Transition {
+                from: NfState::Scrubbing,
+                to: NfState::Reclaimed,
+            },
+        );
         let latency = TeardownLatency {
             allowlisting: allowlist,
             scrub,
@@ -690,9 +1081,32 @@ impl SmartNic {
         let Some(nf) = self.rules.classify(pkt) else {
             return Ok(None);
         };
-        let Some(record) = self.launched.get_mut(&nf) else {
+        if !self.launched.contains_key(&nf) {
             return Ok(None);
-        };
+        }
+        // Delivery can crash the receiving core (a poisoned packet).
+        if let Some(FaultKind::NfCrash) = self.injector.check(FaultSite::Rx, self.now, Some(nf)) {
+            self.fault_nf(nf)?;
+            return Ok(Some(nf));
+        }
+        let record = self.launched.get_mut(&nf).expect("checked above");
+        if !record.state.is_operational() {
+            // A faulted NF's core is halted: the VPP drops its traffic.
+            record.rx_dropped += 1;
+            return Ok(Some(nf));
+        }
+        if record.state == NfState::Launched {
+            record.state = NfState::Running;
+            self.injector.note(
+                self.now,
+                Some(nf),
+                FaultEventKind::Transition {
+                    from: NfState::Launched,
+                    to: NfState::Running,
+                },
+            );
+        }
+        let record = self.launched.get_mut(&nf).expect("checked above");
         let len = pkt.len() as u64;
         if record.rx_bytes + len > record.pb_cap
             || record.rx_queue.len() as u64 + 1 > record.pdb_slots
@@ -734,6 +1148,7 @@ impl SmartNic {
     /// bites).
     pub fn poll_packet(&mut self, nf: NfId) -> Result<Option<Packet>, SnicError> {
         self.fail_if_crashed()?;
+        self.datapath_gate(nf)?;
         let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         let Some((base, len)) = record.rx_queue.pop_front() else {
             return Ok(None);
@@ -749,6 +1164,7 @@ impl SmartNic {
     /// The NF hands a packet to the output module.
     pub fn tx_packet(&mut self, nf: NfId, pkt: Packet) -> Result<(), SnicError> {
         self.fail_if_crashed()?;
+        self.datapath_gate(nf)?;
         let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         record.tx_sent += 1;
         self.tx_wire.push_back(pkt);
@@ -787,6 +1203,9 @@ impl SmartNic {
     ) -> Result<(), SnicError> {
         self.fail_if_crashed()?;
         let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Err(SnicError::NfFaulted(nf));
+        }
         if !record.cores.contains(&core) {
             return Err(SnicError::InvalidConfig(format!(
                 "{core} not bound to {nf}"
@@ -808,6 +1227,7 @@ impl SmartNic {
         data: &[u8],
     ) -> Result<(), SnicError> {
         self.fail_if_crashed()?;
+        self.datapath_gate(nf)?;
         let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         if !record.cores.contains(&core) {
             return Err(SnicError::InvalidConfig(format!(
@@ -819,6 +1239,97 @@ impl SmartNic {
                 SnicError::InvalidConfig("core has no TLB (commodity mode)".into())
             })?;
         self.guard.write_virt(&tlb, va, data)
+    }
+
+    /// Common data-path admission: the NF must exist and be operational;
+    /// an injected [`FaultKind::NfCrash`] at the `DataPath` site fells
+    /// it here. First use promotes `Launched → Running`.
+    fn datapath_gate(&mut self, nf: NfId) -> Result<(), SnicError> {
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Err(SnicError::NfFaulted(nf));
+        }
+        if let Some(FaultKind::NfCrash) =
+            self.injector.check(FaultSite::DataPath, self.now, Some(nf))
+        {
+            self.fault_nf(nf)?;
+            return Err(SnicError::NfFaulted(nf));
+        }
+        if self.launched[&nf].state == NfState::Launched {
+            self.transition(nf, NfState::Running);
+        }
+        Ok(())
+    }
+
+    /// An NF core crashes: wild stores spray from the dying core, then
+    /// it halts (`state → Faulted`; its region is not reclaimed until
+    /// `nf_teardown`). Under S-NIC the stores bounce off the locked
+    /// TLBs/denylist, so the blast radius is the NF itself. On a
+    /// commodity NIC the same store lands physically (`xkphys`) in a
+    /// co-located tenant's queued packet buffer — §3.3's corruption,
+    /// now arising from an accident instead of an attack.
+    pub fn fault_nf(&mut self, nf: NfId) -> Result<(), SnicError> {
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Ok(());
+        }
+        let core = record.cores[0];
+        // The wild store aims at another live tenant's freshest queued
+        // packet (or its image when no packet is in flight).
+        let target = self
+            .launched
+            .iter()
+            .filter(|(&id, r)| id != nf && r.state.is_operational())
+            .map(|(_, r)| r.rx_queue.front().map(|&(b, _)| b).unwrap_or(r.image_base))
+            .next();
+        if let Some(addr) = target {
+            // Enforcement decides containment: commodity lets this
+            // through, S-NIC returns an isolation error we swallow —
+            // the dying core cannot corrupt anyone.
+            let _ = self
+                .guard
+                .write_phys(Principal::Nf(nf, core), addr, &[0xDE; 32]);
+        }
+        self.transition(nf, NfState::Faulted);
+        Ok(())
+    }
+
+    /// Submit one accelerator request on behalf of `nf` — the §4.3
+    /// fault-domain model. Returns the (nominal, deterministic) service
+    /// latency. An injected [`FaultKind::AccelClusterFault`] is
+    /// cluster-fatal: under S-NIC the owner's clusters are poisoned
+    /// (withheld from reallocation until a power cycle) and the owner
+    /// faults; on a commodity NIC the *shared* engine wedges and the
+    /// whole device hard-crashes.
+    pub fn accel_submit(&mut self, nf: NfId) -> Result<Picos, SnicError> {
+        self.fail_if_crashed()?;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Err(SnicError::NfFaulted(nf));
+        }
+        if let Some(FaultKind::AccelClusterFault) =
+            self.injector.check(FaultSite::Accel, self.now, Some(nf))
+        {
+            match self.config.mode {
+                NicMode::Snic => {
+                    let clusters = self.launched[&nf].accel.clone();
+                    for c in clusters {
+                        if let Some(pool) = self.pools.iter_mut().find(|p| p.kind() == c.kind) {
+                            pool.fault(c.index);
+                        }
+                    }
+                    self.transition(nf, NfState::Faulted);
+                    return Err(SnicError::NfFaulted(nf));
+                }
+                NicMode::Commodity => {
+                    self.injector
+                        .note(self.now, None, FaultEventKind::DeviceCrashed);
+                    self.crashed = true;
+                    return Err(SnicError::NicCrashed);
+                }
+            }
+        }
+        Ok(Picos::nanos(1))
     }
 
     // ------------------------------------------------------------------
@@ -898,17 +1409,39 @@ impl SmartNic {
         len: u64,
     ) -> Result<(), SnicError> {
         self.fail_if_crashed()?;
-        let (base, _) = self
-            .launched
-            .get(&nf)
-            .ok_or(SnicError::NoSuchNf(nf))?
-            .region;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Err(SnicError::NfFaulted(nf));
+        }
+        let (base, _) = record.region;
         let nic_addr = base + nic_off;
+        self.dma_fault_gate(nf, nic_addr)?;
         self.dma_bank(nf, core)?
             .validate(DmaDirection::NicToHost, nic_addr, host_addr, len)?;
         let mut buf = vec![0u8; len as usize];
         self.guard.raw_mem().read(nic_addr, &mut buf);
         self.host_mem.write(host_addr, &buf);
+        Ok(())
+    }
+
+    /// Injected bus errors on the DMA path. Under S-NIC the per-bank
+    /// transaction simply aborts ([`SnicError::BusError`], contained to
+    /// the one transfer); on a commodity NIC a wedged shared bus takes
+    /// the whole device down (§3.3's DoS, by accident).
+    fn dma_fault_gate(&mut self, nf: NfId, nic_addr: u64) -> Result<(), SnicError> {
+        if let Some(FaultKind::DmaBusError) =
+            self.injector.check(FaultSite::Dma, self.now, Some(nf))
+        {
+            match self.config.mode {
+                NicMode::Snic => return Err(SnicError::BusError { addr: nic_addr }),
+                NicMode::Commodity => {
+                    self.injector
+                        .note(self.now, None, FaultEventKind::DeviceCrashed);
+                    self.crashed = true;
+                    return Err(SnicError::NicCrashed);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -922,12 +1455,13 @@ impl SmartNic {
         len: u64,
     ) -> Result<(), SnicError> {
         self.fail_if_crashed()?;
-        let (base, _) = self
-            .launched
-            .get(&nf)
-            .ok_or(SnicError::NoSuchNf(nf))?
-            .region;
+        let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
+        if !record.state.is_operational() {
+            return Err(SnicError::NfFaulted(nf));
+        }
+        let (base, _) = record.region;
         let nic_addr = base + nic_off;
+        self.dma_fault_gate(nf, nic_addr)?;
         self.dma_bank(nf, core)?
             .validate(DmaDirection::HostToNic, nic_addr, host_addr, len)?;
         let mut buf = vec![0u8; len as usize];
@@ -1404,5 +1938,226 @@ mod tests {
         // NF `id` cannot use `other`'s bank on core 1.
         assert!(nic.dma_to_host(id, CoreId(1), 0, 0x1000_0000, 8).is_err());
         let _ = other;
+    }
+
+    #[test]
+    fn lifecycle_promotes_on_first_traffic() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut nic = snic();
+        let id = nic.nf_launch(req_with_rule(0, 4, 80)).unwrap().nf_id;
+        assert_eq!(nic.state_of(id).unwrap(), NfState::Launched);
+        nic.rx_packet(&pkt(80)).unwrap();
+        assert_eq!(nic.state_of(id).unwrap(), NfState::Running);
+        // An injected data-path crash freezes the NF.
+        nic.inject_faults(FaultPlan::none().on_nth(FaultSite::DataPath, 1, FaultKind::NfCrash));
+        assert_eq!(
+            nic.poll_packet(id).unwrap_err(),
+            SnicError::NfFaulted(id),
+            "crash injected on the poll"
+        );
+        assert_eq!(nic.state_of(id).unwrap(), NfState::Faulted);
+        // Faulted NFs refuse further data-path work but tear down fine.
+        assert!(matches!(
+            nic.tx_packet(id, pkt(80)).unwrap_err(),
+            SnicError::NfFaulted(_)
+        ));
+        nic.nf_teardown(id).unwrap();
+    }
+
+    #[test]
+    fn power_loss_mid_scrub_keeps_region_unavailable() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut nic = snic();
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        nic.nf_write(id, CoreId(0), 0x100, b"secret state").unwrap();
+        let (base, len) = nic.record_of(id).unwrap().region;
+        // Power dies on the 3rd scrub chunk.
+        nic.inject_faults(FaultPlan::none().on_nth(FaultSite::Scrub, 3, FaultKind::PowerLoss));
+        assert_eq!(nic.nf_teardown(id).unwrap_err(), SnicError::PowerLoss);
+        assert!(nic.is_crashed());
+        let tickets = nic.pending_scrubs().to_vec();
+        assert_eq!(tickets.len(), 1);
+        assert_eq!(tickets[0].base, base);
+        assert_eq!(tickets[0].watermark, 2 * SCRUB_CHUNK);
+        // The region is still denylisted: management cannot read it...
+        let mut buf = [0u8; 4];
+        assert!(nic
+            .mem_read(Principal::Management, base + tickets[0].watermark, &mut buf)
+            .is_err());
+        // ...and a hinted relaunch onto it is refused.
+        nic.power_cycle(); // restores power AND resumes the scrub
+        assert!(nic.pending_scrubs().is_empty(), "cycle finished the scrub");
+        assert!(!nic.is_crashed());
+        // Now fully scrubbed: the whole region reads back as zeros.
+        let mut tail = vec![0u8; 64];
+        nic.mem_read(Principal::Management, base + len - 64, &mut tail)
+            .unwrap();
+        assert_eq!(tail, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn hinted_launch_cannot_reuse_pending_scrub_region() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut nic = snic();
+        let id = nic.nf_launch(req(0, 4)).unwrap().nf_id;
+        let (base, _) = nic.record_of(id).unwrap().region;
+        nic.inject_faults(FaultPlan::none().on_nth(FaultSite::Scrub, 1, FaultKind::PowerLoss));
+        assert_eq!(nic.nf_teardown(id).unwrap_err(), SnicError::PowerLoss);
+        // Boot WITHOUT the scrub janitor: admission must hold the line
+        // against a buggy/malicious NIC OS placing a tenant onto the
+        // half-scrubbed region.
+        nic.restore_power();
+        let mut r = req(1, 4);
+        r.region_base = Some(base);
+        assert_eq!(
+            nic.nf_launch(r.clone()).unwrap_err(),
+            SnicError::ScrubPending { base }
+        );
+        // Unhinted placement steers around the pending region.
+        let other = nic.nf_launch(req(2, 4)).unwrap().nf_id;
+        assert_ne!(nic.record_of(other).unwrap().region.0, base);
+        // Once the janitor drains the ticket the hint is honored.
+        assert_eq!(nic.resume_scrubs(), 1);
+        nic.nf_launch(r).unwrap();
+    }
+
+    #[test]
+    fn accel_fault_poisons_clusters_under_snic_only() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let build = |mut nic: SmartNic| {
+            let mut r = req(0, 4);
+            r.accel = vec![(AccelKind::Crypto, 2)];
+            let mut v = req(1, 4);
+            v.accel = vec![(AccelKind::Crypto, 1)];
+            let id = nic.nf_launch(r).unwrap().nf_id;
+            let victim = nic.nf_launch(v).unwrap().nf_id;
+            nic.inject_faults(FaultPlan::none().on_nth(
+                FaultSite::Accel,
+                1,
+                FaultKind::AccelClusterFault,
+            ));
+            (nic, id, victim)
+        };
+        // S-NIC: the owner faults, its clusters are poisoned, the
+        // victim's accelerator work continues unperturbed.
+        let (mut nic, id, victim) = build(snic());
+        assert_eq!(nic.accel_submit(id).unwrap_err(), SnicError::NfFaulted(id));
+        assert_eq!(nic.state_of(id).unwrap(), NfState::Faulted);
+        assert_eq!(nic.state_of(victim).unwrap(), NfState::Launched);
+        nic.accel_submit(victim).unwrap();
+        // Poisoned clusters stay out of the pool even after teardown...
+        nic.nf_teardown(id).unwrap();
+        let mut r2 = req(0, 4);
+        r2.accel = vec![(AccelKind::Crypto, 3)];
+        assert!(
+            nic.nf_launch(r2.clone()).is_err(),
+            "2 of 4 clusters poisoned, 1 held by victim: 3 unavailable"
+        );
+        // ...until a power cycle repairs them.
+        nic.power_cycle();
+        nic.nf_launch(r2).unwrap();
+        // Commodity: the shared engine wedges the whole device.
+        let (mut nic, id, victim) = build(commodity());
+        assert_eq!(nic.accel_submit(id).unwrap_err(), SnicError::NicCrashed);
+        assert!(nic.is_crashed());
+        assert_eq!(
+            nic.accel_submit(victim).unwrap_err(),
+            SnicError::NicCrashed,
+            "victim is collateral damage on commodity hardware"
+        );
+    }
+
+    #[test]
+    fn transient_launch_faults_and_bus_errors() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut nic = snic();
+        nic.inject_faults(
+            FaultPlan::none()
+                .on_nth(FaultSite::Launch, 1, FaultKind::DramExhaustion)
+                .on_nth(FaultSite::Launch, 2, FaultKind::AccelPoolExhaustion),
+        );
+        let snapshot = nic.resource_snapshot();
+        let e1 = nic.nf_launch(req(0, 4)).unwrap_err();
+        assert!(e1.is_retryable());
+        let e2 = nic.nf_launch(req(0, 4)).unwrap_err();
+        assert!(e2.is_retryable());
+        assert_eq!(nic.resource_snapshot(), snapshot, "failed launches leak");
+        // Third attempt (plan exhausted) succeeds.
+        let mut r = req(0, 4);
+        r.host_window = Some((0x1000_0000, 0x10000));
+        let id = nic.nf_launch(r).unwrap().nf_id;
+        // DMA bus error: contained to the one transfer under S-NIC.
+        nic.inject_faults(FaultPlan::none().on_nth(FaultSite::Dma, 1, FaultKind::DmaBusError));
+        let err = nic
+            .dma_to_host(id, CoreId(0), 0, 0x1000_0000, 64)
+            .unwrap_err();
+        assert!(matches!(err, SnicError::BusError { .. }));
+        assert!(!nic.is_crashed());
+        nic.dma_to_host(id, CoreId(0), 0, 0x1000_0000, 64).unwrap();
+    }
+
+    #[test]
+    fn power_cycle_after_mid_teardown_fault_leaks_nothing() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        // Satellite regression: a power cycle issued while an NF's
+        // teardown keeps failing must still reclaim every resource.
+        let mut nic = snic();
+        let baseline = nic.resource_snapshot();
+        let mut r = req(0, 4);
+        r.accel = vec![(AccelKind::Crypto, 1)];
+        r.host_window = Some((0x1000_0000, 0x1000));
+        let _ = nic.nf_launch(r).unwrap().nf_id;
+        let _ = nic.nf_launch(req(1, 8)).unwrap().nf_id;
+        // Both teardown scrubs die instantly, and so does the first
+        // resume attempt of the cycle's janitor pass.
+        nic.inject_faults(
+            FaultPlan::none()
+                .on_nth(FaultSite::Scrub, 1, FaultKind::PowerLoss)
+                .on_nth(FaultSite::Scrub, 2, FaultKind::PowerLoss)
+                .on_nth(FaultSite::Scrub, 3, FaultKind::PowerLoss),
+        );
+        nic.power_cycle(); // both teardowns fail; scrubs pend; resume also dies
+        assert!(!nic.pending_scrubs().is_empty());
+        assert!(nic.is_crashed(), "power died again during the cycle");
+        nic.power_cycle(); // injector exhausted: resume completes
+        let after = nic.resource_snapshot();
+        assert!(after.pending_scrubs.is_empty());
+        assert_eq!(after.core_owner, baseline.core_owner);
+        assert_eq!(after.accel_available, baseline.accel_available);
+        assert_eq!(after.rx_reserved, baseline.rx_reserved);
+        assert_eq!(after.tx_reserved, baseline.tx_reserved);
+        assert_eq!(after.denylist, baseline.denylist);
+        assert_eq!(after.owned, baseline.owned);
+        assert_eq!(after.dma_banks, baseline.dma_banks);
+        assert_eq!(after.live_nfs, 0);
+        // Region space is fully recyclable (free list covers both
+        // regions, coalesced against the bump pointer history).
+        let total_free: u64 = after.free_regions.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total_free, after.next_region - baseline.next_region);
+    }
+
+    #[test]
+    fn nf_crash_corrupts_neighbor_on_commodity_not_snic() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        for (mode, expect_corruption) in [(NicMode::Commodity, true), (NicMode::Snic, false)] {
+            let mut nic = SmartNic::new(NicConfig::small(mode), &vendor());
+            let victim = nic.nf_launch(req_with_rule(0, 4, 80)).unwrap().nf_id;
+            let crasher = nic.nf_launch(req_with_rule(1, 4, 81)).unwrap().nf_id;
+            // The victim has a packet in flight when the neighbor dies.
+            nic.rx_packet(&pkt(80)).unwrap();
+            nic.inject_faults(FaultPlan::none().on_nth(FaultSite::DataPath, 1, FaultKind::NfCrash));
+            assert_eq!(
+                nic.tx_packet(crasher, pkt(81)).unwrap_err(),
+                SnicError::NfFaulted(crasher)
+            );
+            let delivered = nic.poll_packet(victim).unwrap().unwrap();
+            let corrupted = delivered.data.contains(&0xDE);
+            assert_eq!(
+                corrupted, expect_corruption,
+                "{mode:?}: wild-store containment mismatch"
+            );
+            // Either way the victim's lifecycle is its own.
+            assert_eq!(nic.state_of(victim).unwrap(), NfState::Running);
+        }
     }
 }

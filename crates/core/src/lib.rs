@@ -31,6 +31,13 @@
 //! - [`constellation`]: constellations of trusted computations (§4.7),
 //! - [`nicos`]: the NIC OS management API (Table 1's first column),
 //! - [`chain`]: cross-VPP NF chaining (the §4.8 extension).
+//!
+//! The device is instrumented for deterministic fault injection
+//! (`snic-faults`): arm it with [`SmartNic::inject_faults`], and every
+//! function carries a recoverable lifecycle
+//! (`Launched → Running → Faulted → Scrubbing → Reclaimed`) whose
+//! transitions — along with scrub watermarks, power events and retries
+//! — land in a byte-reproducible transcript ([`SmartNic::fault_log`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,7 +58,7 @@ pub use attest::{verify_quote, AttestationQuote};
 pub use channel::SecureChannel;
 pub use config::{NicConfig, NicMode};
 pub use constellation::Constellation;
-pub use device::SmartNic;
+pub use device::{ResourceSnapshot, ScrubTicket, SmartNic};
 pub use enclave::HostEnclave;
 pub use instr::{LaunchReceipt, LaunchRequest, NfImage, TeardownReceipt};
-pub use nicos::NicOs;
+pub use nicos::{NicOs, RetryPolicy};

@@ -6,10 +6,34 @@
 //! that are bound to a function" (§4.6). `NF_create` maps onto
 //! `nf_launch`, `NF_destroy` onto `nf_teardown`.
 
-use snic_types::{NfId, SnicError};
+use snic_faults::{FaultEventKind, FaultKind, FaultSite};
+use snic_types::{NfId, Picos, SnicError};
 
 use crate::device::SmartNic;
 use crate::instr::{LaunchReceipt, LaunchRequest, TeardownReceipt};
+
+/// Retry schedule for transient admission failures (the orchestrator's
+/// answer to [`SnicError::is_retryable`] errors): capped exponential
+/// backoff in *simulated* time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub initial_backoff: Picos,
+    /// Backoff ceiling.
+    pub max_backoff: Picos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Picos::micros(50),
+            max_backoff: Picos::micros(400),
+        }
+    }
+}
 
 /// The management-plane wrapper around a device.
 pub struct NicOs<'a> {
@@ -26,16 +50,68 @@ impl<'a> NicOs<'a> {
         }
     }
 
+    /// Boot a NIC OS instance on a device whose previous OS instance
+    /// crashed. The OS is untrusted and restartable by design (§4.6):
+    /// it rebuilds its view from the device's live-function set; the
+    /// functions themselves — their cores, regions, TLBs, traffic —
+    /// are untouched by the restart.
+    pub fn recover(nic: &'a mut SmartNic) -> NicOs<'a> {
+        let created = nic.live_nf_ids();
+        nic.fault_note(None, FaultEventKind::NicOsRestarted);
+        NicOs { nic, created }
+    }
+
+    /// An injected NIC-OS crash surfaces at the next management call.
+    /// The OS process restarts in place (rebuilding its managed list
+    /// from the device — the only durable truth) and the interrupted
+    /// call fails with a retryable error for the host to re-issue.
+    fn crash_gate(&mut self) -> Result<(), SnicError> {
+        if let Some(FaultKind::NicOsCrash) = self.nic.fault_check(FaultSite::NicOs, None) {
+            self.created = self.nic.live_nf_ids();
+            self.nic.fault_note(None, FaultEventKind::NicOsRestarted);
+            return Err(SnicError::Transient(snic_types::TransientResource::NicOs));
+        }
+        Ok(())
+    }
+
     /// `NF_create(net_config, core_config, dpi_config, ...) → nf_id or
     /// failure`: DMA the image to NIC RAM and invoke `nf_launch`.
     pub fn nf_create(&mut self, request: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
+        self.crash_gate()?;
         let receipt = self.nic.nf_launch(request)?;
         self.created.push(receipt.nf_id);
         Ok(receipt)
     }
 
+    /// `NF_create` with retry: transient failures (injected or organic
+    /// resource exhaustion, a NIC-OS restart) back off in simulated
+    /// time — doubling up to `policy.max_backoff` — and re-issue; fatal
+    /// errors surface immediately.
+    pub fn nf_create_with_retry(
+        &mut self,
+        request: LaunchRequest,
+        policy: RetryPolicy,
+    ) -> Result<LaunchReceipt, SnicError> {
+        let mut backoff = policy.initial_backoff;
+        let mut attempt = 1u32;
+        loop {
+            match self.nf_create(request.clone()) {
+                Ok(receipt) => return Ok(receipt),
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                    self.nic
+                        .fault_note(None, FaultEventKind::RetryBackoff { attempt, backoff });
+                    self.nic.advance(backoff);
+                    backoff = Picos((backoff.0 * 2).min(policy.max_backoff.0));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// `NF_destroy(nf_id) → success or failure`.
     pub fn nf_destroy(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
+        self.crash_gate()?;
         let receipt = self.nic.nf_teardown(nf)?;
         self.created.retain(|&id| id != nf);
         Ok(receipt)

@@ -1,0 +1,578 @@
+//! Deterministic fault injection for the S-NIC device model.
+//!
+//! The paper's central claim is *containment*: a crashing or malicious
+//! function — or the untrusted NIC OS itself — must not perturb
+//! co-located vNICs (§3.3 attacks, §4.3 cluster-fatal accelerator
+//! faults, §4.6 teardown scrubbing). Demonstrating containment needs a
+//! way to make things fail *mid-flight*, reproducibly. This crate
+//! provides that:
+//!
+//! - [`FaultKind`] — the fault taxonomy (NF core crash, accelerator
+//!   cluster fault, DMA bus error, transient resource exhaustion,
+//!   NIC-OS crash, power loss mid-teardown);
+//! - [`FaultPlan`] — a declarative, seedable schedule of faults, each
+//!   armed by a [`FaultTrigger`] (simulated time, Nth event at a
+//!   call-site tag, or every event at a tag);
+//! - [`FaultInjector`] — the runtime object the device consults at
+//!   instrumented call sites; it also records a totally ordered
+//!   [`FaultRecord`] transcript of injections, lifecycle transitions,
+//!   and scrub progress that `snic-verify`'s Pass 3 lints.
+//!
+//! **Determinism is the contract.** Nothing here reads a wall clock or
+//! an OS entropy source: triggers fire on simulated [`Picos`] time and
+//! per-site event counters, and [`FaultPlan::seeded`] derives its
+//! pseudo-random schedule from a caller-supplied seed via a fixed LCG.
+//! The same plan driven by the same operation sequence yields a
+//! byte-identical transcript, on any thread of the `snic-sim` pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use snic_types::{NfId, NfState, Picos};
+
+/// The fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An NF core crashes mid-run (wild stores, then halt).
+    NfCrash,
+    /// An accelerator cluster faults — fatal for the cluster (§4.3);
+    /// on a commodity NIC the cluster is *shared*, so the fault is
+    /// fatal for every tenant using that engine.
+    AccelClusterFault,
+    /// A DMA transfer is aborted by a bus error.
+    DmaBusError,
+    /// On-NIC DRAM transiently exhausted at `nf_launch` (retryable).
+    DramExhaustion,
+    /// Accelerator pool transiently exhausted at `nf_launch`
+    /// (retryable).
+    AccelPoolExhaustion,
+    /// The (untrusted, restartable) NIC OS crashes. By design this
+    /// must leave running NFs untouched (§4.6).
+    NicOsCrash,
+    /// Power loss — when it strikes mid-`nf_teardown`, the scrub
+    /// watermark must survive so the region is never reused before
+    /// zeroization completes (§4.6).
+    PowerLoss,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::NfCrash => "nf-crash",
+            FaultKind::AccelClusterFault => "accel-cluster-fault",
+            FaultKind::DmaBusError => "dma-bus-error",
+            FaultKind::DramExhaustion => "dram-exhaustion",
+            FaultKind::AccelPoolExhaustion => "accel-pool-exhaustion",
+            FaultKind::NicOsCrash => "nic-os-crash",
+            FaultKind::PowerLoss => "power-loss",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instrumented call site in the device model. Triggers reference
+/// sites by tag, so a plan can say "the 3rd scrub chunk" or "every DMA"
+/// without knowing absolute simulated times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `nf_launch` entry (resource admission).
+    Launch,
+    /// `nf_teardown` entry.
+    Teardown,
+    /// One scrub chunk inside `nf_teardown` (or a resumed scrub).
+    Scrub,
+    /// A host DMA transfer (either direction).
+    Dma,
+    /// Packet delivery into an NF (`rx_packet`).
+    Rx,
+    /// An NF data-path memory operation (`nf_read` / `nf_write` / TX).
+    DataPath,
+    /// An accelerator submission on behalf of an NF.
+    Accel,
+    /// A NIC-OS management-plane call.
+    NicOs,
+}
+
+/// Number of distinct [`FaultSite`] tags (sizes the per-site counters).
+const SITE_COUNT: usize = 8;
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Launch => 0,
+            FaultSite::Teardown => 1,
+            FaultSite::Scrub => 2,
+            FaultSite::Dma => 3,
+            FaultSite::Rx => 4,
+            FaultSite::DataPath => 5,
+            FaultSite::Accel => 6,
+            FaultSite::NicOs => 7,
+        }
+    }
+
+    /// All sites, for plan builders that sweep the space.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::Launch,
+        FaultSite::Teardown,
+        FaultSite::Scrub,
+        FaultSite::Dma,
+        FaultSite::Rx,
+        FaultSite::DataPath,
+        FaultSite::Accel,
+        FaultSite::NicOs,
+    ];
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::Launch => "launch",
+            FaultSite::Teardown => "teardown",
+            FaultSite::Scrub => "scrub",
+            FaultSite::Dma => "dma",
+            FaultSite::Rx => "rx",
+            FaultSite::DataPath => "datapath",
+            FaultSite::Accel => "accel",
+            FaultSite::NicOs => "nicos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// When a planned fault fires. Every trigger is one-shot: after firing
+/// the rule disarms (schedule the same rule twice for a double fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire at the first instrumented check at `site` once simulated
+    /// time reaches `at`.
+    AtTime {
+        /// The site the fault is delivered through.
+        site: FaultSite,
+        /// Simulated-time threshold.
+        at: Picos,
+    },
+    /// Fire on the `n`th event at `site` (1-based: `n = 1` is the
+    /// first occurrence).
+    OnNthEvent {
+        /// The tagged call site.
+        site: FaultSite,
+        /// Which occurrence fires the fault.
+        n: u64,
+    },
+}
+
+impl FaultTrigger {
+    fn site(&self) -> FaultSite {
+        match self {
+            FaultTrigger::AtTime { site, .. } => *site,
+            FaultTrigger::OnNthEvent { site, .. } => *site,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// When it fires.
+    pub trigger: FaultTrigger,
+    /// What is injected.
+    pub fault: FaultKind,
+}
+
+/// A declarative schedule of faults. Plans are plain data: build one,
+/// hand it to the device, replay it as often as needed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a rule; builder style.
+    pub fn inject(mut self, trigger: FaultTrigger, fault: FaultKind) -> FaultPlan {
+        self.rules.push(FaultRule { trigger, fault });
+        self
+    }
+
+    /// Shorthand: fire `fault` on the `n`th event at `site`.
+    pub fn on_nth(self, site: FaultSite, n: u64, fault: FaultKind) -> FaultPlan {
+        self.inject(FaultTrigger::OnNthEvent { site, n }, fault)
+    }
+
+    /// Shorthand: fire `fault` at the first `site` check at/after `at`.
+    pub fn at_time(self, site: FaultSite, at: Picos, fault: FaultKind) -> FaultPlan {
+        self.inject(FaultTrigger::AtTime { site, at }, fault)
+    }
+
+    /// A pseudo-random plan of `count` faults derived entirely from
+    /// `seed` (fixed LCG; no wall clock, no OS entropy). Each fault is
+    /// drawn from the taxonomy and armed on a small Nth-event trigger
+    /// at its natural site, so short scripted episodes still hit it.
+    pub fn seeded(seed: u64, count: usize) -> FaultPlan {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // Knuth MMIX LCG: deterministic across platforms.
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        const MENU: [(FaultKind, FaultSite); 7] = [
+            (FaultKind::NfCrash, FaultSite::DataPath),
+            (FaultKind::AccelClusterFault, FaultSite::Accel),
+            (FaultKind::DmaBusError, FaultSite::Dma),
+            (FaultKind::DramExhaustion, FaultSite::Launch),
+            (FaultKind::AccelPoolExhaustion, FaultSite::Launch),
+            (FaultKind::NicOsCrash, FaultSite::NicOs),
+            (FaultKind::PowerLoss, FaultSite::Scrub),
+        ];
+        let mut plan = FaultPlan::none();
+        for _ in 0..count {
+            let (fault, site) = MENU[(next() % MENU.len() as u64) as usize];
+            let n = next() % 4 + 1;
+            plan = plan.on_nth(site, n, fault);
+        }
+        plan
+    }
+
+    /// The scheduled rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// One entry in the fault/lifecycle transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A planned fault fired at an instrumented site.
+    Injected {
+        /// The fault delivered.
+        fault: FaultKind,
+        /// The site it was delivered through.
+        site: FaultSite,
+    },
+    /// A lifecycle transition of one NF.
+    Transition {
+        /// Prior state.
+        from: NfState,
+        /// New state.
+        to: NfState,
+    },
+    /// `nf_teardown` began reclaiming a region.
+    TeardownStarted {
+        /// Region base.
+        base: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// Scrub progressed to `watermark` bytes of `len` (crash-consistent
+    /// metadata: this is what survives a power loss).
+    ScrubProgress {
+        /// Region base.
+        base: u64,
+        /// Bytes zeroized so far.
+        watermark: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// Zeroization of the region completed; it is now reusable.
+    ScrubCompleted {
+        /// Region base.
+        base: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// A region was handed to a (new) function.
+    RegionReused {
+        /// Region base.
+        base: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// The device lost power.
+    PowerLost,
+    /// The device powered back up (and resumed pending scrubs).
+    PowerRestored,
+    /// The NIC OS crashed and was restarted; running NFs must be
+    /// untouched.
+    NicOsRestarted,
+    /// The orchestrator retried a transient failure after backing off.
+    RetryBackoff {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Backoff applied before the next attempt.
+        backoff: Picos,
+    },
+    /// Harness-observed perturbation of a victim that should have been
+    /// isolated from the fault (blast radius escaping containment).
+    VictimPerturbed {
+        /// Which observable differed from the fault-free control run.
+        metric: &'static str,
+    },
+    /// The whole device hard-crashed (commodity blast radius).
+    DeviceCrashed,
+}
+
+/// One transcript record: a totally ordered, reproducible event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Position in the transcript (0-based, dense).
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: Picos,
+    /// The function the event concerns, when attributable to one.
+    pub nf: Option<NfId>,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:06} t={}ps", self.seq, self.at.0)?;
+        if let Some(nf) = self.nf {
+            write!(f, " {nf}")?;
+        }
+        write!(f, "] ")?;
+        match &self.kind {
+            FaultEventKind::Injected { fault, site } => write!(f, "inject {fault} @{site}"),
+            FaultEventKind::Transition { from, to } => write!(f, "state {from} -> {to}"),
+            FaultEventKind::TeardownStarted { base, len } => {
+                write!(f, "teardown start {base:#x}+{len:#x}")
+            }
+            FaultEventKind::ScrubProgress {
+                base,
+                watermark,
+                len,
+            } => write!(f, "scrub {base:#x} watermark {watermark:#x}/{len:#x}"),
+            FaultEventKind::ScrubCompleted { base, len } => {
+                write!(f, "scrub complete {base:#x}+{len:#x}")
+            }
+            FaultEventKind::RegionReused { base, len } => {
+                write!(f, "region reused {base:#x}+{len:#x}")
+            }
+            FaultEventKind::PowerLost => write!(f, "power lost"),
+            FaultEventKind::PowerRestored => write!(f, "power restored"),
+            FaultEventKind::NicOsRestarted => write!(f, "nic-os restarted"),
+            FaultEventKind::RetryBackoff { attempt, backoff } => {
+                write!(f, "retry attempt {attempt} backoff {}ps", backoff.0)
+            }
+            FaultEventKind::VictimPerturbed { metric } => {
+                write!(f, "VICTIM PERTURBED ({metric})")
+            }
+            FaultEventKind::DeviceCrashed => write!(f, "device hard-crashed"),
+        }
+    }
+}
+
+/// Render a transcript as one canonical string (byte-comparable across
+/// runs — the determinism tests diff these).
+pub fn render_transcript(records: &[FaultRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// The runtime injector the device consults at instrumented sites.
+///
+/// Also the transcript recorder: the device (and the harness) append
+/// lifecycle events through [`FaultInjector::note`], so injections and
+/// their consequences share one total order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    rules: Vec<(FaultRule, bool)>,
+    counts: [u64; SITE_COUNT],
+    log: Vec<FaultRecord>,
+}
+
+impl FaultInjector {
+    /// An injector armed with `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            rules: plan.rules.into_iter().map(|r| (r, false)).collect(),
+            counts: [0; SITE_COUNT],
+            log: Vec::new(),
+        }
+    }
+
+    /// An injector that never fires (the default device wiring).
+    pub fn disarmed() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Consult the injector at `site` at simulated time `now`,
+    /// attributing the event to `nf` when known. Increments the site
+    /// counter, evaluates armed rules in plan order, and returns the
+    /// first fault that fires (logging it). At most one fault fires per
+    /// check; a second matching rule fires on the next check.
+    pub fn check(&mut self, site: FaultSite, now: Picos, nf: Option<NfId>) -> Option<FaultKind> {
+        self.counts[site.index()] += 1;
+        let count = self.counts[site.index()];
+        let mut fired: Option<FaultKind> = None;
+        for (rule, done) in &mut self.rules {
+            if *done || rule.trigger.site() != site {
+                continue;
+            }
+            let hit = match rule.trigger {
+                FaultTrigger::AtTime { at, .. } => now >= at,
+                FaultTrigger::OnNthEvent { n, .. } => count == n,
+            };
+            if hit {
+                *done = true;
+                fired = Some(rule.fault);
+                break;
+            }
+        }
+        if let Some(fault) = fired {
+            self.note(now, nf, FaultEventKind::Injected { fault, site });
+        }
+        fired
+    }
+
+    /// Append a lifecycle/consequence event to the transcript.
+    pub fn note(&mut self, at: Picos, nf: Option<NfId>, kind: FaultEventKind) {
+        let seq = self.log.len() as u64;
+        self.log.push(FaultRecord { seq, at, nf, kind });
+    }
+
+    /// How many events have been observed at `site`.
+    pub fn count(&self, site: FaultSite) -> u64 {
+        self.counts[site.index()]
+    }
+
+    /// The transcript so far.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Drain the transcript (counters and armed rules stay).
+    pub fn take_log(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// True if every scheduled rule has fired.
+    pub fn exhausted(&self) -> bool {
+        self.rules.iter().all(|(_, done)| *done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_event_trigger_fires_once() {
+        let plan = FaultPlan::none().on_nth(FaultSite::Dma, 3, FaultKind::DmaBusError);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.check(FaultSite::Dma, Picos(1), None), None);
+        assert_eq!(inj.check(FaultSite::Dma, Picos(2), None), None);
+        assert_eq!(
+            inj.check(FaultSite::Dma, Picos(3), None),
+            Some(FaultKind::DmaBusError)
+        );
+        // One-shot: the 3rd event fired it; later events don't.
+        assert_eq!(inj.check(FaultSite::Dma, Picos(4), None), None);
+        assert!(inj.exhausted());
+        assert_eq!(inj.count(FaultSite::Dma), 4);
+    }
+
+    #[test]
+    fn time_trigger_fires_at_threshold() {
+        let plan = FaultPlan::none().at_time(FaultSite::Scrub, Picos(100), FaultKind::PowerLoss);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.check(FaultSite::Scrub, Picos(99), None), None);
+        assert_eq!(
+            inj.check(FaultSite::Scrub, Picos(100), None),
+            Some(FaultKind::PowerLoss)
+        );
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::none().on_nth(FaultSite::Launch, 1, FaultKind::DramExhaustion);
+        let mut inj = FaultInjector::new(plan);
+        // Events at other sites never advance the Launch counter.
+        assert_eq!(inj.check(FaultSite::Rx, Picos(0), None), None);
+        assert_eq!(inj.check(FaultSite::Dma, Picos(0), None), None);
+        assert_eq!(
+            inj.check(FaultSite::Launch, Picos(0), None),
+            Some(FaultKind::DramExhaustion)
+        );
+    }
+
+    #[test]
+    fn transcript_is_deterministic() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultPlan::seeded(42, 5));
+            for i in 0..40u64 {
+                for site in FaultSite::ALL {
+                    let _ = inj.check(site, Picos(i * 10), Some(NfId(i % 3)));
+                }
+            }
+            render_transcript(inj.log())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + same schedule => identical transcript");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_differ_by_seed() {
+        let a = FaultPlan::seeded(1, 8);
+        let b = FaultPlan::seeded(2, 8);
+        assert_eq!(a.rules().len(), 8);
+        assert_ne!(a, b);
+        assert_eq!(a, FaultPlan::seeded(1, 8));
+    }
+
+    #[test]
+    fn note_orders_with_injections() {
+        let plan = FaultPlan::none().on_nth(FaultSite::Rx, 1, FaultKind::NfCrash);
+        let mut inj = FaultInjector::new(plan);
+        inj.note(
+            Picos(0),
+            Some(NfId(1)),
+            FaultEventKind::Transition {
+                from: NfState::Launched,
+                to: NfState::Running,
+            },
+        );
+        let _ = inj.check(FaultSite::Rx, Picos(5), Some(NfId(1)));
+        inj.note(
+            Picos(5),
+            Some(NfId(1)),
+            FaultEventKind::Transition {
+                from: NfState::Running,
+                to: NfState::Faulted,
+            },
+        );
+        let seqs: Vec<u64> = inj.log().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let text = render_transcript(inj.log());
+        assert!(text.contains("inject nf-crash @rx"), "{text}");
+        assert!(text.contains("state running -> faulted"), "{text}");
+    }
+
+    #[test]
+    fn render_is_line_per_record() {
+        let mut inj = FaultInjector::disarmed();
+        inj.note(Picos(1), None, FaultEventKind::PowerLost);
+        inj.note(Picos(2), None, FaultEventKind::PowerRestored);
+        let text = render_transcript(inj.log());
+        assert_eq!(text.lines().count(), 2);
+    }
+}

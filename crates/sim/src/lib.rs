@@ -136,6 +136,21 @@ pub fn execute(exec: Exec, jobs: Vec<SimJob>) -> Vec<RunOutcome> {
     }
 }
 
+/// Dispatch an arbitrary order-preserving map on [`Exec`]: the serial
+/// path runs on the calling thread, the parallel path on the default
+/// pool. Both produce identical result vectors.
+pub fn map_exec<T, R, F>(exec: Exec, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    match exec {
+        Exec::Serial => items.into_iter().map(f).collect(),
+        Exec::Parallel => par_map(items, f),
+    }
+}
+
 /// Apply `f` to every item using [`default_threads`] workers, returning
 /// results in input order.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -262,5 +277,13 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn map_exec_matches_across_paths() {
+        let items: Vec<u64> = (0..50).collect();
+        let a = map_exec(Exec::Serial, items.clone(), |x| x * 3 + 1);
+        let b = map_exec(Exec::Parallel, items, |x| x * 3 + 1);
+        assert_eq!(a, b);
     }
 }

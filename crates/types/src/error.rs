@@ -79,6 +79,33 @@ impl core::fmt::Display for IsolationError {
 
 impl std::error::Error for IsolationError {}
 
+/// Which pooled resource was transiently exhausted.
+///
+/// Transient exhaustion is *retryable*: the NIC OS orchestrator backs
+/// off and reissues the launch, because co-tenant teardowns free the
+/// pool over time. This is distinct from the fatal `InvalidConfig`
+/// shape ("this request can never fit on this device").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientResource {
+    /// On-NIC DRAM: no free region large enough right now.
+    Dram,
+    /// Accelerator cluster pool: requested clusters busy right now.
+    AccelPool,
+    /// The (untrusted, restartable) NIC OS crashed mid-call; it has
+    /// already restarted, so re-issuing the request succeeds.
+    NicOs,
+}
+
+impl core::fmt::Display for TransientResource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransientResource::Dram => write!(f, "on-NIC DRAM"),
+            TransientResource::AccelPool => write!(f, "accelerator cluster pool"),
+            TransientResource::NicOs => write!(f, "NIC OS (restarted mid-call)"),
+        }
+    }
+}
+
 /// Top-level error type for S-NIC device-model operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnicError {
@@ -111,6 +138,41 @@ pub enum SnicError {
     /// rendered verification report (every violation with its paper
     /// citation).
     Verification(String),
+    /// A pooled resource is exhausted *right now* but co-tenant churn
+    /// will free it; the caller should retry with backoff.
+    Transient(TransientResource),
+    /// Power was lost mid-operation; the device needs a power cycle.
+    /// Crash-consistent metadata (e.g. scrub watermarks) survives.
+    PowerLoss,
+    /// A bus transfer was aborted by a hardware bus error.
+    BusError {
+        /// The bus address of the aborted transfer.
+        addr: u64,
+    },
+    /// The referenced function is in the `Faulted` lifecycle state:
+    /// its resources are frozen until `nf_teardown` scrubs them.
+    NfFaulted(NfId),
+    /// The requested region overlaps memory whose teardown scrub has
+    /// not completed; it cannot be reused until zeroization finishes
+    /// (§4.6's contract, upheld across power loss).
+    ScrubPending {
+        /// Base of the pending-scrub region.
+        base: u64,
+    },
+}
+
+impl SnicError {
+    /// Whether the failed operation is worth retrying unchanged.
+    ///
+    /// Only transient resource exhaustion qualifies: every other
+    /// variant is either a permanent property of the request
+    /// (`InvalidConfig`, `Verification`), a security refusal
+    /// (`Isolation`), or a fault that demands recovery before a retry
+    /// can succeed (`NicCrashed`, `PowerLoss`, `NfFaulted`,
+    /// `ScrubPending`).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SnicError::Transient(_))
+    }
 }
 
 impl From<IsolationError> for SnicError {
@@ -147,6 +209,20 @@ impl core::fmt::Display for SnicError {
             SnicError::Verification(report) => {
                 write!(f, "static verification refused the manifest: {report}")
             }
+            SnicError::Transient(res) => {
+                write!(f, "transient exhaustion of {res}; retry with backoff")
+            }
+            SnicError::PowerLoss => write!(f, "power lost mid-operation; device restart required"),
+            SnicError::BusError { addr } => write!(f, "bus error aborted transfer at {addr:#x}"),
+            SnicError::NfFaulted(nf) => {
+                write!(f, "{nf} is faulted; resources frozen until teardown")
+            }
+            SnicError::ScrubPending { base } => {
+                write!(
+                    f,
+                    "region at {base:#x} awaits scrub completion before reuse"
+                )
+            }
         }
     }
 }
@@ -181,6 +257,35 @@ mod tests {
         let e = SnicError::from(IsolationError::TlbLocked);
         assert!(e.source().is_some());
         assert!(SnicError::NicCrashed.source().is_none());
+    }
+
+    #[test]
+    fn retryable_split() {
+        assert!(SnicError::Transient(TransientResource::Dram).is_retryable());
+        assert!(SnicError::Transient(TransientResource::AccelPool).is_retryable());
+        assert!(SnicError::Transient(TransientResource::NicOs).is_retryable());
+        for fatal in [
+            SnicError::NicCrashed,
+            SnicError::PowerLoss,
+            SnicError::NfFaulted(NfId(1)),
+            SnicError::ScrubPending { base: 0x1000 },
+            SnicError::BusError { addr: 0x2000 },
+            SnicError::InvalidConfig("x".into()),
+            SnicError::CoreBusy(CoreId(0)),
+            SnicError::from(IsolationError::TlbLocked),
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let s = SnicError::Transient(TransientResource::AccelPool).to_string();
+        assert!(s.contains("retry"), "{s}");
+        let s = SnicError::ScrubPending { base: 0xabc }.to_string();
+        assert!(s.contains("0xabc"), "{s}");
+        let s = SnicError::NfFaulted(NfId(4)).to_string();
+        assert!(s.contains("nf4"), "{s}");
     }
 
     #[test]

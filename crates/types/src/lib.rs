@@ -14,11 +14,13 @@
 pub mod error;
 pub mod flow;
 pub mod ids;
+pub mod lifecycle;
 pub mod packet;
 pub mod units;
 
-pub use error::{IsolationError, SnicError};
+pub use error::{IsolationError, SnicError, TransientResource};
 pub use flow::{FiveTuple, FlowDirection, Protocol};
 pub use ids::{AccelClusterId, AccelKind, CoreId, NfId, PortId, TenantId, VppId};
+pub use lifecycle::NfState;
 pub use packet::{EthernetHeader, Ipv4Header, MacAddr, Packet, TcpHeader, UdpHeader, VxlanHeader};
 pub use units::{Bandwidth, ByteSize, Cycles, Picos};

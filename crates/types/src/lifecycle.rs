@@ -1,0 +1,118 @@
+//! The recoverable vNIC lifecycle state machine.
+//!
+//! §4.6 frames `nf_teardown` as the instruction that makes a function's
+//! resources *safely* reusable: pages are scrubbed before the denylist
+//! entry is lifted, so the next tenant can never read the prior
+//! tenant's plaintext. The lifecycle below makes the intermediate
+//! states of that contract explicit, so fault injection (a core crash,
+//! a power loss mid-scrub) lands a function in a *named* state with
+//! defined exits instead of leaving the device model in an ad-hoc
+//! half-torn-down shape.
+
+/// Lifecycle state of one network function on the device.
+///
+/// ```text
+///   nf_launch ──► Launched ──► Running ──► Scrubbing ──► Reclaimed
+///                    │            │            ▲  │
+///                    │            ▼            │  │ (power loss:
+///                    └───────► Faulted ────────┘  │  scrub resumes
+///                                                 ▼  from watermark)
+///                                             Scrubbing
+/// ```
+///
+/// `Faulted` is absorbing until `nf_teardown`: a crashed or faulted
+/// function keeps its cores and its (still-denylisted) memory so that
+/// nothing it owned can leak or be repurposed before scrubbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NfState {
+    /// `nf_launch` completed; the function has not yet run.
+    Launched,
+    /// The function is processing packets / issuing memory traffic.
+    Running,
+    /// The function (or an accelerator cluster bound to it) faulted.
+    /// Its resources are frozen: cores stay bound, memory stays
+    /// denylisted, and every data-path operation is refused.
+    Faulted,
+    /// `nf_teardown` is scrubbing the function's region. A power loss
+    /// here leaves a persistent watermark; the region is unusable until
+    /// the scrub resumes and completes.
+    Scrubbing,
+    /// Teardown completed: memory scrubbed, resources returned.
+    Reclaimed,
+}
+
+impl NfState {
+    /// Whether the function may execute data-path operations
+    /// (packet RX/TX, memory access, DMA) in this state.
+    pub fn is_operational(self) -> bool {
+        matches!(self, NfState::Launched | NfState::Running)
+    }
+
+    /// Whether `from -> to` is a legal lifecycle edge. The fault linter
+    /// (snic-verify Pass 3) flags any transcript transition outside
+    /// this relation.
+    pub fn can_transition(self, to: NfState) -> bool {
+        use NfState::*;
+        matches!(
+            (self, to),
+            (Launched, Running)
+                | (Launched, Faulted)
+                | (Launched, Scrubbing)
+                | (Running, Faulted)
+                | (Running, Scrubbing)
+                | (Faulted, Scrubbing)
+                | (Scrubbing, Scrubbing) // scrub resumed after power loss
+                | (Scrubbing, Reclaimed)
+        )
+    }
+}
+
+impl core::fmt::Display for NfState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            NfState::Launched => "launched",
+            NfState::Running => "running",
+            NfState::Faulted => "faulted",
+            NfState::Scrubbing => "scrubbing",
+            NfState::Reclaimed => "reclaimed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operational_states() {
+        assert!(NfState::Launched.is_operational());
+        assert!(NfState::Running.is_operational());
+        assert!(!NfState::Faulted.is_operational());
+        assert!(!NfState::Scrubbing.is_operational());
+        assert!(!NfState::Reclaimed.is_operational());
+    }
+
+    #[test]
+    fn legal_edges() {
+        assert!(NfState::Launched.can_transition(NfState::Running));
+        assert!(NfState::Running.can_transition(NfState::Faulted));
+        assert!(NfState::Faulted.can_transition(NfState::Scrubbing));
+        assert!(NfState::Scrubbing.can_transition(NfState::Scrubbing));
+        assert!(NfState::Scrubbing.can_transition(NfState::Reclaimed));
+    }
+
+    #[test]
+    fn illegal_edges() {
+        // Reclaimed is terminal; Faulted cannot silently resume.
+        assert!(!NfState::Reclaimed.can_transition(NfState::Running));
+        assert!(!NfState::Faulted.can_transition(NfState::Running));
+        assert!(!NfState::Scrubbing.can_transition(NfState::Running));
+        assert!(!NfState::Running.can_transition(NfState::Launched));
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(NfState::Scrubbing.to_string(), "scrubbing");
+    }
+}

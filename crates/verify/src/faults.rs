@@ -1,0 +1,260 @@
+//! Pass 3 — fault-transcript linting.
+//!
+//! `snic-faults` transcripts are totally ordered records of injections,
+//! lifecycle transitions, scrub progress and observed consequences.
+//! This pass replays one and checks the recovery invariants the device
+//! is supposed to uphold *even while failing*:
+//!
+//! - **No unscrubbed reuse** (§4.6): once a region's teardown starts,
+//!   no function may receive overlapping memory until a
+//!   `ScrubCompleted` for it appears — across power losses, whose
+//!   watermarks the transcript records.
+//! - **No fault propagation** (§4.3/§4.6): after a fault is injected
+//!   into one function, no *other* tenant may show a
+//!   `VictimPerturbed` observation, and the device must not
+//!   hard-crash. On commodity transcripts these findings are the
+//!   expected blast radius; on S-NIC transcripts any hit is a bug.
+//! - **Legal lifecycle** : every `Transition` respects the
+//!   `Launched → Running → Faulted → Scrubbing → Reclaimed` relation.
+
+use snic_faults::{FaultEventKind, FaultRecord};
+use snic_types::NfId;
+
+use crate::report::{Finding, FindingActor, FindingKind};
+
+/// Lint a fault/lifecycle transcript (Pass 3). Returns one [`Finding`]
+/// per broken recovery invariant; an empty vector means the device
+/// failed *cleanly*.
+pub fn lint_fault_transcript(records: &[FaultRecord]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Regions whose teardown started and whose zeroization has not yet
+    // completed: `(base, len)`.
+    let mut dirty: Vec<(u64, u64)> = Vec::new();
+    // Functions a fault has been injected into so far.
+    let mut faulted: Vec<NfId> = Vec::new();
+
+    for r in records {
+        match &r.kind {
+            FaultEventKind::TeardownStarted { base, len } => {
+                dirty.push((*base, *len));
+            }
+            FaultEventKind::ScrubCompleted { base, .. } => {
+                dirty.retain(|&(b, _)| b != *base);
+            }
+            FaultEventKind::RegionReused { base, len } => {
+                if let Some(&(db, dl)) = dirty
+                    .iter()
+                    .find(|&&(db, dl)| *base < db + dl && db < *base + *len)
+                {
+                    findings.push(Finding {
+                        kind: FindingKind::UnscrubbedReuse,
+                        actor: r
+                            .nf
+                            .map(FindingActor::Nf)
+                            .unwrap_or(FindingActor::Management),
+                        count: 1,
+                        range: Some((*base, *len)),
+                        detail: format!(
+                            "region {base:#x}+{len:#x} handed out while {db:#x}+{dl:#x} \
+                             still awaits zeroization (seq {})",
+                            r.seq
+                        ),
+                    });
+                }
+            }
+            FaultEventKind::Injected { fault, .. } => {
+                if let Some(nf) = r.nf {
+                    if !faulted.contains(&nf) {
+                        faulted.push(nf);
+                    }
+                } else {
+                    let _ = fault;
+                }
+            }
+            FaultEventKind::VictimPerturbed { metric } => {
+                let victim = r.nf;
+                let crossed = match victim {
+                    Some(v) => faulted.iter().any(|&f| f != v),
+                    None => !faulted.is_empty(),
+                };
+                if crossed {
+                    findings.push(Finding {
+                        kind: FindingKind::FaultPropagation,
+                        actor: victim
+                            .map(FindingActor::Nf)
+                            .unwrap_or(FindingActor::Management),
+                        count: 1,
+                        range: None,
+                        detail: format!(
+                            "victim observable `{metric}` perturbed after a fault injected \
+                             into {:?} (seq {})",
+                            faulted, r.seq
+                        ),
+                    });
+                }
+            }
+            FaultEventKind::DeviceCrashed => {
+                findings.push(Finding {
+                    kind: FindingKind::FaultPropagation,
+                    actor: r
+                        .nf
+                        .map(FindingActor::Nf)
+                        .unwrap_or(FindingActor::Management),
+                    count: 1,
+                    range: None,
+                    detail: format!(
+                        "device hard-crashed: a single tenant's fault took down every \
+                         co-located vNIC (seq {})",
+                        r.seq
+                    ),
+                });
+            }
+            FaultEventKind::Transition { from, to } if !from.can_transition(*to) => {
+                findings.push(Finding {
+                    kind: FindingKind::IllegalLifecycleTransition,
+                    actor: r
+                        .nf
+                        .map(FindingActor::Nf)
+                        .unwrap_or(FindingActor::Management),
+                    count: 1,
+                    range: None,
+                    detail: format!("illegal transition {from} -> {to} (seq {})", r.seq),
+                });
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_faults::{FaultKind, FaultSite};
+    use snic_types::{NfState, Picos};
+
+    fn rec(seq: u64, nf: Option<NfId>, kind: FaultEventKind) -> FaultRecord {
+        FaultRecord {
+            seq,
+            at: Picos(seq * 10),
+            nf,
+            kind,
+        }
+    }
+
+    #[test]
+    fn clean_scrubbed_reuse_passes() {
+        let records = vec![
+            rec(
+                0,
+                Some(NfId(1)),
+                FaultEventKind::TeardownStarted {
+                    base: 0x1000,
+                    len: 0x1000,
+                },
+            ),
+            rec(
+                1,
+                Some(NfId(1)),
+                FaultEventKind::ScrubCompleted {
+                    base: 0x1000,
+                    len: 0x1000,
+                },
+            ),
+            rec(
+                2,
+                Some(NfId(2)),
+                FaultEventKind::RegionReused {
+                    base: 0x1000,
+                    len: 0x800,
+                },
+            ),
+        ];
+        assert!(lint_fault_transcript(&records).is_empty());
+    }
+
+    #[test]
+    fn unscrubbed_reuse_flagged_across_power_loss() {
+        let records = vec![
+            rec(
+                0,
+                Some(NfId(1)),
+                FaultEventKind::TeardownStarted {
+                    base: 0x1000,
+                    len: 0x1000,
+                },
+            ),
+            rec(
+                1,
+                Some(NfId(1)),
+                FaultEventKind::ScrubProgress {
+                    base: 0x1000,
+                    watermark: 0x400,
+                    len: 0x1000,
+                },
+            ),
+            rec(2, None, FaultEventKind::PowerLost),
+            rec(3, None, FaultEventKind::PowerRestored),
+            rec(
+                4,
+                Some(NfId(2)),
+                FaultEventKind::RegionReused {
+                    base: 0x1800,
+                    len: 0x100,
+                },
+            ),
+        ];
+        let findings = lint_fault_transcript(&records);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::UnscrubbedReuse);
+        assert!(findings[0].citation().contains("§4.6"));
+    }
+
+    #[test]
+    fn propagation_and_crash_flagged() {
+        let records = vec![
+            rec(
+                0,
+                Some(NfId(1)),
+                FaultEventKind::Injected {
+                    fault: FaultKind::NfCrash,
+                    site: FaultSite::DataPath,
+                },
+            ),
+            rec(
+                1,
+                Some(NfId(2)),
+                FaultEventKind::VictimPerturbed {
+                    metric: "l2_misses",
+                },
+            ),
+            rec(2, None, FaultEventKind::DeviceCrashed),
+            // The faulted NF perturbing *itself* is not propagation.
+            rec(
+                3,
+                Some(NfId(1)),
+                FaultEventKind::VictimPerturbed { metric: "cycles" },
+            ),
+        ];
+        let findings = lint_fault_transcript(&records);
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == FindingKind::FaultPropagation));
+    }
+
+    #[test]
+    fn illegal_transition_flagged() {
+        let records = vec![rec(
+            0,
+            Some(NfId(3)),
+            FaultEventKind::Transition {
+                from: NfState::Reclaimed,
+                to: NfState::Running,
+            },
+        )];
+        let findings = lint_fault_transcript(&records);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::IllegalLifecycleTransition);
+    }
+}

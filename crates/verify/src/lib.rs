@@ -30,19 +30,28 @@
 //!   the linter stays silent, because the granted accesses it sees never
 //!   cross a domain boundary.
 //!
+//! - **Pass 3 — fault-transcript linting** ([`faults`]): replays a
+//!   `snic-faults` transcript (injections, lifecycle transitions, scrub
+//!   watermarks, observed perturbations) and checks the *recovery*
+//!   invariants: no region reuse before zeroization completes (§4.6,
+//!   across power losses), no fault propagation across tenants
+//!   (§4.3/§4.6), and a legal lifecycle transition relation.
+//!
 //! `snic-core` runs Pass 1 inside `nf_launch` (a manifest that cannot be
 //! verified is refused before any state changes) and embeds the verdict
 //! in `nf_attest` quotes; `snic-bench` exposes both passes as the
-//! `verify` CLI.
+//! `verify` CLI and runs Pass 3 over every blast-radius episode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod manifest;
 pub mod report;
 pub mod spec;
 pub mod trace;
 
+pub use faults::lint_fault_transcript;
 pub use manifest::{verify_denylist_coverage, verify_manifests, verify_tlb_state};
 pub use report::{
     Finding, FindingActor, FindingKind, VerificationReport, Violation, ViolationKind,

@@ -174,6 +174,16 @@ pub enum FindingKind {
     /// A tenant repeatedly observed its cache lines evicted by
     /// co-resident tenants (prime-and-probe substrate).
     CacheSetCoResidency,
+    /// A memory region was handed to a function before the zeroization
+    /// of its previous owner's data completed (fault-transcript lint).
+    UnscrubbedReuse,
+    /// A fault injected into one function was followed by an observed
+    /// perturbation (or device crash) hitting a *different* tenant —
+    /// the blast radius escaped its isolation domain.
+    FaultPropagation,
+    /// A lifecycle transition violated the
+    /// `Launched → Running → Faulted → Scrubbing → Reclaimed` relation.
+    IllegalLifecycleTransition,
 }
 
 impl FindingKind {
@@ -184,6 +194,9 @@ impl FindingKind {
             FindingKind::AllocatorMetadataWalk => "§3.3 (allocator-metadata scan)",
             FindingKind::BusInterference => "§3.3 (bus DoS) / §4.5",
             FindingKind::CacheSetCoResidency => "§3.3 (cache contention) / §4.2",
+            FindingKind::UnscrubbedReuse => "§4.6 (teardown scrubbing)",
+            FindingKind::FaultPropagation => "§4.3/§4.6 (fault containment)",
+            FindingKind::IllegalLifecycleTransition => "§4.6 (launch/teardown lifecycle)",
         }
     }
 }

@@ -30,4 +30,12 @@ if [ -n "$slow" ]; then
     exit 1
 fi
 
+# Fault-matrix smoke gate: the blast-radius differential must be
+# deterministic regardless of executor parallelism, and the fault-
+# injection demo must run (its S-NIC transcript lints clean or it
+# panics).
+echo "==> fault-matrix smoke: serial/parallel determinism + demo"
+cargo test -q -p snic-bench --test fault_determinism matrix_serial_and_parallel_byte_identical
+cargo run -q --release --example fault_injection > /dev/null
+
 echo "lint gate: OK"

@@ -16,6 +16,7 @@ pub use snic_attacks as attacks;
 pub use snic_core as core;
 pub use snic_cost as cost;
 pub use snic_crypto as crypto;
+pub use snic_faults as faults;
 pub use snic_mem as mem;
 pub use snic_nf as nf;
 pub use snic_pktio as pktio;
@@ -23,3 +24,4 @@ pub use snic_sim as sim;
 pub use snic_trace as trace;
 pub use snic_types as types;
 pub use snic_uarch as uarch;
+pub use snic_verify as verify;

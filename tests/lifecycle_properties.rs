@@ -1,0 +1,218 @@
+//! Property-based lifecycle invariants under fault interleavings.
+//!
+//! Random interleavings of launch, teardown, NF crashes, power loss
+//! mid-scrub, scrub resumption and full power cycles must never
+//! violate: an allocator free list that stays sorted and coalesced, no
+//! region handed out while its teardown scrub is pending, and every
+//! (re)launched region reading back as zeros — even when the previous
+//! tenant's scrub was interrupted by power loss.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use snic::core::config::{NicConfig, NicMode};
+use snic::core::device::SmartNic;
+use snic::core::instr::{LaunchRequest, NfImage};
+use snic::crypto::keys::VendorCa;
+use snic::faults::{FaultKind, FaultPlan, FaultSite};
+use snic::types::{ByteSize, CoreId, NfId, NfState, SnicError};
+
+fn nic() -> SmartNic {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x11fe);
+    SmartNic::new(NicConfig::small(NicMode::Snic), &VendorCa::new(&mut rng))
+}
+
+/// Marker offset: past the image, inside even the smallest (2 MiB)
+/// region. Every live NF gets a dirty marker written here, so a
+/// relaunch over a recycled region can prove the scrub ran.
+const MARK_OFF: u64 = 1 << 20;
+const MARK: [u8; 16] = [0x77; 16];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Launch { core: u8, mem_mib: u8 },
+    Teardown { slot: u8 },
+    CrashNf { slot: u8 },
+    PowerLossTeardown { slot: u8 },
+    ResumeScrubs,
+    PowerCycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1u8..10).prop_map(|(core, mem_mib)| Op::Launch { core, mem_mib }),
+        (0u8..4, 1u8..10).prop_map(|(core, mem_mib)| Op::Launch { core, mem_mib }),
+        (0u8..6).prop_map(|slot| Op::Teardown { slot }),
+        (0u8..6).prop_map(|slot| Op::CrashNf { slot }),
+        (0u8..6).prop_map(|slot| Op::PowerLossTeardown { slot }),
+        Just(Op::ResumeScrubs),
+        Just(Op::PowerCycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lifecycle_invariants_hold_under_fault_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut device = nic();
+        // Live slots: (id, core, region base, operational?).
+        let mut live: Vec<(NfId, CoreId, u64, bool)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Launch { core, mem_mib } => {
+                    let request = LaunchRequest::minimal(
+                        CoreId(u16::from(core)),
+                        ByteSize::mib(u64::from(mem_mib)),
+                        NfImage { code: vec![core; 64], config: vec![] },
+                    );
+                    let before = device.resource_snapshot();
+                    match device.nf_launch(request) {
+                        Ok(receipt) => {
+                            let id = receipt.nf_id;
+                            let c = CoreId(u16::from(core));
+                            let base = device.record_of(id).unwrap().region.0;
+                            // Invariant: a (re)used region reads back
+                            // zeroed, no matter how its previous tenant
+                            // died.
+                            let mut buf = [0xffu8; 16];
+                            device.nf_read(id, c, MARK_OFF, &mut buf).expect("own read");
+                            prop_assert_eq!(buf, [0u8; 16], "region handed out dirty");
+                            device.nf_write(id, c, MARK_OFF, &MARK).expect("own write");
+                            live.push((id, c, base, true));
+                        }
+                        Err(e) => {
+                            prop_assert!(
+                                matches!(
+                                    e,
+                                    SnicError::CoreBusy(_)
+                                        | SnicError::InvalidConfig(_)
+                                        | SnicError::ScrubPending { .. }
+                                        | SnicError::Transient(_)
+                                ),
+                                "unexpected launch error {:?}", e
+                            );
+                            // Invariant: a failed launch rolls back to a
+                            // bit-identical resource snapshot.
+                            prop_assert_eq!(&before, &device.resource_snapshot());
+                        }
+                    }
+                }
+                Op::Teardown { slot } => {
+                    if live.is_empty() { continue; }
+                    let (id, _, _, _) = live.remove(usize::from(slot) % live.len());
+                    device.nf_teardown(id).expect("teardown of live NF");
+                }
+                Op::CrashNf { slot } => {
+                    if live.is_empty() { continue; }
+                    let idx = usize::from(slot) % live.len();
+                    let (id, core, _, ref mut operational) = live[idx];
+                    device.fault_nf(id).expect("fault of live NF");
+                    *operational = false;
+                    // Invariant: a faulted NF is frozen — state is
+                    // `Faulted` and the data path refuses it.
+                    prop_assert_eq!(device.state_of(id).unwrap(), NfState::Faulted);
+                    let err = device.nf_write(id, core, MARK_OFF, &MARK).unwrap_err();
+                    prop_assert!(matches!(err, SnicError::NfFaulted(_)));
+                }
+                Op::PowerLossTeardown { slot } => {
+                    if live.is_empty() { continue; }
+                    let (id, _, base, _) = live.remove(usize::from(slot) % live.len());
+                    device.inject_faults(
+                        FaultPlan::none().on_nth(FaultSite::Scrub, 1, FaultKind::PowerLoss),
+                    );
+                    let err = device.nf_teardown(id).expect_err("armed power loss");
+                    prop_assert!(matches!(err, SnicError::PowerLoss));
+                    device.restore_power();
+                    // Invariant: the interrupted region sits in the
+                    // pending-scrub queue, not on the free list.
+                    prop_assert!(
+                        device.pending_scrubs().iter().any(|t| t.base == base),
+                        "interrupted scrub lost its ticket"
+                    );
+                }
+                Op::ResumeScrubs => {
+                    device.resume_scrubs();
+                    prop_assert!(device.pending_scrubs().is_empty());
+                }
+                Op::PowerCycle => {
+                    device.power_cycle();
+                    prop_assert_eq!(device.live_nfs(), 0);
+                    prop_assert!(device.pending_scrubs().is_empty());
+                    prop_assert!(!device.is_crashed());
+                    live.clear();
+                }
+            }
+
+            // Global invariants, after every operation:
+            // the free list is sorted, coalesced, and disjoint from
+            // pending-scrub regions (§4.6: dirty memory is never free).
+            let free = device.free_regions();
+            for w in free.windows(2) {
+                prop_assert!(
+                    w[0].0 + w[0].1 < w[1].0,
+                    "free list not sorted+coalesced: {:?}", free
+                );
+            }
+            for t in device.pending_scrubs() {
+                prop_assert!(
+                    free.iter().all(|&(b, l)| b + l <= t.base || t.base + t.len <= b),
+                    "pending-scrub region {:#x} overlaps the free list {:?}", t.base, free
+                );
+            }
+            prop_assert_eq!(device.live_nfs(), live.len());
+        }
+    }
+
+    #[test]
+    fn power_cycle_always_restores_a_quiescent_device(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let mut device = nic();
+        let mut live: Vec<NfId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Launch { core, mem_mib } => {
+                    if let Ok(r) = device.nf_launch(LaunchRequest::minimal(
+                        CoreId(u16::from(core)),
+                        ByteSize::mib(u64::from(mem_mib)),
+                        NfImage::default(),
+                    )) {
+                        live.push(r.nf_id);
+                    }
+                }
+                Op::Teardown { slot } | Op::CrashNf { slot } | Op::PowerLossTeardown { slot } => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(usize::from(slot) % live.len());
+                    if matches!(op, Op::PowerLossTeardown { .. }) {
+                        device.inject_faults(
+                            FaultPlan::none().on_nth(FaultSite::Scrub, 1, FaultKind::PowerLoss),
+                        );
+                        let _ = device.nf_teardown(id);
+                        device.restore_power();
+                    } else if matches!(op, Op::CrashNf { .. }) {
+                        device.fault_nf(id).expect("fault of live NF");
+                        live.push(id); // still holds resources until teardown
+                    } else {
+                        device.nf_teardown(id).expect("teardown of live NF");
+                    }
+                }
+                Op::ResumeScrubs => { device.resume_scrubs(); }
+                Op::PowerCycle => { device.power_cycle(); live.clear(); }
+            }
+        }
+        // However the run ended, one power cycle yields a device that
+        // admits a full-size tenant again.
+        device.power_cycle();
+        prop_assert_eq!(device.live_nfs(), 0);
+        prop_assert!(device.pending_scrubs().is_empty());
+        let r = device.nf_launch(LaunchRequest::minimal(
+            CoreId(0),
+            ByteSize::mib(64),
+            NfImage::default(),
+        ));
+        prop_assert!(r.is_ok(), "post-cycle launch failed: {:?}", r.err());
+    }
+}
