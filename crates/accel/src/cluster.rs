@@ -13,7 +13,10 @@
 //! clusters serve only that tenant, behind a locked TLB bank, and its
 //! latency is a pure function of its own submissions.
 
+use std::sync::Arc;
+
 use snic_mem::tlb::Tlb;
+use snic_telemetry::{metrics, NullSink, TelemetrySink};
 use snic_types::{AccelClusterId, AccelKind, IsolationError, NfId, Picos, SnicError};
 
 use crate::engine::{AccelEngine, AccelRequest, AccelResponse};
@@ -30,6 +33,7 @@ pub struct ClusterPool {
     owners: Vec<Option<NfId>>,
     faulted: Vec<bool>,
     threads_per_cluster: u32,
+    sink: Arc<dyn TelemetrySink>,
 }
 
 impl ClusterPool {
@@ -42,7 +46,18 @@ impl ClusterPool {
             owners: vec![None; clusters as usize],
             faulted: vec![false; clusters as usize],
             threads_per_cluster,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Attach a telemetry sink (observational only).
+    pub fn set_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// Allocated, healthy cluster count (occupancy).
+    fn occupancy(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
     }
 
     /// Accelerator family.
@@ -69,6 +84,9 @@ impl ClusterPool {
     pub fn fault(&mut self, index: u16) {
         if let Some(f) = self.faulted.get_mut(usize::from(index)) {
             *f = true;
+            if self.sink.enabled() {
+                self.sink.counter_add(0, metrics::ACCEL_FAULTS, 1);
+            }
         }
     }
 
@@ -117,6 +135,12 @@ impl ClusterPool {
         for &i in &free {
             self.owners[i] = Some(owner);
         }
+        if self.sink.enabled() {
+            self.sink
+                .counter_add(owner.0, metrics::ACCEL_CLUSTERS, count as u64);
+            self.sink
+                .record(0, metrics::ACCEL_OCCUPANCY, self.occupancy() as u64);
+        }
         Ok(free
             .into_iter()
             .map(|i| AccelClusterId {
@@ -134,6 +158,12 @@ impl ClusterPool {
                 *o = None;
                 n += 1;
             }
+        }
+        if self.sink.enabled() && n > 0 {
+            self.sink
+                .counter_add(owner.0, metrics::ACCEL_RELEASED, n as u64);
+            self.sink
+                .record(0, metrics::ACCEL_OCCUPANCY, self.occupancy() as u64);
         }
         n
     }

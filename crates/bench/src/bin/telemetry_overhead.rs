@@ -1,0 +1,73 @@
+//! CI gate: telemetry must be near-free when off and cheap when on.
+//!
+//! Runs the fig5 telemetry smoke point alternately with no sink (the
+//! `NullSink` zero-cost path) and with a live [`Recorder`], takes the
+//! minimum wall clock of each arm (minimum, not mean — the floor is
+//! the least noisy location statistic on a shared CI box), checks the
+//! outcomes are bit-identical, and fails if the recorded arm exceeds
+//! the sink-off arm by more than `SNIC_TELEMETRY_BUDGET_PCT` percent
+//! (default 10).
+//!
+//! Invoked by `scripts/lint.sh`; exits 1 on breach.
+
+use std::time::Instant;
+
+use snic_bench::telemetry::{record_smoke, run_smoke, smoke_scale};
+use snic_sim::Exec;
+
+fn budget_pct() -> f64 {
+    std::env::var("SNIC_TELEMETRY_BUDGET_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0)
+}
+
+const REPS: usize = 3;
+
+fn main() {
+    let scale = smoke_scale();
+
+    // Warm the memoized trace cache so neither arm pays for trace
+    // recording.
+    let baseline = run_smoke(Exec::Serial, &scale, None);
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for rep in 0..REPS {
+        let t = Instant::now();
+        let off = run_smoke(Exec::Serial, &scale, None);
+        let off_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let (on, summary, events) = record_smoke(Exec::Serial, &scale);
+        let on_s = t.elapsed().as_secs_f64();
+
+        for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+            assert_eq!(
+                a.nfs, b.nfs,
+                "rep {rep} job {i}: sink-on outcome diverged from sink-off"
+            );
+        }
+        for (i, (a, b)) in baseline.iter().zip(&off).enumerate() {
+            assert_eq!(a.nfs, b.nfs, "rep {rep} job {i}: run not deterministic");
+        }
+        assert!(!summary.is_empty(), "recorder captured no counters");
+        assert!(!events.is_empty(), "recorder captured no events");
+
+        best_off = best_off.min(off_s);
+        best_on = best_on.min(on_s);
+        println!("rep {rep}: sink-off {off_s:.3}s  sink-on {on_s:.3}s");
+    }
+
+    let overhead_pct = (best_on / best_off - 1.0) * 100.0;
+    let budget = budget_pct();
+    println!(
+        "telemetry overhead: best sink-off {best_off:.3}s, best sink-on {best_on:.3}s \
+         => {overhead_pct:+.2}% (budget {budget:.0}%)"
+    );
+    if overhead_pct > budget {
+        eprintln!("FAIL: telemetry overhead {overhead_pct:+.2}% exceeds budget {budget:.0}%");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -651,6 +651,7 @@ pub fn render_matrix(rows: &[ScenarioOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::differential::{assert_commodity_device_leaks, assert_snic_device_contained};
     use snic_verify::FindingKind;
 
     #[test]
@@ -667,6 +668,7 @@ mod tests {
     fn nf_crash_corrupts_victim_only_on_commodity() {
         let c = device_differential(NicMode::Commodity, FaultScenario::NfCrash);
         assert!(!c.victim_intact, "commodity victim must see the wild store");
+        assert_commodity_device_leaks(FaultScenario::NfCrash, &c);
         assert!(
             c.findings
                 .iter()
@@ -674,12 +676,9 @@ mod tests {
             "commodity transcript must lint dirty: {}",
             c.transcript
         );
-        let s = device_differential(NicMode::Snic, FaultScenario::NfCrash);
-        assert!(s.victim_intact, "S-NIC victim must be untouched");
-        assert!(
-            s.findings.is_empty(),
-            "S-NIC transcript must lint clean: {:?}",
-            s.findings
+        assert_snic_device_contained(
+            FaultScenario::NfCrash,
+            &device_differential(NicMode::Snic, FaultScenario::NfCrash),
         );
     }
 
@@ -688,9 +687,10 @@ mod tests {
         let c = device_differential(NicMode::Commodity, FaultScenario::AccelClusterFault);
         assert!(!c.victim_intact);
         assert!(c.transcript.contains("device hard-crashed"));
-        let s = device_differential(NicMode::Snic, FaultScenario::AccelClusterFault);
-        assert!(s.victim_intact);
-        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert_snic_device_contained(
+            FaultScenario::AccelClusterFault,
+            &device_differential(NicMode::Snic, FaultScenario::AccelClusterFault),
+        );
     }
 
     #[test]
@@ -704,9 +704,10 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.kind == FindingKind::UnscrubbedReuse));
-        let s = device_differential(NicMode::Snic, FaultScenario::PowerLossMidTeardown);
-        assert!(s.residue_clean, "S-NIC resumes the scrub before reuse");
-        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert_snic_device_contained(
+            FaultScenario::PowerLossMidTeardown,
+            &device_differential(NicMode::Snic, FaultScenario::PowerLossMidTeardown),
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn doubled(trace: &SharedTrace) -> SendStream {
 
 /// The two jobs (commodity baseline, S-NIC) measuring one colocation:
 /// NF `focus` (index 0) plus `partners`.
-fn colocation_jobs(
+pub(crate) fn colocation_jobs(
     traces: &TraceSet,
     focus: NfKind,
     partners: &[NfKind],

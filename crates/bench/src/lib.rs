@@ -11,12 +11,15 @@
 #![warn(missing_docs)]
 
 pub mod blast;
+pub mod differential;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod golden;
 pub mod streams;
 pub mod tables;
+pub mod telemetry;
 
 use std::fmt::Write as _;
 

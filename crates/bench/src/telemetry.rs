@@ -1,0 +1,113 @@
+//! The fig5 telemetry smoke point: one small colocation sweep that can
+//! run with or without a sink attached.
+//!
+//! This is the workload behind three consumers:
+//!
+//! - `snicctl telemetry record` — runs it with a [`Recorder`] and
+//!   writes the Chrome trace + summary;
+//! - the `telemetry_overhead` gate binary — times it sink-off vs
+//!   sink-on and fails the build if instrumentation costs more than
+//!   the overhead budget;
+//! - tests asserting sink-on and sink-off statistics are identical.
+
+use std::sync::Arc;
+
+use snic_nf::NfKind;
+use snic_sim::{execute, Exec, SimJob};
+use snic_telemetry::{Recorder, Summary, TelemetrySink, TraceEvent};
+use snic_uarch::engine::RunOutcome;
+
+use crate::fig5::colocation_jobs;
+use crate::streams::all_traces;
+use crate::Scale;
+
+/// L2 size of the smoke point (one mid-curve fig5a setting).
+pub const SMOKE_L2_BYTES: u64 = 256 << 10;
+
+/// Trace seed of the smoke point (fig5a's, so traces are shared with a
+/// real fig5a run at the same scale).
+pub const SMOKE_SEED: u64 = 0xf15a;
+
+/// The smoke scale: small enough for a lint-gate, big enough that the
+/// engine loop dominates the wall clock.
+pub fn smoke_scale() -> Scale {
+    Scale {
+        flows: 5_000,
+        packets: 6_000,
+        patterns: 300,
+        fw_rules: 120,
+        lpm_prefixes: 500,
+        monitor_ms: 20,
+    }
+}
+
+/// Build the smoke jobs: every NF kind colocated with every other at
+/// [`SMOKE_L2_BYTES`], commodity + S-NIC personalities. When `sink` is
+/// set, every job reports to it.
+pub fn smoke_jobs(scale: &Scale, sink: Option<Arc<dyn TelemetrySink>>) -> Vec<SimJob> {
+    let traces = all_traces(scale, SMOKE_SEED);
+    let mut jobs = Vec::new();
+    for &focus in &NfKind::ALL {
+        for &partner in &NfKind::ALL {
+            jobs.extend(colocation_jobs(&traces, focus, &[partner], SMOKE_L2_BYTES));
+        }
+    }
+    if let Some(sink) = sink {
+        jobs = jobs
+            .into_iter()
+            .map(|j| j.with_sink(Arc::clone(&sink)))
+            .collect();
+    }
+    jobs
+}
+
+/// Run the smoke point and return the raw outcomes (job order is
+/// deterministic: focus-major, then partner, commodity before S-NIC).
+pub fn run_smoke(
+    exec: Exec,
+    scale: &Scale,
+    sink: Option<Arc<dyn TelemetrySink>>,
+) -> Vec<RunOutcome> {
+    execute(exec, smoke_jobs(scale, sink))
+}
+
+/// Run the smoke point under a fresh [`Recorder`] and return the
+/// outcomes plus everything it captured.
+pub fn record_smoke(exec: Exec, scale: &Scale) -> (Vec<RunOutcome>, Summary, Vec<TraceEvent>) {
+    let recorder = Arc::new(Recorder::new());
+    let outcomes = run_smoke(
+        exec,
+        scale,
+        Some(Arc::clone(&recorder) as Arc<dyn TelemetrySink>),
+    );
+    let recorder = Arc::try_unwrap(recorder).expect("no job holds the recorder after execute");
+    let (summary, events) = recorder.into_parts();
+    (outcomes, summary, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_telemetry::{parse_chrome_trace, to_chrome_trace};
+
+    #[test]
+    fn smoke_sink_on_equals_sink_off() {
+        let scale = smoke_scale();
+        let off = run_smoke(Exec::Serial, &scale, None);
+        let (on, summary, events) = record_smoke(Exec::Serial, &scale);
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.nfs, b.nfs, "sink must not perturb outcomes");
+        }
+        assert!(!summary.is_empty());
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn recorded_trace_round_trips_through_chrome_format() {
+        let (_, _, events) = record_smoke(Exec::Serial, &smoke_scale());
+        let doc = to_chrome_trace(&events);
+        let back = parse_chrome_trace(&doc).expect("valid Chrome trace JSON");
+        assert_eq!(back, events, "export → parse must be lossless");
+    }
+}

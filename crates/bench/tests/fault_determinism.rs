@@ -12,6 +12,9 @@
 use snic_bench::blast::{
     blast_matrix_with, device_differential, uarch_diff_from, uarch_jobs, FaultScenario,
 };
+use snic_bench::differential::{
+    assert_commodity_device_leaks, assert_snic_device_contained, assert_uarch_contained,
+};
 use snic_bench::streams::all_traces;
 use snic_bench::Scale;
 use snic_core::config::NicMode;
@@ -55,18 +58,7 @@ fn snic_victim_bit_identical_commodity_perturbed() {
     let traces = all_traces(&tiny(), 0xb1a57);
     for scenario in FaultScenario::ALL {
         let outcomes = execute(Exec::Parallel, uarch_jobs(scenario, &traces));
-        let diff = uarch_diff_from(&outcomes);
-        assert!(
-            diff.snic_bit_identical,
-            "{}: S-NIC victim stats changed across the fault (Δ {:+.4}%)",
-            scenario.name(),
-            diff.snic_delta_pct
-        );
-        assert!(
-            !diff.commodity_bit_identical,
-            "{}: commodity victim stats unexpectedly unchanged",
-            scenario.name()
-        );
+        assert_uarch_contained(scenario, &uarch_diff_from(&outcomes));
     }
 }
 
@@ -79,31 +71,8 @@ fn snic_transcripts_lint_clean_commodity_dirty() {
     // still shows the unscrubbed-reuse finding from its scrub-free
     // teardown.)
     for scenario in FaultScenario::ALL {
-        let c = device_differential(NicMode::Commodity, scenario);
-        assert!(
-            !c.findings.is_empty(),
-            "commodity/{} should lint dirty:\n{}",
-            scenario.name(),
-            c.transcript
-        );
-        let s = device_differential(NicMode::Snic, scenario);
-        assert!(
-            s.findings.is_empty(),
-            "S-NIC/{} should lint clean: {:?}\n{}",
-            scenario.name(),
-            s.findings,
-            s.transcript
-        );
-        assert!(
-            s.victim_intact,
-            "S-NIC/{} victim observables perturbed",
-            scenario.name()
-        );
-        assert!(
-            s.residue_clean,
-            "S-NIC/{} recycled region not zeroed",
-            scenario.name()
-        );
+        assert_commodity_device_leaks(scenario, &device_differential(NicMode::Commodity, scenario));
+        assert_snic_device_contained(scenario, &device_differential(NicMode::Snic, scenario));
     }
 }
 

@@ -4,10 +4,14 @@
 //! the raw `RunOutcome` level and at the figure level (`fig5`'s
 //! `DegradationPoint`s, compared on f64 *bit patterns*, not epsilons).
 
+use std::sync::Arc;
+
 use snic_bench::fig5::{self, DegradationPoint};
 use snic_bench::streams::all_traces;
+use snic_bench::telemetry::{run_smoke, smoke_scale};
 use snic_bench::Scale;
 use snic_sim::{run_jobs_on, run_jobs_serial, Exec, SendStream, SimJob};
+use snic_telemetry::{Recorder, TelemetrySink};
 use snic_uarch::config::MachineConfig;
 use snic_uarch::stream::SharedReplayStream;
 
@@ -79,6 +83,21 @@ fn assert_points_bitwise_eq(a: &[DegradationPoint], b: &[DegradationPoint]) {
                 x.kind
             );
         }
+    }
+}
+
+#[test]
+fn sink_on_parallel_bit_identical_to_sink_off_serial() {
+    // The strongest cross-product of the two determinism contracts:
+    // attaching a live recorder AND fanning across the pool must both
+    // leave every simulated statistic untouched.
+    let scale = smoke_scale();
+    let baseline = run_smoke(Exec::Serial, &scale, None);
+    let recorder: Arc<dyn TelemetrySink> = Arc::new(Recorder::new());
+    let recorded = run_smoke(Exec::Parallel, &scale, Some(recorder));
+    assert_eq!(baseline.len(), recorded.len());
+    for (i, (a, b)) in baseline.iter().zip(&recorded).enumerate() {
+        assert_eq!(a.nfs, b.nfs, "job {i}: sink+pool diverged from bare serial");
     }
 }
 

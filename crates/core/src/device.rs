@@ -6,6 +6,7 @@
 //! opposite outcomes.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use snic_crypto::keys::{AttestationKey, EndorsementKey, VendorCa};
@@ -21,6 +22,7 @@ use snic_pktio::dma::{DmaBank, DmaDirection, DmaWindow};
 use snic_pktio::port::PortBuffers;
 use snic_pktio::rules::RuleTable;
 use snic_pktio::vpp::VppBufferSpec;
+use snic_telemetry::{metrics, NullSink, TelemetrySink};
 use snic_types::{
     AccelClusterId, AccelKind, ByteSize, CoreId, NfId, NfState, Packet, Picos, SnicError,
     TransientResource,
@@ -168,6 +170,9 @@ pub struct SmartNic {
     injector: FaultInjector,
     /// Interrupted teardown scrubs awaiting resumption (sorted by base).
     pending_scrubs: Vec<ScrubTicket>,
+    /// Observability sink shared with ports, pools and DMA banks.
+    /// Defaults to [`NullSink`]; every use is behind `enabled()`.
+    telemetry: Arc<dyn TelemetrySink>,
 }
 
 impl SmartNic {
@@ -207,7 +212,29 @@ impl SmartNic {
             dma_banks: HashMap::new(),
             injector: FaultInjector::disarmed(),
             pending_scrubs: Vec::new(),
+            telemetry: Arc::new(NullSink),
         }
+    }
+
+    /// Attach a telemetry sink to the device and to every component it
+    /// owns (ports, accelerator pools, DMA banks). Telemetry is purely
+    /// observational: with or without a sink the device's behaviour,
+    /// receipts and transcripts are byte-identical.
+    pub fn set_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.telemetry = Arc::clone(&sink);
+        self.rx_port.set_sink(Arc::clone(&sink));
+        self.tx_port.set_sink(Arc::clone(&sink));
+        for pool in &mut self.pools {
+            pool.set_sink(Arc::clone(&sink));
+        }
+        for bank in self.dma_banks.values_mut() {
+            bank.set_sink(Arc::clone(&sink));
+        }
+    }
+
+    /// The attached telemetry sink ([`NullSink`] by default).
+    pub fn telemetry(&self) -> Arc<dyn TelemetrySink> {
+        Arc::clone(&self.telemetry)
     }
 
     // ------------------------------------------------------------------
@@ -329,6 +356,9 @@ impl SmartNic {
     /// the cycle, the device comes back crashed with the remaining
     /// tickets still pending; another cycle finishes the job.
     pub fn power_cycle(&mut self) {
+        if self.telemetry.enabled() {
+            self.telemetry.instant(0, "device.power_cycle", self.now.0);
+        }
         let ids: Vec<NfId> = self.launched.keys().copied().collect();
         self.restore_power();
         for id in ids {
@@ -605,7 +635,29 @@ impl SmartNic {
     // ------------------------------------------------------------------
 
     /// The `nf_launch` trusted instruction.
-    pub fn nf_launch(&mut self, mut req: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
+    pub fn nf_launch(&mut self, req: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
+        let t0 = self.now.0;
+        let result = self.nf_launch_inner(req);
+        if self.telemetry.enabled() {
+            match &result {
+                Ok(receipt) => {
+                    let nf = receipt.nf_id.0;
+                    self.telemetry.counter_add(0, metrics::LAUNCHES, 1);
+                    self.telemetry.span_begin(nf, "nf.launch", t0);
+                    self.telemetry.span_end(nf, "nf.launch", self.now.0);
+                    // Launch materialized fresh DMA banks; share the
+                    // sink with them.
+                    for bank in self.dma_banks.values_mut() {
+                        bank.set_sink(Arc::clone(&self.telemetry));
+                    }
+                }
+                Err(_) => self.telemetry.instant(0, "nf.launch_rejected", t0),
+            }
+        }
+        result
+    }
+
+    fn nf_launch_inner(&mut self, mut req: LaunchRequest) -> Result<LaunchReceipt, SnicError> {
         self.fail_if_crashed()?;
         // Injected admission faults (all transient except power loss):
         // the orchestrator is expected to retry these with backoff.
@@ -988,6 +1040,10 @@ impl SmartNic {
                 });
                 self.pending_scrubs.sort_unstable_by_key(|t| t.base);
                 self.crashed = true;
+                if self.telemetry.enabled() {
+                    self.telemetry
+                        .instant(nf.0, "fault.power_loss_mid_scrub", self.now.0);
+                }
                 return Err(SnicError::PowerLoss);
             }
             let chunk = SCRUB_CHUNK.min(len - watermark);
@@ -999,7 +1055,11 @@ impl SmartNic {
             Some(nf),
             FaultEventKind::ScrubCompleted { base, len },
         );
-        Ok(scrub_time(ByteSize(len - start)))
+        let elapsed = scrub_time(ByteSize(len - start));
+        if self.telemetry.enabled() {
+            self.telemetry.record(nf.0, metrics::SCRUB_PS, elapsed.0);
+        }
+        Ok(elapsed)
     }
 
     /// The `nf_teardown` trusted instruction.
@@ -1011,6 +1071,22 @@ impl SmartNic {
     /// unavailable — [`SmartNic::resume_scrubs`] (or the next power
     /// cycle) finishes the job from the saved watermark.
     pub fn nf_teardown(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
+        let t0 = self.now.0;
+        let result = self.nf_teardown_inner(nf);
+        if self.telemetry.enabled() {
+            match &result {
+                Ok(_) => {
+                    self.telemetry.counter_add(0, metrics::TEARDOWNS, 1);
+                    self.telemetry.span_begin(nf.0, "nf.teardown", t0);
+                    self.telemetry.span_end(nf.0, "nf.teardown", self.now.0);
+                }
+                Err(_) => self.telemetry.instant(nf.0, "nf.teardown_failed", t0),
+            }
+        }
+        result
+    }
+
+    fn nf_teardown_inner(&mut self, nf: NfId) -> Result<TeardownReceipt, SnicError> {
         let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         let (base, len) = record.region;
         let from = record.state;
@@ -1078,11 +1154,17 @@ impl SmartNic {
     /// dropped at the switch).
     pub fn rx_packet(&mut self, pkt: &Packet) -> Result<Option<NfId>, SnicError> {
         self.fail_if_crashed()?;
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(0, metrics::RX_PACKETS, 1);
+        }
         let Some(nf) = self.rules.classify(pkt) else {
             return Ok(None);
         };
         if !self.launched.contains_key(&nf) {
             return Ok(None);
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(nf.0, metrics::RX_MATCHED, 1);
         }
         // Delivery can crash the receiving core (a poisoned packet).
         if let Some(FaultKind::NfCrash) = self.injector.check(FaultSite::Rx, self.now, Some(nf)) {
@@ -1155,6 +1237,9 @@ impl SmartNic {
         };
         record.rx_bytes -= u64::from(len);
         record.rx_delivered += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(nf.0, metrics::RX_POLLED, 1);
+        }
         let mut buf = vec![0u8; len as usize];
         self.guard
             .read_phys(Principal::TrustedHardware, base, &mut buf)?;
@@ -1167,6 +1252,9 @@ impl SmartNic {
         self.datapath_gate(nf)?;
         let record = self.launched.get_mut(&nf).ok_or(SnicError::NoSuchNf(nf))?;
         record.tx_sent += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(nf.0, metrics::TX_SENT, 1);
+        }
         self.tx_wire.push_back(pkt);
         Ok(())
     }
@@ -1329,6 +1417,9 @@ impl SmartNic {
                 }
             }
         }
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(nf.0, metrics::ACCEL_SUBMITS, 1);
+        }
         Ok(Picos::nanos(1))
     }
 
@@ -1348,6 +1439,10 @@ impl SmartNic {
             return Err(SnicError::NoSuchNf(nf));
         }
         *self.bus_ops.entry(nf).or_default() += ops;
+        if self.telemetry.enabled() {
+            self.telemetry
+                .counter_add(nf.0, metrics::BUS_FLOOD_OPS, ops);
+        }
         match self.config.mode {
             NicMode::Commodity => {
                 if self.bus_ops[&nf] > self.config.bus_crash_threshold {
@@ -1494,6 +1589,9 @@ impl SmartNic {
         statement.extend_from_slice(context);
         let signature = self.ak.sign(&statement);
         self.now += crate::instr::ATTEST_RSA + crate::instr::ATTEST_SHA;
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(nf.0, metrics::ATTESTS, 1);
+        }
         Ok(crate::attest::SignedStatement {
             measurement: record.measurement,
             verdict,
@@ -1573,6 +1671,66 @@ mod tests {
         PacketBuilder::new(1, 2, Protocol::Udp, 1000, dst_port)
             .payload(b"payload".to_vec())
             .build()
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_device_behaviour() {
+        use snic_telemetry::Recorder;
+        // The same scripted episode on two identical devices — one
+        // observed, one not — must produce byte-identical receipts,
+        // packets and fault transcripts.
+        let run = |observed: bool| {
+            let mut nic = snic();
+            let recorder = Arc::new(Recorder::new());
+            if observed {
+                nic.set_telemetry(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
+            }
+            let r = nic.nf_launch(req_with_rule(0, 4, 443)).unwrap();
+            let nf = r.nf_id;
+            assert!(nic.rx_packet(&pkt(443)).unwrap().is_some());
+            let p = nic.poll_packet(nf).unwrap().expect("queued packet");
+            nic.tx_packet(nf, p.clone()).unwrap();
+            let _ = nic.accel_submit(nf).unwrap();
+            let _ = nic.bus_flood(nf, 100).unwrap();
+            let t = nic.nf_teardown(nf).unwrap();
+            (r, p, t, nic.take_fault_log(), recorder)
+        };
+        let (r_on, p_on, t_on, log_on, recorder) = run(true);
+        let (r_off, p_off, t_off, log_off, _) = run(false);
+        assert_eq!(r_on.measurement, r_off.measurement);
+        assert_eq!(r_on.latency, r_off.latency);
+        assert_eq!(p_on.data, p_off.data);
+        assert_eq!(t_on.latency, t_off.latency);
+        assert_eq!(log_on, log_off, "transcripts must be sink-independent");
+
+        // And the observed run actually recorded the episode.
+        let summary = recorder.summary();
+        let nf = r_on.nf_id.0;
+        assert_eq!(summary.counters[&(0, metrics::LAUNCHES.to_string())], 1);
+        assert_eq!(summary.counters[&(0, metrics::TEARDOWNS.to_string())], 1);
+        assert_eq!(summary.counters[&(0, metrics::RX_PACKETS.to_string())], 1);
+        assert_eq!(summary.counters[&(nf, metrics::RX_POLLED.to_string())], 1);
+        assert_eq!(summary.counters[&(nf, metrics::TX_SENT.to_string())], 1);
+        assert_eq!(
+            summary.counters[&(nf, metrics::ACCEL_SUBMITS.to_string())],
+            1
+        );
+        assert_eq!(
+            summary.counters[&(nf, metrics::BUS_FLOOD_OPS.to_string())],
+            100
+        );
+        assert_eq!(
+            summary.hists[&(nf, metrics::SCRUB_PS.to_string())].count(),
+            1
+        );
+        assert!(
+            summary.counters[&(nf, metrics::PORT_RESERVED_BYTES.to_string())] > 0,
+            "port reservations flow through the shared sink"
+        );
+        // Span events: launch + teardown begin/end pairs at least.
+        let events = recorder.events();
+        assert!(events.iter().any(|e| e.name == "nf.launch"));
+        assert!(events.iter().any(|e| e.name == "nf.teardown"));
     }
 
     #[test]

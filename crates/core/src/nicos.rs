@@ -100,6 +100,11 @@ impl<'a> NicOs<'a> {
                 Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
                     self.nic
                         .fault_note(None, FaultEventKind::RetryBackoff { attempt, backoff });
+                    let telemetry = self.nic.telemetry();
+                    if telemetry.enabled() {
+                        telemetry.counter_add(0, snic_telemetry::metrics::NICOS_RETRIES, 1);
+                        telemetry.instant(0, "nicos.retry_backoff", self.nic.now().0);
+                    }
                     self.nic.advance(backoff);
                     backoff = Picos((backoff.0 * 2).min(policy.max_backoff.0));
                     attempt += 1;

@@ -6,7 +6,10 @@
 //! against the bank's window for its direction; anything else is a
 //! [`snic_types::IsolationError::DmaViolation`].
 
+use std::sync::Arc;
+
 use snic_mem::planner::{plan_regions, PagePolicy};
+use snic_telemetry::{metrics, NullSink, TelemetrySink};
 use snic_types::{ByteSize, CoreId, IsolationError, NfId, SnicError};
 
 /// Transfer direction.
@@ -45,6 +48,7 @@ pub struct DmaBank {
     locked: bool,
     transfers: u64,
     bytes: u64,
+    sink: Arc<dyn TelemetrySink>,
 }
 
 impl DmaBank {
@@ -63,7 +67,13 @@ impl DmaBank {
             locked: false,
             transfers: 0,
             bytes: 0,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Attach a telemetry sink (observational only).
+    pub fn set_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink = sink;
     }
 
     /// The serving core.
@@ -119,6 +129,11 @@ impl DmaBank {
         }
         self.transfers += 1;
         self.bytes += len;
+        if self.sink.enabled() {
+            self.sink
+                .counter_add(self.owner.0, metrics::DMA_TRANSFERS, 1);
+            self.sink.record(self.owner.0, metrics::DMA_BYTES, len);
+        }
         Ok(len)
     }
 

@@ -5,7 +5,9 @@
 //! not available. Reservations are byte-granular and per-NF.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use snic_telemetry::{metrics, NullSink, TelemetrySink};
 use snic_types::{ByteSize, NfId, SnicError};
 
 /// Reservation ledger for one physical port direction.
@@ -13,6 +15,7 @@ use snic_types::{ByteSize, NfId, SnicError};
 pub struct PortBuffers {
     capacity: ByteSize,
     reservations: HashMap<NfId, ByteSize>,
+    sink: Arc<dyn TelemetrySink>,
 }
 
 impl PortBuffers {
@@ -21,7 +24,13 @@ impl PortBuffers {
         PortBuffers {
             capacity,
             reservations: HashMap::new(),
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Attach a telemetry sink (observational only).
+    pub fn set_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink = sink;
     }
 
     /// Total capacity.
@@ -45,12 +54,21 @@ impl PortBuffers {
             return Err(SnicError::PortBufferExhausted);
         }
         *self.reservations.entry(owner).or_insert(ByteSize::ZERO) += amount;
+        if self.sink.enabled() {
+            self.sink
+                .counter_add(owner.0, metrics::PORT_RESERVED_BYTES, amount.bytes());
+        }
         Ok(())
     }
 
     /// Release everything held by `owner`; returns the amount freed.
     pub fn release_owner(&mut self, owner: NfId) -> ByteSize {
-        self.reservations.remove(&owner).unwrap_or(ByteSize::ZERO)
+        let freed = self.reservations.remove(&owner).unwrap_or(ByteSize::ZERO);
+        if self.sink.enabled() && freed > ByteSize::ZERO {
+            self.sink
+                .counter_add(owner.0, metrics::PORT_RELEASED_BYTES, freed.bytes());
+        }
+        freed
     }
 
     /// The reservation held by `owner`.

@@ -29,10 +29,11 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
+use snic_telemetry::TelemetrySink;
 use snic_uarch::config::MachineConfig;
-use snic_uarch::engine::{run_colocated_warm, RunOutcome};
+use snic_uarch::engine::{run_colocated_sink, run_colocated_warm, RunOutcome};
 use snic_uarch::stream::AccessStream;
 
 /// A boxed reference stream that can move to a worker thread.
@@ -45,6 +46,7 @@ pub struct SimJob {
     cfg: MachineConfig,
     streams: Vec<SendStream>,
     warmups: Vec<u64>,
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl SimJob {
@@ -54,6 +56,7 @@ impl SimJob {
             cfg,
             streams,
             warmups: Vec::new(),
+            sink: None,
         }
     }
 
@@ -64,6 +67,14 @@ impl SimJob {
         self
     }
 
+    /// Report this run's telemetry to `sink`. Without a sink the job
+    /// takes the uninstrumented engine path (identical statistics, no
+    /// sink branches at all).
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> SimJob {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Execute the job on the current thread.
     pub fn run(self) -> RunOutcome {
         let streams: Vec<Box<dyn AccessStream>> = self
@@ -71,7 +82,10 @@ impl SimJob {
             .into_iter()
             .map(|s| s as Box<dyn AccessStream>)
             .collect();
-        run_colocated_warm(&self.cfg, streams, &self.warmups)
+        match self.sink {
+            Some(sink) => run_colocated_sink(&self.cfg, streams, &self.warmups, sink.as_ref()),
+            None => run_colocated_warm(&self.cfg, streams, &self.warmups),
+        }
     }
 }
 
@@ -81,6 +95,7 @@ impl std::fmt::Debug for SimJob {
             .field("cfg", &self.cfg)
             .field("streams", &self.streams.len())
             .field("warmups", &self.warmups)
+            .field("sink", &self.sink.is_some())
             .finish()
     }
 }
@@ -277,6 +292,25 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn sink_on_jobs_match_sink_off_bitwise() {
+        use snic_telemetry::Recorder;
+        let recorder = Arc::new(Recorder::new());
+        let with_sink: Vec<SimJob> = (0..6)
+            .map(|s| job(s, 2).with_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>))
+            .collect();
+        let without: Vec<SimJob> = (0..6).map(|s| job(s, 2)).collect();
+        let on = run_jobs_on(with_sink, 3);
+        let off = run_jobs_serial(without);
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.nfs, b.nfs, "sink-on parallel must equal sink-off serial");
+        }
+        assert!(
+            !recorder.summary().is_empty(),
+            "the shared sink saw the instrumented runs"
+        );
     }
 
     #[test]

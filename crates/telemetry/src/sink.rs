@@ -1,0 +1,178 @@
+//! The [`TelemetrySink`] trait and its zero-cost no-op implementation.
+
+/// Well-known metric names used by the instrumented crates.
+///
+/// Instrumentation passes `&'static str` metric names; keeping the
+/// shared ones here prevents drift between the recorder, the summary
+/// renderer and the call sites.
+pub mod metrics {
+    /// Retired instructions per NF domain (uarch engine).
+    pub const INSNS: &str = "uarch.insns";
+    /// Elapsed cycles per NF domain (uarch engine).
+    pub const CYCLES: &str = "uarch.cycles";
+    /// L1 cache hits (uarch engine).
+    pub const L1_HITS: &str = "uarch.l1_hits";
+    /// L1 cache misses (uarch engine).
+    pub const L1_MISSES: &str = "uarch.l1_misses";
+    /// L2 cache hits (uarch engine).
+    pub const L2_HITS: &str = "uarch.l2_hits";
+    /// L2 cache misses, i.e. DRAM accesses (uarch engine).
+    pub const L2_MISSES: &str = "uarch.l2_misses";
+    /// IO-bus grants issued to a domain (uarch engine).
+    pub const BUS_GRANTS: &str = "uarch.bus_grants";
+    /// IO-bus grants that had to wait behind other traffic — the
+    /// "denied at first ask" count (uarch engine).
+    pub const BUS_DELAYED: &str = "uarch.bus_delayed";
+    /// Histogram of cycles a DRAM access waited for the bus: the DRAM
+    /// queue depth seen by each request, in time units (uarch engine).
+    pub const BUS_WAIT_CYCLES: &str = "uarch.bus_wait_cycles";
+    /// Histogram of DRAM service latencies (uarch engine).
+    pub const DRAM_CYCLES: &str = "uarch.dram_cycles";
+
+    /// NF launches admitted by the device.
+    pub const LAUNCHES: &str = "device.launches";
+    /// NF teardowns completed by the device.
+    pub const TEARDOWNS: &str = "device.teardowns";
+    /// Attestation quotes served.
+    pub const ATTESTS: &str = "device.attests";
+    /// Packets arriving at the device RX port.
+    pub const RX_PACKETS: &str = "device.rx_packets";
+    /// Packets matched to this NF's flow filter.
+    pub const RX_MATCHED: &str = "nf.rx_matched";
+    /// Packets the NF drained from its RX queue.
+    pub const RX_POLLED: &str = "nf.rx_polled";
+    /// Packets the NF transmitted.
+    pub const TX_SENT: &str = "nf.tx_sent";
+    /// Accelerator jobs submitted by the NF.
+    pub const ACCEL_SUBMITS: &str = "accel.submits";
+    /// IO-bus operations issued by a flooding NF.
+    pub const BUS_FLOOD_OPS: &str = "device.bus_flood_ops";
+    /// Histogram of scrub latencies in picoseconds.
+    pub const SCRUB_PS: &str = "device.scrub_ps";
+
+    /// Bytes of port buffer reserved for a domain (pktio).
+    pub const PORT_RESERVED_BYTES: &str = "pktio.port_reserved_bytes";
+    /// Bytes of port buffer released by a domain (pktio).
+    pub const PORT_RELEASED_BYTES: &str = "pktio.port_released_bytes";
+    /// DMA transfers validated for a domain (pktio).
+    pub const DMA_TRANSFERS: &str = "pktio.dma_transfers";
+    /// Histogram of DMA transfer sizes in bytes (pktio).
+    pub const DMA_BYTES: &str = "pktio.dma_bytes";
+
+    /// Accelerator clusters allocated to a domain.
+    pub const ACCEL_CLUSTERS: &str = "accel.clusters_allocated";
+    /// Accelerator clusters released by a domain.
+    pub const ACCEL_RELEASED: &str = "accel.clusters_released";
+    /// Histogram of pool occupancy (busy clusters) sampled at each
+    /// allocate/release, keyed by the management domain.
+    pub const ACCEL_OCCUPANCY: &str = "accel.occupancy";
+    /// Hardware cluster faults injected into the pool.
+    pub const ACCEL_FAULTS: &str = "accel.cluster_faults";
+
+    /// NF creations retried by the NIC-OS control loop.
+    pub const NICOS_RETRIES: &str = "nicos.retries";
+}
+
+/// Receiver for telemetry emitted by instrumented code.
+///
+/// All methods have empty default bodies, so a sink only implements
+/// what it cares about. Implementations must be cheap and re-entrant:
+/// hot loops call these under `if sink.enabled()` but cold paths may
+/// call them unconditionally.
+///
+/// `domain` is the isolation domain the sample belongs to: `NfId.0`
+/// for tenant work, `0` for the management plane. `ts` values are in
+/// the caller's native simulated-time unit (picoseconds on the device,
+/// cycles inside the uarch engine).
+pub trait TelemetrySink: Send + Sync + std::fmt::Debug {
+    /// Whether this sink records anything. Hot paths guard their
+    /// instrumentation with this so a disabled sink costs one
+    /// predictable branch.
+    fn enabled(&self) -> bool;
+
+    /// Add `delta` to the counter `metric` of `domain`.
+    #[inline]
+    fn counter_add(&self, domain: u64, metric: &'static str, delta: u64) {
+        let _ = (domain, metric, delta);
+    }
+
+    /// Record `value` into the histogram `metric` of `domain`.
+    #[inline]
+    fn record(&self, domain: u64, metric: &'static str, value: u64) {
+        let _ = (domain, metric, value);
+    }
+
+    /// Open a span named `name` for `domain` at simulated time `ts`.
+    #[inline]
+    fn span_begin(&self, domain: u64, name: &'static str, ts: u64) {
+        let _ = (domain, name, ts);
+    }
+
+    /// Close the most recent span named `name` for `domain` at `ts`.
+    #[inline]
+    fn span_end(&self, domain: u64, name: &'static str, ts: u64) {
+        let _ = (domain, name, ts);
+    }
+
+    /// Record a point-in-time event for `domain` at `ts`.
+    #[inline]
+    fn instant(&self, domain: u64, name: &'static str, ts: u64) {
+        let _ = (domain, name, ts);
+    }
+
+    /// Fold a locally-accumulated histogram into `metric` of `domain`.
+    ///
+    /// Hot loops that would otherwise call [`record`](Self::record) per
+    /// sample accumulate into a stack-local [`Histogram`] and flush it
+    /// once with this method, paying the sink's synchronization cost a
+    /// constant number of times per run instead of per sample.
+    #[inline]
+    fn merge_hist(&self, domain: u64, metric: &'static str, hist: &crate::hist::Histogram) {
+        let _ = (domain, metric, hist);
+    }
+}
+
+/// The always-off sink. `enabled()` is a constant `false`, so guarded
+/// instrumentation folds away entirely under monomorphization; the
+/// inherited no-op method bodies make even unguarded cold-path calls
+/// free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: TelemetrySink + ?Sized> TelemetrySink for &T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn counter_add(&self, domain: u64, metric: &'static str, delta: u64) {
+        (**self).counter_add(domain, metric, delta);
+    }
+    #[inline]
+    fn record(&self, domain: u64, metric: &'static str, value: u64) {
+        (**self).record(domain, metric, value);
+    }
+    #[inline]
+    fn span_begin(&self, domain: u64, name: &'static str, ts: u64) {
+        (**self).span_begin(domain, name, ts);
+    }
+    #[inline]
+    fn span_end(&self, domain: u64, name: &'static str, ts: u64) {
+        (**self).span_end(domain, name, ts);
+    }
+    #[inline]
+    fn instant(&self, domain: u64, name: &'static str, ts: u64) {
+        (**self).instant(domain, name, ts);
+    }
+    #[inline]
+    fn merge_hist(&self, domain: u64, metric: &'static str, hist: &crate::hist::Histogram) {
+        (**self).merge_hist(domain, metric, hist);
+    }
+}

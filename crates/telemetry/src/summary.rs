@@ -1,0 +1,269 @@
+//! Per-run summaries: rendered tables, a stable text format, and
+//! run-vs-run diffs for `snicctl telemetry`.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// Aggregated per-domain statistics of one run. Keys are
+/// `(domain, metric)`; `BTreeMap` keeps rendering deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Monotonic counters.
+    pub counters: BTreeMap<(u64, String), u64>,
+    /// Sample histograms.
+    pub hists: BTreeMap<(u64, String), Histogram>,
+}
+
+/// One changed metric between two summaries (see [`Summary::diff`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDelta {
+    /// Domain the metric belongs to.
+    pub domain: u64,
+    /// Metric name.
+    pub metric: String,
+    /// Value in the first run (`None` if absent).
+    pub before: Option<u64>,
+    /// Value in the second run (`None` if absent).
+    pub after: Option<u64>,
+}
+
+impl Summary {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Stable machine-readable text form, one metric per line:
+    ///
+    /// ```text
+    /// # snic-telemetry summary v1
+    /// counter <domain> <metric> <value>
+    /// hist <domain> <metric> <count> <sum> <min> <max>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# snic-telemetry summary v1\n");
+        for ((domain, metric), value) in &self.counters {
+            out.push_str(&format!("counter {domain} {metric} {value}\n"));
+        }
+        for ((domain, metric), h) in &self.hists {
+            out.push_str(&format!(
+                "hist {domain} {metric} {} {} {} {}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            ));
+        }
+        out
+    }
+
+    /// Parse the format written by [`Summary::to_text`]. Histograms
+    /// come back as count/sum/min/max only (buckets are not part of
+    /// the text form); for diffing and rendering that is enough.
+    pub fn from_text(text: &str) -> Result<Summary, String> {
+        let mut s = Summary::default();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let parse =
+                |f: &str| -> Result<u64, String> { f.parse().map_err(|_| bad_line(ln, line)) };
+            match fields.as_slice() {
+                ["counter", domain, metric, value] => {
+                    s.counters
+                        .insert((parse(domain)?, (*metric).to_string()), parse(value)?);
+                }
+                ["hist", domain, metric, count, sum, min, max] => {
+                    let h = Histogram::from_moments(
+                        parse(count)?,
+                        parse(sum)?,
+                        parse(min)?,
+                        parse(max)?,
+                    );
+                    s.hists.insert((parse(domain)?, (*metric).to_string()), h);
+                }
+                _ => return Err(bad_line(ln, line)),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Human-readable table of every metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.hists.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!(
+                "{:<8} {:<28} {:>16}\n",
+                "domain", "counter", "value"
+            ));
+            for ((domain, metric), value) in &self.counters {
+                out.push_str(&format!("{domain:<8} {metric:<28} {value:>16}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            if !self.counters.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<8} {:<28} {:>10} {:>14} {:>10} {:>10}\n",
+                "domain", "histogram", "count", "mean", "min", "max"
+            ));
+            for ((domain, metric), h) in &self.hists {
+                out.push_str(&format!(
+                    "{domain:<8} {metric:<28} {:>10} {:>14.1} {:>10} {:>10}\n",
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.max()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Compare two runs. Returns every metric whose value differs
+    /// (counters by value; histograms by count and sum), in key order.
+    pub fn diff(&self, other: &Summary) -> Vec<SummaryDelta> {
+        let mut deltas = Vec::new();
+        let keys: std::collections::BTreeSet<_> = self
+            .counters
+            .keys()
+            .chain(other.counters.keys())
+            .cloned()
+            .collect();
+        for key in keys {
+            let before = self.counters.get(&key).copied();
+            let after = other.counters.get(&key).copied();
+            if before != after {
+                deltas.push(SummaryDelta {
+                    domain: key.0,
+                    metric: key.1,
+                    before,
+                    after,
+                });
+            }
+        }
+        let hkeys: std::collections::BTreeSet<_> = self
+            .hists
+            .keys()
+            .chain(other.hists.keys())
+            .cloned()
+            .collect();
+        for key in hkeys {
+            let b = self.hists.get(&key);
+            let a = other.hists.get(&key);
+            let moments = |h: Option<&Histogram>| h.map(|h| (h.count(), h.sum()));
+            if moments(b) != moments(a) {
+                deltas.push(SummaryDelta {
+                    domain: key.0,
+                    metric: format!("{}(count)", key.1),
+                    before: b.map(Histogram::count),
+                    after: a.map(Histogram::count),
+                });
+            }
+        }
+        deltas
+    }
+
+    /// Render a diff produced by [`Summary::diff`].
+    pub fn render_diff(deltas: &[SummaryDelta]) -> String {
+        if deltas.is_empty() {
+            return "(no differences)\n".to_string();
+        }
+        let fmt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+        let mut out = format!(
+            "{:<8} {:<28} {:>16} {:>16}\n",
+            "domain", "metric", "before", "after"
+        );
+        for d in deltas {
+            out.push_str(&format!(
+                "{:<8} {:<28} {:>16} {:>16}\n",
+                d.domain,
+                d.metric,
+                fmt(d.before),
+                fmt(d.after)
+            ));
+        }
+        out
+    }
+}
+
+fn bad_line(ln: usize, line: &str) -> String {
+    format!("malformed summary line {}: {line:?}", ln + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        let mut s = Summary::default();
+        s.counters.insert((0, "device.launches".into()), 2);
+        s.counters.insert((1, "uarch.l2_misses".into()), 987);
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        s.hists.insert((1, "uarch.bus_wait_cycles".into()), h);
+        s
+    }
+
+    #[test]
+    fn text_round_trip_preserves_counters_and_moments() {
+        let s = sample();
+        let back = Summary::from_text(&s.to_text()).expect("parse");
+        assert_eq!(back.counters, s.counters);
+        let key = (1, "uarch.bus_wait_cycles".to_string());
+        let (a, b) = (&s.hists[&key], &back.hists[&key]);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+    }
+
+    #[test]
+    fn diff_reports_changed_added_removed() {
+        let a = sample();
+        let mut b = sample();
+        b.counters.insert((1, "uarch.l2_misses".into()), 1000);
+        b.counters.remove(&(0, "device.launches".into()));
+        b.counters.insert((2, "nf.tx_sent".into()), 5);
+        let deltas = a.diff(&b);
+        assert_eq!(deltas.len(), 3);
+        assert!(deltas.iter().any(|d| d.metric == "uarch.l2_misses"
+            && d.before == Some(987)
+            && d.after == Some(1000)));
+        assert!(deltas
+            .iter()
+            .any(|d| d.metric == "device.launches" && d.after.is_none()));
+        assert!(deltas
+            .iter()
+            .any(|d| d.metric == "nf.tx_sent" && d.before.is_none()));
+    }
+
+    #[test]
+    fn identical_summaries_diff_empty() {
+        assert!(sample().diff(&sample()).is_empty());
+        assert_eq!(Summary::render_diff(&[]), "(no differences)\n");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Summary::from_text("counter 0").is_err());
+        assert!(Summary::from_text("counter x m 1").is_err());
+        assert!(Summary::from_text("blah 1 2 3").is_err());
+    }
+
+    #[test]
+    fn render_mentions_each_metric() {
+        let text = sample().render();
+        assert!(text.contains("device.launches"));
+        assert!(text.contains("uarch.bus_wait_cycles"));
+    }
+}

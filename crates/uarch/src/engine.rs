@@ -11,6 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use snic_telemetry::{metrics, Histogram, NullSink, TelemetrySink};
+
 use crate::bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
 use crate::cache::{Cache, Partition};
 use crate::config::MachineConfig;
@@ -66,6 +68,17 @@ impl RunOutcome {
     }
 }
 
+/// Stack-local accumulator for the per-L2-miss bus telemetry. The hot
+/// loop batches into this and flushes once after the run, so a live
+/// sink's synchronization cost is paid per run, not per DRAM access.
+#[derive(Debug, Clone, Default)]
+struct BusTelemetry {
+    grants: u64,
+    delayed: u64,
+    wait: Histogram,
+    dram: Histogram,
+}
+
 /// Width of an NF's private address space: addresses must fit in
 /// [`NF_ADDR_BITS`] bits so the tag in the bits above never collides
 /// with another NF's range.
@@ -102,8 +115,25 @@ pub fn run_colocated(cfg: &MachineConfig, streams: Vec<Box<dyn AccessStream>>) -
 /// data...").
 pub fn run_colocated_warm(
     cfg: &MachineConfig,
+    streams: Vec<Box<dyn AccessStream>>,
+    warmup_events: &[u64],
+) -> RunOutcome {
+    run_colocated_sink(cfg, streams, warmup_events, &NullSink)
+}
+
+/// Like [`run_colocated_warm`], with telemetry.
+///
+/// The sink is a monomorphized generic: with [`NullSink`] every
+/// `if sink.enabled()` guard folds to a constant `false` and the
+/// instrumentation vanishes, so statistics are byte-identical with the
+/// sink on or off (asserted by this module's tests and by
+/// `snic-sim`/`snic-bench` determinism suites). Timestamps reported to
+/// the sink are engine cycles; domains are stream indices.
+pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
+    cfg: &MachineConfig,
     mut streams: Vec<Box<dyn AccessStream>>,
     warmup_events: &[u64],
+    sink: &S,
 ) -> RunOutcome {
     assert!(!streams.is_empty(), "need at least one stream");
     if let Partition::StaticWays { tenants } = cfg.l2_partition {
@@ -135,6 +165,14 @@ pub fn run_colocated_warm(
     // Per-NF event counts and the stats snapshot taken when warmup ends.
     let mut events: Vec<u64> = vec![0; n];
     let mut snapshot: Vec<Option<NfRunStats>> = vec![None; n];
+    // With NullSink this bool is a monomorphized constant `false`, so
+    // the accumulators and every guarded block below fold away.
+    let telemetry_on = sink.enabled();
+    let mut bus_tel: Vec<BusTelemetry> = if telemetry_on {
+        vec![BusTelemetry::default(); n]
+    } else {
+        Vec::new()
+    };
 
     // Pending event per NF, pulled lazily; heap orders by local clock.
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -164,7 +202,17 @@ pub fn run_colocated_warm(
                 now += cfg.l2_hit_cycles;
             } else {
                 stats[i].l2_misses += 1;
-                let start = arbiter.grant(i as u32, now + cfg.l2_hit_cycles, cfg.bus_beat_cycles);
+                let ready = now + cfg.l2_hit_cycles;
+                let start = arbiter.grant(i as u32, ready, cfg.bus_beat_cycles);
+                if telemetry_on {
+                    let t = &mut bus_tel[i];
+                    t.grants += 1;
+                    t.wait.record(start.saturating_sub(ready));
+                    t.dram.record(cfg.dram_cycles);
+                    if start > ready {
+                        t.delayed += 1;
+                    }
+                }
                 now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
             }
         }
@@ -197,7 +245,31 @@ pub fn run_colocated_warm(
             },
             None => total,
         })
-        .collect();
+        .collect::<Vec<NfRunStats>>();
+    if telemetry_on {
+        for (i, s) in nfs.iter().enumerate() {
+            sink.span_begin(i as u64, "uarch.nf_run", 0);
+            sink.span_end(i as u64, "uarch.nf_run", s.cycles);
+            sink.counter_add(i as u64, metrics::INSNS, s.insns);
+            sink.counter_add(i as u64, metrics::CYCLES, s.cycles);
+            sink.counter_add(i as u64, metrics::L1_HITS, s.l1_hits);
+            sink.counter_add(i as u64, metrics::L1_MISSES, s.l1_misses);
+            sink.counter_add(i as u64, metrics::L2_HITS, s.l2_hits);
+            sink.counter_add(i as u64, metrics::L2_MISSES, s.l2_misses);
+            // Flush the batched bus telemetry. Guards keep a miss-free
+            // run from materializing zero-valued entries, matching the
+            // per-sample behaviour this replaces.
+            let t = &bus_tel[i];
+            if t.grants > 0 {
+                sink.counter_add(i as u64, metrics::BUS_GRANTS, t.grants);
+                sink.merge_hist(i as u64, metrics::BUS_WAIT_CYCLES, &t.wait);
+                sink.merge_hist(i as u64, metrics::DRAM_CYCLES, &t.dram);
+            }
+            if t.delayed > 0 {
+                sink.counter_add(i as u64, metrics::BUS_DELAYED, t.delayed);
+            }
+        }
+    }
     RunOutcome { nfs }
 }
 
@@ -391,6 +463,28 @@ mod tests {
             vec![Box::new(SyntheticStream::new(4 << 10, 8, 4, 1_000, 5)) as Box<dyn AccessStream>];
         let out = run_colocated_warm(&cfg, s, &[50_000]);
         assert_eq!(out.nfs[0].l1_hits + out.nfs[0].l1_misses, 1_000);
+    }
+
+    #[test]
+    fn sink_on_stats_equal_sink_off() {
+        use snic_telemetry::Recorder;
+        let cfg = MachineConfig::commodity(2, 1 << 20);
+        let off = run_colocated(&cfg, streams(2, 8 << 20, 5_000));
+        let recorder = Recorder::new();
+        let on = run_colocated_sink(&cfg, streams(2, 8 << 20, 5_000), &[], &recorder);
+        assert_eq!(on.nfs, off.nfs, "telemetry must not perturb the simulation");
+
+        // The recorded aggregates match the returned statistics.
+        let summary = recorder.summary();
+        for (i, s) in on.nfs.iter().enumerate() {
+            let c = |m: &str| summary.counters[&(i as u64, m.to_string())];
+            assert_eq!(c(metrics::INSNS), s.insns);
+            assert_eq!(c(metrics::CYCLES), s.cycles);
+            assert_eq!(c(metrics::L2_MISSES), s.l2_misses);
+            assert_eq!(c(metrics::BUS_GRANTS), s.l2_misses);
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 2 * on.nfs.len(), "one span per NF");
     }
 
     #[test]

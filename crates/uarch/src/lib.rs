@@ -35,7 +35,7 @@ pub mod stream;
 pub use bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
 pub use cache::{Cache, CacheConfig, Partition};
 pub use config::MachineConfig;
-pub use engine::{run_colocated, NfRunStats, RunOutcome};
+pub use engine::{run_colocated, run_colocated_sink, NfRunStats, RunOutcome};
 pub use stream::{
     Access, AccessKind, AccessStream, ReplayStream, SharedReplayStream, SyntheticStream,
 };

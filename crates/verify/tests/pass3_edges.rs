@@ -1,0 +1,148 @@
+//! Pass 3 edge cases: transcripts that exercise the lint's boundary
+//! behaviour rather than its happy/blast paths — empty input, runs
+//! that end mid-scrub, and reuse landing exactly at a power-loss scrub
+//! watermark.
+
+use snic_faults::{FaultEventKind, FaultRecord};
+use snic_types::{NfId, Picos};
+use snic_verify::{lint_fault_transcript, FindingKind};
+
+fn rec(seq: u64, nf: Option<NfId>, kind: FaultEventKind) -> FaultRecord {
+    FaultRecord {
+        seq,
+        at: Picos(seq * 10),
+        nf,
+        kind,
+    }
+}
+
+fn teardown(seq: u64, nf: u64, base: u64, len: u64) -> FaultRecord {
+    rec(
+        seq,
+        Some(NfId(nf)),
+        FaultEventKind::TeardownStarted { base, len },
+    )
+}
+
+fn progress(seq: u64, nf: u64, base: u64, watermark: u64, len: u64) -> FaultRecord {
+    rec(
+        seq,
+        Some(NfId(nf)),
+        FaultEventKind::ScrubProgress {
+            base,
+            watermark,
+            len,
+        },
+    )
+}
+
+fn completed(seq: u64, nf: u64, base: u64, len: u64) -> FaultRecord {
+    rec(
+        seq,
+        Some(NfId(nf)),
+        FaultEventKind::ScrubCompleted { base, len },
+    )
+}
+
+fn reused(seq: u64, nf: u64, base: u64, len: u64) -> FaultRecord {
+    rec(
+        seq,
+        Some(NfId(nf)),
+        FaultEventKind::RegionReused { base, len },
+    )
+}
+
+#[test]
+fn empty_transcript_lints_clean() {
+    assert!(lint_fault_transcript(&[]).is_empty());
+}
+
+#[test]
+fn transcript_ending_mid_scrub_is_clean_without_reuse() {
+    // A run can legitimately stop while a scrub is in flight (power
+    // still out, harness done). With no reuse of the dirty region there
+    // is nothing to flag — the invariant constrains reuse, not the
+    // scrub's completion within the observed window.
+    let records = vec![
+        teardown(0, 1, 0x4000, 0x2000),
+        progress(1, 1, 0x4000, 0x800, 0x2000),
+        rec(2, None, FaultEventKind::PowerLost),
+    ];
+    assert!(lint_fault_transcript(&records).is_empty());
+}
+
+#[test]
+fn reuse_of_other_memory_while_scrub_pending_is_clean() {
+    // The dirty-region bookkeeping must not over-approximate: handing
+    // out *disjoint* memory while a scrub is pending is legal.
+    let records = vec![
+        teardown(0, 1, 0x4000, 0x2000),
+        progress(1, 1, 0x4000, 0x800, 0x2000),
+        reused(2, 2, 0x8000, 0x1000),
+    ];
+    assert!(lint_fault_transcript(&records).is_empty());
+}
+
+#[test]
+fn reuse_exactly_at_watermark_boundary_is_still_flagged() {
+    // Power loss interrupts the scrub at watermark 0x800: bytes below
+    // the watermark are already zero, bytes above are not. The region
+    // is tracked as dirty until ScrubCompleted, so reuse starting
+    // exactly at base+watermark — the first *unscrubbed* byte — must be
+    // flagged, and Pass 3 is deliberately conservative about reuse of
+    // the scrubbed prefix too (completion, not progress, clears it).
+    let base = 0x4000u64;
+    let watermark = 0x800u64;
+    let records = vec![
+        teardown(0, 1, base, 0x2000),
+        progress(1, 1, base, watermark, 0x2000),
+        rec(2, None, FaultEventKind::PowerLost),
+        rec(3, None, FaultEventKind::PowerRestored),
+        reused(4, 2, base + watermark, 0x100),
+    ];
+    let findings = lint_fault_transcript(&records);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].kind, FindingKind::UnscrubbedReuse);
+
+    // The conservative half: the zeroed prefix is also refused until
+    // the scrub completes.
+    let prefix = vec![
+        teardown(0, 1, base, 0x2000),
+        progress(1, 1, base, watermark, 0x2000),
+        reused(2, 2, base, watermark),
+    ];
+    let findings = lint_fault_transcript(&prefix);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].kind, FindingKind::UnscrubbedReuse);
+
+    // Reuse starting one byte past the region's end is disjoint: clean.
+    let past_end = vec![
+        teardown(0, 1, base, 0x2000),
+        reused(1, 2, base + 0x2000, 0x100),
+    ];
+    assert!(lint_fault_transcript(&past_end).is_empty());
+}
+
+#[test]
+fn interleaved_tenants_track_dirty_regions_independently() {
+    // Two teardowns in flight; only one completes. Reuse of the
+    // completed region is clean, reuse of the still-dirty one is
+    // flagged — the per-region retain must not clear both.
+    let records = vec![
+        teardown(0, 1, 0x4000, 0x1000),
+        teardown(1, 2, 0x8000, 0x1000),
+        progress(2, 1, 0x4000, 0x400, 0x1000),
+        progress(3, 2, 0x8000, 0x1000, 0x1000),
+        completed(4, 2, 0x8000, 0x1000),
+        reused(5, 3, 0x8000, 0x1000), // NF 2's region: scrubbed, clean
+        reused(6, 4, 0x4800, 0x100),  // NF 1's region: still dirty
+    ];
+    let findings = lint_fault_transcript(&records);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].kind, FindingKind::UnscrubbedReuse);
+    assert!(
+        findings[0].detail.contains("0x4800"),
+        "finding should name the dirty reuse: {}",
+        findings[0].detail
+    );
+}

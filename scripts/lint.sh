@@ -38,4 +38,16 @@ echo "==> fault-matrix smoke: serial/parallel determinism + demo"
 cargo test -q -p snic-bench --test fault_determinism matrix_serial_and_parallel_byte_identical
 cargo run -q --release --example fault_injection > /dev/null
 
+# Golden snapshots: every figure pipeline's rendered output at the
+# pinned scale must match the checked-in documents byte-for-byte
+# (regenerate intentionally with SNIC_BLESS=1).
+echo "==> golden snapshots"
+cargo test -q -p snic-bench --test golden
+
+# Telemetry overhead gate: recording the fig5 smoke sweep must stay
+# within SNIC_TELEMETRY_BUDGET_PCT (default 10) percent wall clock of
+# the sink-off run, with bit-identical outcomes.
+echo "==> telemetry overhead budget"
+cargo run -q --release -p snic-bench --bin telemetry_overhead
+
 echo "lint gate: OK"

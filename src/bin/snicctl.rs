@@ -14,6 +14,18 @@
 //! ```
 //!
 //! Usage: `cargo run --release --bin snicctl -- script.snic`
+//!
+//! A second mode drives the telemetry layer instead of a script:
+//!
+//! ```text
+//! snicctl telemetry record <trace.json> <summary.txt>  # run the fig5
+//!     # smoke sweep under a recorder; write Chrome trace + summary
+//! snicctl telemetry summary <summary.txt>              # render one run
+//! snicctl telemetry diff <before.txt> <after.txt>      # compare runs
+//! ```
+//!
+//! The Chrome trace opens directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -240,9 +252,63 @@ fn parse_kv(args: &[&str]) -> Result<HashMap<String, u64>, String> {
     Ok(out)
 }
 
+/// `snicctl telemetry ...`: record the fig5 smoke sweep, render a
+/// summary file, or diff two of them.
+fn telemetry_main(args: &[String]) -> Result<String, String> {
+    use snic::telemetry::{to_chrome_trace, Summary};
+
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    match args {
+        [cmd, trace_path, summary_path] if cmd == "record" => {
+            let scale = snic::bench::telemetry::smoke_scale();
+            let (outcomes, summary, events) =
+                snic::bench::telemetry::record_smoke(snic::sim::Exec::Parallel, &scale);
+            std::fs::write(trace_path, to_chrome_trace(&events))
+                .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+            std::fs::write(summary_path, summary.to_text())
+                .map_err(|e| format!("cannot write {summary_path}: {e}"))?;
+            Ok(format!(
+                "recorded {} colocation runs: {} events -> {trace_path} (open in \
+                 ui.perfetto.dev), {} counters + {} histograms -> {summary_path}\n\n{}",
+                outcomes.len(),
+                events.len(),
+                summary.counters.len(),
+                summary.hists.len(),
+                summary.render()
+            ))
+        }
+        [cmd, path] if cmd == "summary" => Ok(Summary::from_text(&read(path)?)?.render()),
+        [cmd, before, after] if cmd == "diff" => {
+            let a = Summary::from_text(&read(before)?)?;
+            let b = Summary::from_text(&read(after)?)?;
+            Ok(Summary::render_diff(&a.diff(&b)))
+        }
+        _ => Err(
+            "usage: snicctl telemetry <record <trace.json> <summary.txt> | \
+                  summary <file> | diff <before> <after>>"
+                .to_string(),
+        ),
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: snicctl <script.snic | ->");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("telemetry") {
+        match telemetry_main(&argv[1..]) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("snicctl: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let arg = argv.first().cloned().unwrap_or_else(|| {
+        eprintln!("usage: snicctl <script.snic | -> | snicctl telemetry ...");
         std::process::exit(2);
     });
     let script = if arg == "-" {
@@ -327,6 +393,27 @@ attest ids
         // Core conflicts surface as errors too.
         s.execute("launch a core=0 mem=4").unwrap();
         assert!(s.execute("launch b core=0 mem=4").is_err());
+    }
+
+    #[test]
+    fn telemetry_usage_and_diff() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(telemetry_main(&s(&["bogus"])).is_err());
+        assert!(telemetry_main(&s(&["record", "only-one-path"])).is_err());
+        let dir = std::env::temp_dir();
+        let (a, b) = (dir.join("snicctl-tel-a.txt"), dir.join("snicctl-tel-b.txt"));
+        std::fs::write(&a, "# snic-telemetry summary v1\ncounter 0 nf.tx_sent 1\n").unwrap();
+        std::fs::write(&b, "# snic-telemetry summary v1\ncounter 0 nf.tx_sent 3\n").unwrap();
+        let (a, b) = (
+            a.to_string_lossy().into_owned(),
+            b.to_string_lossy().into_owned(),
+        );
+        let rendered = telemetry_main(&s(&["summary", &a])).unwrap();
+        assert!(rendered.contains("nf.tx_sent"), "{rendered}");
+        let diff = telemetry_main(&s(&["diff", &a, &b])).unwrap();
+        assert!(diff.contains("nf.tx_sent"), "{diff}");
+        let same = telemetry_main(&s(&["diff", &a, &a])).unwrap();
+        assert!(same.contains("no differences"), "{same}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub use snic_accel as accel;
 pub use snic_attacks as attacks;
+pub use snic_bench as bench;
 pub use snic_core as core;
 pub use snic_cost as cost;
 pub use snic_crypto as crypto;
@@ -21,6 +22,7 @@ pub use snic_mem as mem;
 pub use snic_nf as nf;
 pub use snic_pktio as pktio;
 pub use snic_sim as sim;
+pub use snic_telemetry as telemetry;
 pub use snic_trace as trace;
 pub use snic_types as types;
 pub use snic_uarch as uarch;
