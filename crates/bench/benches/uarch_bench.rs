@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use snic_uarch::cache::{Cache, CacheConfig, Partition};
 use snic_uarch::config::MachineConfig;
 use snic_uarch::engine::run_colocated;
-use snic_uarch::stream::{AccessStream, SyntheticStream};
+use snic_uarch::stream::{EventSource, SyntheticStream};
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");
@@ -40,12 +40,9 @@ fn bench_cache(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    let streams = || -> Vec<Box<dyn AccessStream>> {
+    let streams = || -> Vec<EventSource> {
         (0..4)
-            .map(|i| {
-                Box::new(SyntheticStream::new(2 << 20, 6, 4, 50_000, 100 + i))
-                    as Box<dyn AccessStream>
-            })
+            .map(|i| SyntheticStream::new(2 << 20, 6, 4, 50_000, 100 + i).into())
             .collect()
     };
     let mut group = c.benchmark_group("colocated_run_4nf_50k");

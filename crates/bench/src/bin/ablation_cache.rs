@@ -37,7 +37,7 @@ fn job(traces: &TraceSet, cfg: MachineConfig) -> SimJob {
     // recording (no per-run copies).
     let streams: Vec<SendStream> = KINDS
         .iter()
-        .map(|&k| Box::new(SharedReplayStream::repeated(find(k).clone(), 2)) as SendStream)
+        .map(|&k| SharedReplayStream::repeated(find(k).clone(), 2).into())
         .collect();
     let warmups: Vec<u64> = KINDS.iter().map(|&k| find(k).len() as u64).collect();
     SimJob::new(cfg, streams).with_warmups(warmups)

@@ -1,0 +1,104 @@
+//! `uarch_perf` — wall-clock harness for the microarchitectural engine
+//! and keeper of the repo-root `BENCH_uarch.json` perf baseline.
+//!
+//! Modes:
+//!
+//! ```text
+//! uarch_perf                  # measure (median of 5) and print the JSON
+//! uarch_perf --full           # same at the paper scale
+//! uarch_perf --write          # also write BENCH_uarch.json, preserving
+//!                             #   the frozen events_per_sec_before field
+//! uarch_perf --smoke          # lint-gate mode: median of 3, compare
+//!                             #   against the committed baseline, fail
+//!                             #   on >10% regression
+//! SNIC_BLESS_BENCH=1 uarch_perf --smoke   # re-bless the baseline
+//! ```
+//!
+//! The regression tolerance is `SNIC_BENCH_TOLERANCE_PCT` (default 10).
+
+use snic_bench::perf::{extract_f64, run, to_json};
+use snic_bench::Scale;
+
+/// Repo-root location of the committed baseline.
+fn bench_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_uarch.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let smoke = has("--smoke");
+    let (scale, scale_name) = if has("--full") {
+        (Scale::paper(), "paper")
+    } else {
+        (Scale::quick(), "quick")
+    };
+    let reps = if smoke { 3 } else { 5 };
+
+    eprintln!("uarch_perf: measuring (scale={scale_name}, median of {reps})...");
+    let report = run(&scale, reps);
+    for p in &report.points {
+        eprintln!(
+            "  {:>14}: {:>10} events in {:.4}s = {:>12.0} events/s",
+            p.label, p.events, p.secs, p.eps
+        );
+    }
+    eprintln!(
+        "uarch_perf: serial events/sec = {:.0} ({} events)",
+        report.events_per_sec, report.total_events
+    );
+
+    let path = bench_path();
+    let committed = std::fs::read_to_string(&path).ok();
+    let before = committed
+        .as_deref()
+        .and_then(|j| extract_f64(j, "events_per_sec_before"));
+    let after = committed
+        .as_deref()
+        .and_then(|j| extract_f64(j, "events_per_sec_after"));
+
+    if smoke {
+        let bless = std::env::var("SNIC_BLESS_BENCH").is_ok_and(|v| v == "1");
+        if bless {
+            std::fs::write(&path, to_json(&report, scale_name, before))
+                .expect("write BENCH_uarch.json");
+            eprintln!("uarch_perf: blessed new baseline -> {}", path.display());
+            return;
+        }
+        let Some(after) = after else {
+            eprintln!(
+                "uarch_perf: no committed baseline at {} (run with --write or \
+                 SNIC_BLESS_BENCH=1 --smoke first)",
+                path.display()
+            );
+            std::process::exit(1);
+        };
+        let tolerance: f64 = std::env::var("SNIC_BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10.0);
+        let floor = after * (1.0 - tolerance / 100.0);
+        if report.events_per_sec < floor {
+            eprintln!(
+                "uarch_perf: FAIL — measured {:.0} events/s is more than {tolerance}% below \
+                 the committed baseline {after:.0} (floor {floor:.0}). If the slowdown is \
+                 intentional, re-bless with SNIC_BLESS_BENCH=1 uarch_perf --smoke.",
+                report.events_per_sec
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "uarch_perf: OK — measured {:.0} events/s vs baseline {after:.0} \
+             (floor {floor:.0}, tolerance {tolerance}%)",
+            report.events_per_sec
+        );
+        return;
+    }
+
+    let json = to_json(&report, scale_name, before);
+    if has("--write") {
+        std::fs::write(&path, &json).expect("write BENCH_uarch.json");
+        eprintln!("uarch_perf: wrote {}", path.display());
+    }
+    println!("{json}");
+}

@@ -449,11 +449,11 @@ fn perturb_streams(
 }
 
 fn replay(v: Vec<Access>) -> SendStream {
-    Box::new(ReplayStream::new(v))
+    ReplayStream::new(v).into()
 }
 
 fn doubled(trace: &SharedTrace) -> SendStream {
-    Box::new(SharedReplayStream::repeated(SharedTrace::clone(trace), 2))
+    SharedReplayStream::repeated(SharedTrace::clone(trace), 2).into()
 }
 
 /// Repeat a recorded trace end to end `repeats` times (owned; the
@@ -495,14 +495,8 @@ pub fn uarch_jobs(scenario: FaultScenario, traces: &TraceSet) -> Vec<SimJob> {
     let clean = || -> Vec<SendStream> {
         vec![
             doubled(victim),
-            Box::new(SharedReplayStream::repeated(
-                SharedTrace::clone(aggr),
-                aggr_reps as u32,
-            )),
-            Box::new(SharedReplayStream::repeated(
-                SharedTrace::clone(nicos),
-                nicos_reps as u32,
-            )),
+            SharedReplayStream::repeated(SharedTrace::clone(aggr), aggr_reps as u32).into(),
+            SharedReplayStream::repeated(SharedTrace::clone(nicos), nicos_reps as u32).into(),
         ]
     };
     let faulted = || -> Vec<SendStream> {

@@ -40,7 +40,7 @@ pub struct DegradationPoint {
 /// version materialised four full copies of every trace per measured
 /// point (two streams × two machine configs).
 fn doubled(trace: &SharedTrace) -> SendStream {
-    Box::new(SharedReplayStream::repeated(SharedTrace::clone(trace), 2))
+    SharedReplayStream::repeated(SharedTrace::clone(trace), 2).into()
 }
 
 /// The two jobs (commodity baseline, S-NIC) measuring one colocation:

@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod golden;
+pub mod perf;
 pub mod streams;
 pub mod tables;
 pub mod telemetry;

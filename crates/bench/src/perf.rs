@@ -1,0 +1,231 @@
+//! Wall-clock performance harness for the microarchitectural engine.
+//!
+//! Every figure in the reproduction bottoms out in
+//! [`snic_uarch::engine::run_colocated_sink`], so this module measures
+//! exactly that: **serial** events per second over the recorded fig5 NF
+//! traces (seed `0xf15a`, the fig5a seed, so the workload is the real
+//! sweep workload, not a synthetic stand-in) at several colocation
+//! scales, warm-started the way the sweeps are (first trace pass warms
+//! the caches), median-of-k.
+//!
+//! The numbers land in `BENCH_uarch.json` at the repo root:
+//!
+//! - `events_per_sec_before` — frozen measurement of the pre-overhaul
+//!   engine (ISSUE 5), kept so the recorded speedup survives re-blessing;
+//! - `events_per_sec_after` — the committed baseline every future PR is
+//!   gated against (`scripts/lint.sh` runs `uarch_perf --smoke` and
+//!   fails on a >10 % regression; re-bless with `SNIC_BLESS_BENCH=1`).
+//!
+//! Timing uses the wall clock, so this module is for the perf binary
+//! and `snicctl bench` only — simulation results never depend on it.
+
+use std::time::Instant;
+
+use snic_uarch::config::MachineConfig;
+use snic_uarch::engine::run_colocated_warm;
+use snic_uarch::stream::{EventSource, SharedReplayStream};
+
+use crate::streams::{all_traces, SharedTrace, TraceSet};
+use crate::{median, Scale};
+
+/// Trace seed: fig5a's, so the harness replays the same recordings as a
+/// real fig5a run at the same scale.
+pub const PERF_SEED: u64 = 0xf15a;
+
+/// L2 size of every measured point (one mid-curve fig5a setting).
+pub const PERF_L2_BYTES: u64 = 256 << 10;
+
+/// Colocation scales on the x-axis: solo, the fig5a pair, and the two
+/// fig5b multi-tenant points that fit six recorded kinds.
+pub const PERF_TENANTS: [usize; 4] = [1, 2, 4, 6];
+
+/// One measured cell: a colocation scale under one personality.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// `"{n}nf-{commodity|snic}"`.
+    pub label: String,
+    /// Colocated stream count.
+    pub tenants: usize,
+    /// S-NIC (partitioned) or commodity personality.
+    pub snic: bool,
+    /// Engine events processed per run (both trace passes).
+    pub events: u64,
+    /// Median wall-clock seconds over the harness repetitions.
+    pub secs: f64,
+    /// `events / secs`.
+    pub eps: f64,
+}
+
+/// The full harness result.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Every measured cell, scale-major, commodity before S-NIC.
+    pub points: Vec<PerfPoint>,
+    /// Events per run summed over all cells.
+    pub total_events: u64,
+    /// Median seconds summed over all cells.
+    pub total_secs: f64,
+    /// The headline metric: `total_events / total_secs`.
+    pub events_per_sec: f64,
+    /// Repetitions per cell (median taken).
+    pub median_of: usize,
+}
+
+/// The streams of one cell: `tenants` recorded traces (kinds taken
+/// round-robin from the trace set), each replayed twice with the first
+/// pass as warmup — the fig5 sweep shape.
+fn cell_streams(traces: &TraceSet, tenants: usize) -> (Vec<EventSource>, Vec<u64>, u64) {
+    let mut streams = Vec::with_capacity(tenants);
+    let mut warmups = Vec::with_capacity(tenants);
+    let mut events = 0u64;
+    for slot in 0..tenants {
+        let (_, trace) = &traces[slot % traces.len()];
+        streams.push(EventSource::from(SharedReplayStream::repeated(
+            SharedTrace::clone(trace),
+            2,
+        )));
+        warmups.push(trace.len() as u64);
+        events += 2 * trace.len() as u64;
+    }
+    (streams, warmups, events)
+}
+
+/// Run the harness: every `(scale, personality)` cell `reps` times on
+/// the calling thread, median wall clock per cell.
+pub fn run(scale: &Scale, reps: usize) -> PerfReport {
+    assert!(reps >= 1, "need at least one repetition");
+    let traces = all_traces(scale, PERF_SEED);
+    let mut points = Vec::new();
+    for &tenants in &PERF_TENANTS {
+        for snic in [false, true] {
+            let cfg = if snic {
+                MachineConfig::snic(tenants as u32, PERF_L2_BYTES)
+            } else {
+                MachineConfig::commodity(tenants as u32, PERF_L2_BYTES)
+            };
+            let mut secs = Vec::with_capacity(reps);
+            let mut events = 0;
+            for _ in 0..reps {
+                let (streams, warmups, ev) = cell_streams(&traces, tenants);
+                events = ev;
+                let start = Instant::now();
+                let out = run_colocated_warm(&cfg, streams, &warmups);
+                secs.push(start.elapsed().as_secs_f64());
+                assert_eq!(out.nfs.len(), tenants);
+            }
+            let med = median(&mut secs);
+            points.push(PerfPoint {
+                label: format!("{tenants}nf-{}", if snic { "snic" } else { "commodity" }),
+                tenants,
+                snic,
+                events,
+                secs: med,
+                eps: events as f64 / med.max(1e-12),
+            });
+        }
+    }
+    let total_events: u64 = points.iter().map(|p| p.events).sum();
+    let total_secs: f64 = points.iter().map(|p| p.secs).sum();
+    PerfReport {
+        total_events,
+        total_secs,
+        events_per_sec: total_events as f64 / total_secs.max(1e-12),
+        median_of: reps,
+        points,
+    }
+}
+
+/// Render the report as the `BENCH_uarch.json` document.
+///
+/// `before_eps` is the frozen pre-overhaul measurement (carried forward
+/// from the existing file on re-bless); when absent the current number
+/// doubles as its own baseline (speedup 1.0).
+pub fn to_json(report: &PerfReport, scale_name: &str, before_eps: Option<f64>) -> String {
+    let before = before_eps.unwrap_or(report.events_per_sec);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"workload\": \"fig5-traces colocation sweep, warm-started, serial engine\",\n");
+    s.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    s.push_str(&format!("  \"median_of\": {},\n", report.median_of));
+    s.push_str(&format!("  \"total_events\": {},\n", report.total_events));
+    s.push_str(&format!("  \"events_per_sec_before\": {:.1},\n", before));
+    s.push_str(&format!(
+        "  \"events_per_sec_after\": {:.1},\n",
+        report.events_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"speedup\": {:.2},\n",
+        report.events_per_sec / before.max(1e-12)
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"tenants\": {}, \"events\": {}, \"secs\": {:.4}, \
+             \"eps\": {:.1}}}{}\n",
+            p.label,
+            p.tenants,
+            p.events,
+            p.secs,
+            p.eps,
+            if i + 1 == report.points.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract a top-level numeric field from a `BENCH_uarch.json` document
+/// (good enough for the documents [`to_json`] writes; no external JSON
+/// dependency in the offline workspace).
+pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            flows: 300,
+            packets: 300,
+            patterns: 60,
+            fw_rules: 40,
+            lpm_prefixes: 100,
+            monitor_ms: 10,
+        }
+    }
+
+    #[test]
+    fn harness_covers_all_cells_and_json_round_trips() {
+        let report = run(&tiny(), 1);
+        assert_eq!(report.points.len(), PERF_TENANTS.len() * 2);
+        assert!(report.total_events > 0);
+        assert!(report.events_per_sec > 0.0);
+        let json = to_json(&report, "tiny", Some(report.events_per_sec / 3.0));
+        let after = extract_f64(&json, "events_per_sec_after").expect("after present");
+        assert!((after - report.events_per_sec).abs() / report.events_per_sec < 1e-3);
+        let speedup = extract_f64(&json, "speedup").expect("speedup present");
+        assert!((speedup - 3.0).abs() < 0.05, "speedup {speedup}");
+        assert!(extract_f64(&json, "no_such_key").is_none());
+    }
+
+    #[test]
+    fn events_count_both_passes() {
+        let traces = all_traces(&tiny(), PERF_SEED);
+        let (streams, warmups, events) = cell_streams(&traces, 2);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(warmups.len(), 2);
+        let expect: u64 = (0..2).map(|i| 2 * traces[i].1.len() as u64).sum();
+        assert_eq!(events, expect);
+    }
+}

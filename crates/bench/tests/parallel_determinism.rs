@@ -42,7 +42,7 @@ fn trace_jobs() -> Vec<SimJob> {
             let streams: Vec<SendStream> = (0..tenants)
                 .map(|i| {
                     let (_, trace) = &traces[(i + cfg_i) % traces.len()];
-                    Box::new(SharedReplayStream::repeated(trace.clone(), 2)) as SendStream
+                    SharedReplayStream::repeated(trace.clone(), 2).into()
                 })
                 .collect();
             let warmups: Vec<u64> = (0..tenants)

@@ -34,10 +34,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use snic_telemetry::TelemetrySink;
 use snic_uarch::config::MachineConfig;
 use snic_uarch::engine::{run_colocated_sink, run_colocated_warm, RunOutcome};
-use snic_uarch::stream::AccessStream;
+use snic_uarch::stream::EventSource;
 
-/// A boxed reference stream that can move to a worker thread.
-pub type SendStream = Box<dyn AccessStream + Send>;
+/// A reference stream that can move to a worker thread. [`EventSource`]
+/// is `Send` (asserted in `snic-uarch`'s stream tests); the alias name
+/// survives from the boxed-trait-object era so call sites read the same.
+pub type SendStream = EventSource;
 
 /// One pending colocation run: everything
 /// [`snic_uarch::engine::run_colocated_warm`] needs, packaged so the run
@@ -77,14 +79,9 @@ impl SimJob {
 
     /// Execute the job on the current thread.
     pub fn run(self) -> RunOutcome {
-        let streams: Vec<Box<dyn AccessStream>> = self
-            .streams
-            .into_iter()
-            .map(|s| s as Box<dyn AccessStream>)
-            .collect();
         match self.sink {
-            Some(sink) => run_colocated_sink(&self.cfg, streams, &self.warmups, sink.as_ref()),
-            None => run_colocated_warm(&self.cfg, streams, &self.warmups),
+            Some(sink) => run_colocated_sink(&self.cfg, self.streams, &self.warmups, sink.as_ref()),
+            None => run_colocated_warm(&self.cfg, self.streams, &self.warmups),
         }
     }
 }
@@ -233,9 +230,7 @@ mod tests {
 
     fn job(seed: u64, tenants: usize) -> SimJob {
         let streams: Vec<SendStream> = (0..tenants)
-            .map(|i| {
-                Box::new(SyntheticStream::new(2 << 20, 8, 4, 4_000, seed + i as u64)) as SendStream
-            })
+            .map(|i| SyntheticStream::new(2 << 20, 8, 4, 4_000, seed + i as u64).into())
             .collect();
         SimJob::new(MachineConfig::commodity(tenants as u32, 1 << 20), streams)
             .with_warmups(vec![500; tenants])

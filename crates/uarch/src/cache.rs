@@ -14,8 +14,6 @@
 //!   permits a one-way channel from the NIC OS to functions but not the
 //!   reverse (§4.2).
 
-use std::collections::HashMap;
-
 /// Cache geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -32,7 +30,11 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero or non-dividing sizes).
+    /// Panics if the geometry is degenerate (a zero dimension) or
+    /// non-dividing (`size` not a multiple of `ways * line`). A
+    /// non-dividing size used to be accepted and silently truncated to
+    /// `size / (ways * line)` sets — a "4.5 MB" cache quietly modeled
+    /// only 4 MB — so it is now rejected outright.
     pub fn sets(&self) -> u64 {
         assert!(
             self.size > 0 && self.ways > 0 && self.line > 0,
@@ -40,10 +42,13 @@ impl CacheConfig {
         );
         let per_way_bytes = u64::from(self.ways) * u64::from(self.line);
         assert!(
-            self.size.is_multiple_of(per_way_bytes) || self.size >= per_way_bytes,
-            "cache size must hold at least one set"
+            self.size.is_multiple_of(per_way_bytes),
+            "cache size {} is not a multiple of ways*line = {} bytes: a non-dividing \
+             geometry would silently truncate the modeled capacity",
+            self.size,
+            per_way_bytes
         );
-        (self.size / per_way_bytes).max(1)
+        self.size / per_way_bytes
     }
 }
 
@@ -64,25 +69,159 @@ pub enum Partition {
     },
 }
 
-/// One cache line's bookkeeping.
+/// Tag sentinel for invalid lines; a real tag is an address shifted
+/// *right*, so it can only reach `u64::MAX` from an address within one
+/// line of `u64::MAX` (debug-asserted out in [`Cache::access`]).
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Precomputed per-tenant way slices, so the hot path indexes a table
+/// instead of re-deriving prefix sums from the [`Partition`] on every
+/// access.
+#[derive(Debug, Clone)]
+enum WaySlices {
+    /// Every tenant may occupy every way.
+    Shared,
+    /// `slices[t % slices.len()]` (static partitioning wraps tenants).
+    Static(Box<[(u32, u32)]>),
+    /// `slices[min(t, slices.len() - 1)]` (SecDCP clamps tenants).
+    SecDcp(Box<[(u32, u32)]>),
+}
+
+impl WaySlices {
+    fn build(config: &CacheConfig, partition: &Partition) -> WaySlices {
+        match partition {
+            Partition::Shared => WaySlices::Shared,
+            Partition::StaticWays { tenants } => {
+                let per = config.ways / tenants;
+                let slices = (0..*tenants)
+                    .map(|t| {
+                        let lo = t * per;
+                        // Last tenant absorbs any remainder ways.
+                        let hi = if t == tenants - 1 {
+                            config.ways
+                        } else {
+                            lo + per
+                        };
+                        (lo, hi)
+                    })
+                    .collect();
+                WaySlices::Static(slices)
+            }
+            Partition::SecDcp { allocation } => {
+                let mut lo = 0u32;
+                let slices = allocation
+                    .iter()
+                    .map(|&w| {
+                        let s = (lo, lo + w);
+                        lo += w;
+                        s
+                    })
+                    .collect();
+                WaySlices::SecDcp(slices)
+            }
+        }
+    }
+}
+
+/// Address-to-set mapping, precomputed from the geometry. Every shipped
+/// configuration has power-of-two line size and set count, so the hot
+/// path is two shifts and a mask; non-power-of-two geometries (legal,
+/// e.g. 3 sets from a `3 * ways * line` size) take the division path.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    owner: u32,
-    /// LRU timestamp (larger = more recent).
-    stamp: u64,
-    valid: bool,
+enum SetMap {
+    /// `line` and the set count are both powers of two.
+    Pow2 {
+        line_shift: u32,
+        set_mask: u64,
+        set_shift: u32,
+    },
+    /// General geometry: divide by `line`, then split by set count.
+    Div { line: u64, nsets: u64 },
+}
+
+impl SetMap {
+    fn build(config: &CacheConfig) -> SetMap {
+        let nsets = config.sets();
+        if config.line.is_power_of_two() && nsets.is_power_of_two() {
+            SetMap::Pow2 {
+                line_shift: config.line.trailing_zeros(),
+                set_mask: nsets - 1,
+                set_shift: nsets.trailing_zeros(),
+            }
+        } else {
+            SetMap::Div {
+                line: u64::from(config.line),
+                nsets,
+            }
+        }
+    }
+
+    /// `(set index, tag)` of `addr`.
+    #[inline]
+    fn locate(self, addr: u64) -> (usize, u64) {
+        match self {
+            SetMap::Pow2 {
+                line_shift,
+                set_mask,
+                set_shift,
+            } => {
+                let line_addr = addr >> line_shift;
+                ((line_addr & set_mask) as usize, line_addr >> set_shift)
+            }
+            SetMap::Div { line, nsets } => {
+                let line_addr = addr / line;
+                ((line_addr % nsets) as usize, line_addr / nsets)
+            }
+        }
+    }
 }
 
 /// A set-associative cache.
+///
+/// Line bookkeeping is stored structure-of-arrays in three contiguous
+/// set-major arrays (`sets * ways` entries each) — the nested
+/// `Vec<Vec<Line>>` plus `HashMap` layout this replaced cost a pointer
+/// chase and two
+/// SipHash lookups per access, and even a flat array-of-structs layout
+/// drags the LRU stamps and owners through the host cache on every hit
+/// scan. Split out, a 16-way hit check touches 128 bytes of tags
+/// instead of 384 bytes of line records, and the stamps are only read
+/// on a miss (the victim scan).
+///
+/// Validity is encoded rather than stored: an invalid line has
+/// `tag == TAG_INVALID` (which no real address can produce, so the hit
+/// scan is a single compare per way) and `stamp == 0` (below every
+/// valid stamp — the access clock pre-increments, so live lines stamp
+/// from 1 — which makes invalid lines win LRU victim selection with no
+/// extra branch).
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
     partition: Partition,
-    sets: Vec<Vec<Line>>,
+    /// Line tags; `TAG_INVALID` marks an invalid line.
+    tags: Box<[u64]>,
+    /// LRU stamps (larger = more recent; 0 = invalid).
+    stamps: Box<[u64]>,
+    /// Filling tenant of each line.
+    owners: Box<[u32]>,
+    set_map: SetMap,
+    slices: WaySlices,
     clock: u64,
-    hits: HashMap<u32, u64>,
-    misses: HashMap<u32, u64>,
+    /// Counters indexed by tenant id, grown on demand (tenant ids are
+    /// small: stream indices or partition slots).
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+/// Bump `counters[t]`, growing the array the first time tenant `t`
+/// appears.
+#[inline]
+fn bump(counters: &mut Vec<u64>, t: u32) {
+    let t = t as usize;
+    if t >= counters.len() {
+        counters.resize(t + 1, 0);
+    }
+    counters[t] += 1;
 }
 
 impl Cache {
@@ -107,97 +246,134 @@ impl Cache {
             }
             Partition::Shared => {}
         }
+        assert!(
+            config.ways <= 64,
+            "associativity above 64 is unsupported (the hit scan packs \
+             way matches into a u64 bitmask)"
+        );
         let sets = config.sets();
-        let empty = Line {
-            tag: 0,
-            owner: 0,
-            stamp: 0,
-            valid: false,
-        };
+        let set_map = SetMap::build(&config);
+        let slices = WaySlices::build(&config, &partition);
+        let n = (sets * u64::from(config.ways)) as usize;
         Cache {
             config,
             partition,
-            sets: vec![vec![empty; config.ways as usize]; sets as usize],
+            tags: vec![TAG_INVALID; n].into_boxed_slice(),
+            stamps: vec![0; n].into_boxed_slice(),
+            owners: vec![0; n].into_boxed_slice(),
+            set_map,
+            slices,
             clock: 0,
-            hits: HashMap::new(),
-            misses: HashMap::new(),
+            hits: Vec::new(),
+            misses: Vec::new(),
         }
     }
 
     /// The way range `[lo, hi)` tenant `t` may occupy.
+    #[inline]
     fn way_range(&self, t: u32) -> (usize, usize) {
-        match &self.partition {
-            Partition::Shared => (0, self.config.ways as usize),
-            Partition::StaticWays { tenants } => {
-                let per = self.config.ways / tenants;
-                let lo = (t % tenants) * per;
-                // Last tenant absorbs any remainder ways.
-                let hi = if t % tenants == tenants - 1 {
-                    self.config.ways
-                } else {
-                    lo + per
-                };
+        match &self.slices {
+            WaySlices::Shared => (0, self.config.ways as usize),
+            WaySlices::Static(slices) => {
+                let (lo, hi) = slices[t as usize % slices.len()];
                 (lo as usize, hi as usize)
             }
-            Partition::SecDcp { allocation } => {
-                let idx = (t as usize).min(allocation.len() - 1);
-                let lo: u32 = allocation[..idx].iter().sum();
-                (lo as usize, (lo + allocation[idx]) as usize)
+            WaySlices::SecDcp(slices) => {
+                let (lo, hi) = slices[(t as usize).min(slices.len() - 1)];
+                (lo as usize, hi as usize)
             }
         }
     }
 
     /// Access `addr` on behalf of tenant `t`; returns `true` on hit.
+    ///
+    /// `inline(always)`: the partition-discipline branches inside
+    /// predict perfectly only when each call site (the engine's L1
+    /// probe vs its L2 probe) gets its own copy.
+    #[inline(always)]
     pub fn access(&mut self, t: u32, addr: u64) -> bool {
         self.clock += 1;
-        let line_addr = addr / u64::from(self.config.line);
-        let set_idx = (line_addr % self.sets.len() as u64) as usize;
-        let tag = line_addr / self.sets.len() as u64;
-        let (lo, hi) = self.way_range(t);
-        let set = &mut self.sets[set_idx];
-
-        // Hit check: under Shared, a hit may be satisfied from any way
-        // (this is what makes soft partitioning like Intel CAT leaky —
-        // see §4.2 footnote). Under hard partitioning only the tenant's
-        // own slice is searched, because other slices can never hold the
-        // tenant's lines.
-        let (search_lo, search_hi) = match self.partition {
-            Partition::Shared => (0, self.config.ways as usize),
-            _ => (lo, hi),
+        let (set_idx, tag) = self.set_map.locate(addr);
+        debug_assert!(
+            tag != TAG_INVALID,
+            "address {addr:#x} maps to the invalid-line tag sentinel"
+        );
+        let ways = self.config.ways as usize;
+        let shared = matches!(self.slices, WaySlices::Shared);
+        let (lo, hi) = if shared {
+            (set_idx * ways, (set_idx + 1) * ways)
+        } else {
+            let (rlo, rhi) = self.way_range(t);
+            (set_idx * ways + rlo, set_idx * ways + rhi)
         };
-        for l in set.iter_mut().take(search_hi).skip(search_lo) {
-            if l.valid
-                && l.tag == tag
-                && (matches!(self.partition, Partition::Shared) || l.owner == t)
-            {
-                l.stamp = self.clock;
-                *self.hits.entry(t).or_default() += 1;
-                return true;
+
+        // Hit scan over the tag array only — the LRU stamps stay out of
+        // the host cache until a miss actually needs them. The scan
+        // accumulates a match bitmask instead of branching per way:
+        // whether and where a lookup hits is data-dependent (i.e.
+        // unpredictable), so an early-exit loop eats a misprediction on
+        // nearly every access, while the mask form runs branch-free and
+        // auto-vectorizes. Matching ways are then visited lowest-first
+        // (`trailing_zeros`), preserving the old first-match order.
+        //
+        // Under Shared, a hit may be satisfied from any way regardless
+        // of owner (this is what makes soft partitioning like Intel CAT
+        // leaky — see §4.2 footnote). Under hard partitioning only the
+        // tenant's own slice is searched, and the owner check matters
+        // only when clamped/wrapped tenant ids share one slice — it sits
+        // behind the rare tag match, off the scan itself.
+        let mut mask: u64 = 0;
+        let tags = &self.tags[lo..hi];
+        if let Some(&[t0, t1, t2, t3]) = tags.first_chunk::<4>().filter(|_| tags.len() == 4) {
+            // The slice width is a runtime value, so the general loop
+            // below cannot unroll; 4-way slices (every shipped L1, and
+            // the 4-tenant static L2 split) are worth a hand-unrolled
+            // branch-free form.
+            mask = u64::from(t0 == tag)
+                | u64::from(t1 == tag) << 1
+                | u64::from(t2 == tag) << 2
+                | u64::from(t3 == tag) << 3;
+        } else {
+            for (w, &wtag) in tags.iter().enumerate() {
+                mask |= u64::from(wtag == tag) << w;
             }
         }
+        while mask != 0 {
+            let w = lo + mask.trailing_zeros() as usize;
+            if shared || self.owners[w] == t {
+                self.stamps[w] = self.clock;
+                bump(&mut self.hits, t);
+                return true;
+            }
+            mask &= mask - 1;
+        }
 
-        // Miss: fill into the LRU way of the tenant's slice.
-        let victim = (lo..hi)
-            .min_by_key(|&w| if set[w].valid { set[w].stamp } else { 0 })
-            .expect("way range non-empty");
-        set[victim] = Line {
-            tag,
-            owner: t,
-            stamp: self.clock,
-            valid: true,
-        };
-        *self.misses.entry(t).or_default() += 1;
+        // Miss: fill the LRU way — the first way with the smallest
+        // stamp; invalid lines carry stamp 0, below every live stamp,
+        // so they are chosen first.
+        let mut victim = lo;
+        let mut best = u64::MAX;
+        for (w, &stamp) in self.stamps[lo..hi].iter().enumerate() {
+            if stamp < best {
+                best = stamp;
+                victim = lo + w;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.clock;
+        self.owners[victim] = t;
+        bump(&mut self.misses, t);
         false
     }
 
     /// Hits recorded for tenant `t`.
     pub fn hits(&self, t: u32) -> u64 {
-        self.hits.get(&t).copied().unwrap_or(0)
+        self.hits.get(t as usize).copied().unwrap_or(0)
     }
 
     /// Misses recorded for tenant `t`.
     pub fn misses(&self, t: u32) -> u64 {
-        self.misses.get(&t).copied().unwrap_or(0)
+        self.misses.get(t as usize).copied().unwrap_or(0)
     }
 
     /// Miss ratio for tenant `t` (0 when no accesses).
@@ -216,12 +392,12 @@ impl Cache {
     /// lines used by F").
     pub fn flush_owner(&mut self, t: u32) -> u64 {
         let mut flushed = 0;
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                if line.valid && line.owner == t {
-                    line.valid = false;
-                    flushed += 1;
-                }
+        for idx in 0..self.tags.len() {
+            if self.stamps[idx] != 0 && self.owners[idx] == t {
+                self.tags[idx] = TAG_INVALID;
+                self.stamps[idx] = 0;
+                self.owners[idx] = 0;
+                flushed += 1;
             }
         }
         flushed
@@ -242,16 +418,17 @@ impl Cache {
         let total: u32 = allocation.iter().sum();
         assert!(total <= self.config.ways && allocation.iter().all(|&w| w > 0));
         self.partition = Partition::SecDcp { allocation };
+        self.slices = WaySlices::build(&self.config, &self.partition);
         // Invalidate lines that now sit outside their owner's slice.
-        for set_idx in 0..self.sets.len() {
-            for way in 0..self.config.ways as usize {
-                let owner = self.sets[set_idx][way].owner;
-                let valid = self.sets[set_idx][way].valid;
-                if valid {
-                    let (lo, hi) = self.way_range(owner);
-                    if way < lo || way >= hi {
-                        self.sets[set_idx][way].valid = false;
-                    }
+        let ways = self.config.ways as usize;
+        for idx in 0..self.tags.len() {
+            if self.stamps[idx] != 0 {
+                let (lo, hi) = self.way_range(self.owners[idx]);
+                let way = idx % ways;
+                if way < lo || way >= hi {
+                    self.tags[idx] = TAG_INVALID;
+                    self.stamps[idx] = 0;
+                    self.owners[idx] = 0;
                 }
             }
         }

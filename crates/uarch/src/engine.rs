@@ -7,16 +7,90 @@
 //! `instructions / final cycle count` — "for a function that always has
 //! work to do, IPC is directly correlated with function throughput"
 //! (§5.3).
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! # Hot-path shape
+//!
+//! The processing order is defined as the lexicographic order of
+//! `(local clock, stream index)` over all pending events — that order,
+//! nothing else, is the determinism contract every golden snapshot
+//! pins. The loop exploits two consequences of it:
+//!
+//! - **Run-ahead**: after processing an event of stream `i`, if `i`'s
+//!   new key `(now, i)` is still below every other stream's key, the
+//!   next global event is again from `i` — so the loop keeps draining
+//!   `i` against a cached copy of the runner-up key until another
+//!   stream's key is smaller. Keys are distinct (per-stream indices
+//!   break ties), so `runner_up < (now, i)` is the exact condition.
+//!   Stream counts are small (≤ the NIC's core count), so the "pick
+//!   the next stream" step is a linear scan of a key array rather than
+//!   a binary heap — no sift branches, no per-switch allocation. With
+//!   one stream the scan degenerates and the run is a single drain.
+//! - **Batched pulls**: events arrive through a per-stream `Cursor`
+//!   holding a stack buffer refilled via [`EventSource::next_batch`],
+//!   so per-event stream dispatch and per-event `Option` bookkeeping
+//!   both disappear. Streams are independent, so eager prefetch cannot
+//!   reorder anything.
 
 use snic_telemetry::{metrics, Histogram, NullSink, TelemetrySink};
 
-use crate::bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
+use crate::bus::BusArbiter;
 use crate::cache::{Cache, Partition};
 use crate::config::MachineConfig;
-use crate::stream::{Access, AccessStream};
+use crate::stream::{Access, AccessKind, EventSource};
+
+/// Events pulled per [`Cursor`] refill. 64 events × 16 bytes fills a
+/// KiB of stack per stream — big enough to amortize dispatch, small
+/// enough to stay cache-resident at every colocation scale.
+const BATCH: usize = 64;
+
+/// A stream plus a refillable look-ahead buffer.
+struct Cursor {
+    src: EventSource,
+    buf: [Access; BATCH],
+    len: u32,
+    pos: u32,
+}
+
+impl Cursor {
+    fn new(src: EventSource) -> Cursor {
+        let mut c = Cursor {
+            src,
+            buf: [Access {
+                insns: 1,
+                addr: 0,
+                kind: AccessKind::Load,
+            }; BATCH],
+            len: 0,
+            pos: 0,
+        };
+        c.refill();
+        c
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        self.len = self.src.next_batch(&mut self.buf) as u32;
+        self.pos = 0;
+    }
+
+    /// Whether another event is buffered (refills happen on `take`, so
+    /// this is exact: `false` means the stream is exhausted).
+    #[inline]
+    fn has_next(&self) -> bool {
+        self.pos < self.len
+    }
+
+    /// Pop the next buffered event; callers must check [`Cursor::has_next`].
+    #[inline]
+    fn take(&mut self) -> Access {
+        let a = self.buf[self.pos as usize];
+        self.pos += 1;
+        if self.pos == self.len {
+            self.refill();
+        }
+        a
+    }
+}
 
 /// Per-NF statistics from one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,7 +178,7 @@ fn tagged(nf: usize, addr: u64) -> u64 {
 ///
 /// Panics if `streams` is empty, or if a partitioned configuration has
 /// fewer tenants than streams.
-pub fn run_colocated(cfg: &MachineConfig, streams: Vec<Box<dyn AccessStream>>) -> RunOutcome {
+pub fn run_colocated(cfg: &MachineConfig, streams: Vec<EventSource>) -> RunOutcome {
     run_colocated_warm(cfg, streams, &[])
 }
 
@@ -115,7 +189,7 @@ pub fn run_colocated(cfg: &MachineConfig, streams: Vec<Box<dyn AccessStream>>) -
 /// data...").
 pub fn run_colocated_warm(
     cfg: &MachineConfig,
-    streams: Vec<Box<dyn AccessStream>>,
+    streams: Vec<EventSource>,
     warmup_events: &[u64],
 ) -> RunOutcome {
     run_colocated_sink(cfg, streams, warmup_events, &NullSink)
@@ -131,7 +205,7 @@ pub fn run_colocated_warm(
 /// the sink are engine cycles; domains are stream indices.
 pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
     cfg: &MachineConfig,
-    mut streams: Vec<Box<dyn AccessStream>>,
+    streams: Vec<EventSource>,
     warmup_events: &[u64],
     sink: &S,
 ) -> RunOutcome {
@@ -147,10 +221,7 @@ pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
         .map(|_| Cache::new(cfg.l1, Partition::Shared))
         .collect();
     let mut l2 = Cache::new(cfg.l2, cfg.l2_partition.clone());
-    let mut arbiter: Box<dyn Arbiter> = match cfg.bus {
-        BusKind::Fcfs => Box::new(FcfsArbiter::new()),
-        BusKind::Temporal { domains } => Box::new(TemporalArbiter::new(domains, cfg.epoch_cycles)),
-    };
+    let mut arbiter = BusArbiter::for_kind(cfg.bus, cfg.epoch_cycles);
 
     let mut stats: Vec<NfRunStats> = (0..n)
         .map(|_| NfRunStats {
@@ -174,59 +245,95 @@ pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
         Vec::new()
     };
 
-    // Pending event per NF, pulled lazily; heap orders by local clock.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    let mut pending: Vec<Option<Access>> = Vec::with_capacity(n);
-    for (i, s) in streams.iter_mut().enumerate() {
-        let a = s.next_access();
-        if a.is_some() {
-            heap.push(Reverse((0, i)));
-        }
-        pending.push(a);
-    }
+    // Batched cursor per NF; `keys[i]` is stream `i`'s next-event key
+    // `(local clock, i)` — the index makes every key distinct — or
+    // `DEAD` once the stream is exhausted.
+    let mut cursors: Vec<Cursor> = streams.into_iter().map(Cursor::new).collect();
+    const DEAD: (u64, usize) = (u64::MAX, usize::MAX);
+    let mut keys: Vec<(u64, usize)> = cursors
+        .iter()
+        .enumerate()
+        .map(|(i, c)| if c.has_next() { (0, i) } else { DEAD })
+        .collect();
 
-    while let Some(Reverse((t, i))) = heap.pop() {
-        let access = pending[i]
-            .take()
-            .expect("heap entry implies pending access");
-        let mut now = t + u64::from(access.insns);
-        stats[i].insns += u64::from(access.insns);
-
-        let a = tagged(i, access.addr);
-        if l1[i].access(i as u32, a) {
-            stats[i].l1_hits += 1;
-        } else {
-            stats[i].l1_misses += 1;
-            if l2.access(i as u32, a) {
-                stats[i].l2_hits += 1;
-                now += cfg.l2_hit_cycles;
-            } else {
-                stats[i].l2_misses += 1;
-                let ready = now + cfg.l2_hit_cycles;
-                let start = arbiter.grant(i as u32, ready, cfg.bus_beat_cycles);
-                if telemetry_on {
-                    let t = &mut bus_tel[i];
-                    t.grants += 1;
-                    t.wait.record(start.saturating_sub(ready));
-                    t.dram.record(cfg.dram_cycles);
-                    if start > ready {
-                        t.delayed += 1;
-                    }
-                }
-                now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
+    loop {
+        // Pick the stream with the smallest key and cache the runner-up
+        // in one pass (keys are distinct, so the second-smallest key IS
+        // the minimum over the other streams): stream counts are core
+        // counts, so a linear scan beats heap maintenance per event.
+        let mut best = DEAD;
+        let mut runner_up = DEAD;
+        for &k in &keys {
+            if k < best {
+                runner_up = best;
+                best = k;
+            } else if k < runner_up {
+                runner_up = k;
             }
         }
+        if best == DEAD {
+            break;
+        }
+        let (mut t, i) = best;
 
-        stats[i].cycles = now;
-        events[i] += 1;
         let warm = warmup_events.get(i).copied().unwrap_or(0);
-        if warm > 0 && events[i] == warm && snapshot[i].is_none() {
-            snapshot[i] = Some(stats[i].clone());
+        let cur = &mut cursors[i];
+        let st = &mut stats[i];
+        let l1c = &mut l1[i];
+        let mut ev = events[i];
+
+        // Run ahead: keep draining stream `i` while its key stays below
+        // the (unchanged) runner-up — a single drain when it is the only
+        // live stream.
+        loop {
+            let access = cur.take();
+            let mut now = t + u64::from(access.insns);
+            st.insns += u64::from(access.insns);
+
+            let a = tagged(i, access.addr);
+            if l1c.access(i as u32, a) {
+                st.l1_hits += 1;
+            } else {
+                st.l1_misses += 1;
+                if l2.access(i as u32, a) {
+                    st.l2_hits += 1;
+                    now += cfg.l2_hit_cycles;
+                } else {
+                    st.l2_misses += 1;
+                    let ready = now + cfg.l2_hit_cycles;
+                    let start = arbiter.grant(i as u32, ready, cfg.bus_beat_cycles);
+                    if telemetry_on {
+                        let t = &mut bus_tel[i];
+                        t.grants += 1;
+                        t.wait.record(start.saturating_sub(ready));
+                        t.dram.record(cfg.dram_cycles);
+                        if start > ready {
+                            t.delayed += 1;
+                        }
+                    }
+                    now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
+                }
+            }
+
+            ev += 1;
+            if ev == warm {
+                // `cycles` is only read at snapshot time and after the
+                // stream ends, so the hot loop skips the per-event store.
+                st.cycles = now;
+                snapshot[i] = Some(st.clone());
+            }
+            if !cur.has_next() {
+                st.cycles = now;
+                keys[i] = DEAD;
+                break;
+            }
+            if runner_up < (now, i) {
+                keys[i] = (now, i);
+                break;
+            }
+            t = now;
         }
-        pending[i] = streams[i].next_access();
-        if pending[i].is_some() {
-            heap.push(Reverse((now, i)));
-        }
+        events[i] = ev;
     }
 
     // Subtract the warmup portion (streams shorter than the warmup keep
@@ -278,16 +385,16 @@ mod tests {
     use super::*;
     use crate::stream::SyntheticStream;
 
-    fn streams(n: usize, working_set: u64, events: u64) -> Vec<Box<dyn AccessStream>> {
+    fn streams(n: usize, working_set: u64, events: u64) -> Vec<EventSource> {
         (0..n)
             .map(|i| {
-                Box::new(SyntheticStream::new(
+                EventSource::from(SyntheticStream::new(
                     working_set,
                     8,
                     4,
                     events,
                     1000 + i as u64,
-                )) as Box<dyn AccessStream>
+                ))
             })
             .collect()
     }
@@ -331,11 +438,9 @@ mod tests {
         // Run the victim alone (padded with an idle co-tenant slot) vs
         // with a thrashing attacker, both under the S-NIC discipline.
         let cfg = MachineConfig::snic(2, 1 << 20);
-        let victim =
-            || Box::new(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7)) as Box<dyn AccessStream>;
-        let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
-        let attacker =
-            Box::new(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9)) as Box<dyn AccessStream>;
+        let victim = || EventSource::from(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7));
+        let idle = EventSource::from(SyntheticStream::new(64, 1, 0, 1, 1));
+        let attacker = EventSource::from(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9));
 
         let quiet = run_colocated(&cfg, vec![victim(), idle]);
         let noisy = run_colocated(&cfg, vec![victim(), attacker]);
@@ -349,11 +454,9 @@ mod tests {
     #[test]
     fn commodity_victim_cycles_depend_on_attacker() {
         let cfg = MachineConfig::commodity(2, 1 << 20);
-        let victim =
-            || Box::new(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7)) as Box<dyn AccessStream>;
-        let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
-        let attacker =
-            Box::new(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9)) as Box<dyn AccessStream>;
+        let victim = || EventSource::from(SyntheticStream::new(2 << 20, 6, 3, 30_000, 7));
+        let idle = EventSource::from(SyntheticStream::new(64, 1, 0, 1, 1));
+        let attacker = EventSource::from(SyntheticStream::new(32 << 20, 1, 1, 120_000, 9));
 
         let quiet = run_colocated(&cfg, vec![victim(), idle]);
         let noisy = run_colocated(&cfg, vec![victim(), attacker]);
@@ -395,13 +498,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "would alias another NF's cache lines")]
     fn out_of_range_address_rejected() {
-        use crate::stream::{AccessKind, ReplayStream};
+        use crate::stream::ReplayStream;
         let cfg = MachineConfig::commodity(1, 1 << 20);
-        let s = vec![Box::new(ReplayStream::new(vec![Access {
+        let s = vec![EventSource::from(ReplayStream::new(vec![Access {
             insns: 1,
             addr: 1u64 << NF_ADDR_BITS,
             kind: AccessKind::Load,
-        }])) as Box<dyn AccessStream>];
+        }]))];
         let _ = run_colocated(&cfg, s);
     }
 
@@ -409,19 +512,19 @@ mod tests {
     fn boundary_address_accepted_and_isolated() {
         // The largest legal address still tags into the owner's own
         // range: two NFs touching it must not share a cache line.
-        use crate::stream::{AccessKind, ReplayStream};
+        use crate::stream::ReplayStream;
         let top = (1u64 << NF_ADDR_BITS) - 64;
         let mk = || {
             (0..2)
                 .map(|_| {
-                    Box::new(ReplayStream::new(vec![
+                    EventSource::from(ReplayStream::new(vec![
                         Access {
                             insns: 1,
                             addr: top,
                             kind: AccessKind::Load,
                         };
                         2
-                    ])) as Box<dyn AccessStream>
+                    ]))
                 })
                 .collect::<Vec<_>>()
         };
@@ -443,7 +546,13 @@ mod tests {
         // zero L1 misses, while the unwarmed run reports the cold ones.
         let cfg = MachineConfig::commodity(1, 1 << 20);
         let mk = || {
-            vec![Box::new(SyntheticStream::new(8 << 10, 8, 4, 40_000, 5)) as Box<dyn AccessStream>]
+            vec![EventSource::from(SyntheticStream::new(
+                8 << 10,
+                8,
+                4,
+                40_000,
+                5,
+            ))]
         };
         let cold = run_colocated(&cfg, mk());
         let warm = run_colocated_warm(&cfg, mk(), &[20_000]);
@@ -459,8 +568,13 @@ mod tests {
     #[test]
     fn warmup_longer_than_stream_keeps_full_stats() {
         let cfg = MachineConfig::commodity(1, 1 << 20);
-        let s =
-            vec![Box::new(SyntheticStream::new(4 << 10, 8, 4, 1_000, 5)) as Box<dyn AccessStream>];
+        let s = vec![EventSource::from(SyntheticStream::new(
+            4 << 10,
+            8,
+            4,
+            1_000,
+            5,
+        ))];
         let out = run_colocated_warm(&cfg, s, &[50_000]);
         assert_eq!(out.nfs[0].l1_hits + out.nfs[0].l1_misses, 1_000);
     }

@@ -37,5 +37,6 @@ pub use cache::{Cache, CacheConfig, Partition};
 pub use config::MachineConfig;
 pub use engine::{run_colocated, run_colocated_sink, NfRunStats, RunOutcome};
 pub use stream::{
-    Access, AccessKind, AccessStream, ReplayStream, SharedReplayStream, SyntheticStream,
+    Access, AccessKind, AccessStream, EventSource, ReplayStream, SharedReplayStream,
+    SyntheticStream,
 };

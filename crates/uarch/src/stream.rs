@@ -6,6 +6,19 @@
 //! lookups). An event carries the instructions executed since the
 //! previous event, so the engine can charge compute cycles between
 //! memory stalls.
+//!
+//! **Modeling choice:** the engine ignores [`AccessKind`] — loads and
+//! stores cost the same number of cycles, and stores allocate into the
+//! cache exactly like loads (write-allocate, no write-back traffic).
+//! The kind still rides along on every event because the `snic-verify`
+//! trace linters and the blast-radius perturbations distinguish reads
+//! from writes; only the *timing* model treats them uniformly.
+//!
+//! Streams reach the engine as [`EventSource`] values — a closed enum
+//! over the three concrete stream types (plus a boxed escape hatch) —
+//! so the hot loop dispatches on an enum tag instead of a vtable, and
+//! pulls events in batches via [`AccessStream::next_batch`] rather than
+//! one virtual call per event.
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +37,9 @@ pub struct Access {
     pub insns: u32,
     /// Byte address within the NF's private address space.
     pub addr: u64,
-    /// Load or store.
+    /// Load or store. The engine's timing model does **not** consult
+    /// this (loads and stores cost the same; see the module docs) —
+    /// it exists for trace linting and stream perturbation.
     pub kind: AccessKind,
 }
 
@@ -32,6 +47,28 @@ pub struct Access {
 pub trait AccessStream {
     /// Produce the next event, or `None` when the workload is exhausted.
     fn next_access(&mut self) -> Option<Access>;
+
+    /// Fill `out` with as many events as are available, returning how
+    /// many were written. Returns 0 exactly when the stream is
+    /// exhausted (partial fills are allowed only at end of stream, so a
+    /// short count means "almost done", never "try again").
+    ///
+    /// The default implementation loops [`AccessStream::next_access`];
+    /// replay streams override it with bulk copies so the engine can
+    /// refill a stack buffer at memcpy speed.
+    fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            match self.next_access() {
+                Some(a) => {
+                    out[n] = a;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// Replays a pre-recorded vector of accesses.
@@ -61,6 +98,13 @@ impl AccessStream for ReplayStream {
         }
         a
     }
+
+    fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        let n = out.len().min(self.accesses.len() - self.pos);
+        out[..n].copy_from_slice(&self.accesses[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
 }
 
 /// Replays a shared, immutable recording without copying it.
@@ -68,7 +112,7 @@ impl AccessStream for ReplayStream {
 /// Reference traces are recorded once and replayed many times — every
 /// colocation of a §5.3 sweep replays the same six NF recordings, and
 /// the parallel pool replays them from many threads at once. Wrapping
-/// the recording in an [`Arc`] slice means each replay costs one
+/// the recording in an [`Arc`](std::sync::Arc) slice means each replay costs one
 /// refcount bump instead of a full `Vec<Access>` clone. `passes > 1`
 /// loops the recording, which is how the figure sweeps express "replay
 /// once to warm the caches, then measure the second pass" without
@@ -116,6 +160,24 @@ impl AccessStream for SharedReplayStream {
             self.passes_left -= 1;
         }
         Some(a)
+    }
+
+    fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        if self.accesses.is_empty() {
+            return 0;
+        }
+        let mut n = 0;
+        while n < out.len() && self.passes_left > 0 {
+            let take = (out.len() - n).min(self.accesses.len() - self.pos);
+            out[n..n + take].copy_from_slice(&self.accesses[self.pos..self.pos + take]);
+            n += take;
+            self.pos += take;
+            if self.pos == self.accesses.len() {
+                self.pos = 0;
+                self.passes_left -= 1;
+            }
+        }
+        n
     }
 }
 
@@ -183,6 +245,89 @@ impl AccessStream for SyntheticStream {
             addr,
             kind,
         })
+    }
+}
+
+/// A devirtualized stream: the closed set of event sources the engine
+/// knows how to drain without a vtable.
+///
+/// The engine's hot loop used to pay one `Box<dyn AccessStream>` call
+/// per trace event. [`EventSource`] replaces that with enum dispatch —
+/// the three concrete stream types are matched directly (and their
+/// [`AccessStream::next_batch`] bulk pulls statically resolved) — while
+/// [`EventSource::Dyn`] keeps the trait-object escape hatch for
+/// exotic callers at the old per-event cost.
+pub enum EventSource {
+    /// An owned recording ([`ReplayStream`]).
+    Replay(ReplayStream),
+    /// A shared, possibly looped recording ([`SharedReplayStream`]).
+    Shared(SharedReplayStream),
+    /// A seeded synthetic workload ([`SyntheticStream`]).
+    Synthetic(SyntheticStream),
+    /// Any other stream, at one virtual call per batch element.
+    Dyn(Box<dyn AccessStream + Send>),
+}
+
+impl EventSource {
+    /// Bulk-pull into `out`; see [`AccessStream::next_batch`].
+    #[inline]
+    pub fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        match self {
+            EventSource::Replay(s) => s.next_batch(out),
+            EventSource::Shared(s) => s.next_batch(out),
+            EventSource::Synthetic(s) => s.next_batch(out),
+            EventSource::Dyn(s) => s.next_batch(out),
+        }
+    }
+}
+
+impl AccessStream for EventSource {
+    fn next_access(&mut self) -> Option<Access> {
+        match self {
+            EventSource::Replay(s) => s.next_access(),
+            EventSource::Shared(s) => s.next_access(),
+            EventSource::Synthetic(s) => s.next_access(),
+            EventSource::Dyn(s) => s.next_access(),
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        EventSource::next_batch(self, out)
+    }
+}
+
+impl std::fmt::Debug for EventSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventSource::Replay(s) => f.debug_tuple("Replay").field(s).finish(),
+            EventSource::Shared(s) => f.debug_tuple("Shared").field(s).finish(),
+            EventSource::Synthetic(s) => f.debug_tuple("Synthetic").field(s).finish(),
+            EventSource::Dyn(_) => f.write_str("Dyn(..)"),
+        }
+    }
+}
+
+impl From<ReplayStream> for EventSource {
+    fn from(s: ReplayStream) -> EventSource {
+        EventSource::Replay(s)
+    }
+}
+
+impl From<SharedReplayStream> for EventSource {
+    fn from(s: SharedReplayStream) -> EventSource {
+        EventSource::Shared(s)
+    }
+}
+
+impl From<SyntheticStream> for EventSource {
+    fn from(s: SyntheticStream) -> EventSource {
+        EventSource::Synthetic(s)
+    }
+}
+
+impl From<Box<dyn AccessStream + Send>> for EventSource {
+    fn from(s: Box<dyn AccessStream + Send>) -> EventSource {
+        EventSource::Dyn(s)
     }
 }
 
@@ -286,6 +431,111 @@ mod tests {
         let shared: std::sync::Arc<[Access]> = Vec::new().into();
         let mut s = SharedReplayStream::repeated(shared, 1_000_000);
         assert_eq!(s.next_access(), None);
+    }
+
+    /// Drain a stream one event at a time.
+    fn drain_single(s: &mut dyn AccessStream) -> Vec<Access> {
+        let mut v = Vec::new();
+        while let Some(a) = s.next_access() {
+            v.push(a);
+        }
+        v
+    }
+
+    /// Drain a stream via `next_batch` with an awkward buffer size.
+    fn drain_batched(s: &mut dyn AccessStream, chunk: usize) -> Vec<Access> {
+        let mut v = Vec::new();
+        let mut buf = vec![
+            Access {
+                insns: 1,
+                addr: 0,
+                kind: AccessKind::Load,
+            };
+            chunk
+        ];
+        loop {
+            let n = s.next_batch(&mut buf);
+            if n == 0 {
+                break;
+            }
+            v.extend_from_slice(&buf[..n]);
+        }
+        v
+    }
+
+    #[test]
+    fn batched_pull_matches_single_pull_for_every_stream_type() {
+        let v: Vec<Access> = (0..97u64)
+            .map(|i| Access {
+                insns: 1 + (i % 7) as u32,
+                addr: i * 64,
+                kind: if i % 3 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+            })
+            .collect();
+        let shared: std::sync::Arc<[Access]> = v.clone().into();
+        for chunk in [1usize, 3, 64, 200] {
+            assert_eq!(
+                drain_batched(&mut ReplayStream::new(v.clone()), chunk),
+                drain_single(&mut ReplayStream::new(v.clone())),
+                "replay, chunk={chunk}"
+            );
+            assert_eq!(
+                drain_batched(
+                    &mut SharedReplayStream::repeated(std::sync::Arc::clone(&shared), 3),
+                    chunk
+                ),
+                drain_single(&mut SharedReplayStream::repeated(
+                    std::sync::Arc::clone(&shared),
+                    3
+                )),
+                "shared x3, chunk={chunk}"
+            );
+            assert_eq!(
+                drain_batched(&mut SyntheticStream::new(4096, 5, 4, 100, 42), chunk),
+                drain_single(&mut SyntheticStream::new(4096, 5, 4, 100, 42)),
+                "synthetic, chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_short_count_only_at_end_of_stream() {
+        // A 5-event shared recording looped twice into a 4-slot buffer:
+        // full, full, then the 2-event tail, then 0.
+        let v: Vec<Access> = (0..5u64)
+            .map(|i| Access {
+                insns: 1,
+                addr: i,
+                kind: AccessKind::Load,
+            })
+            .collect();
+        let mut s = SharedReplayStream::repeated(v.into(), 2);
+        let mut buf = [Access {
+            insns: 1,
+            addr: 0,
+            kind: AccessKind::Load,
+        }; 4];
+        assert_eq!(s.next_batch(&mut buf), 4);
+        assert_eq!(s.next_batch(&mut buf), 4);
+        assert_eq!(s.next_batch(&mut buf), 2);
+        assert_eq!(s.next_batch(&mut buf), 0);
+    }
+
+    #[test]
+    fn event_source_dispatches_and_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let mut es = EventSource::from(SyntheticStream::new(4096, 5, 0, 10, 1));
+        assert_send(&es);
+        let direct = drain_single(&mut SyntheticStream::new(4096, 5, 0, 10, 1));
+        assert_eq!(drain_single(&mut es), direct);
+        let boxed: Box<dyn AccessStream + Send> = Box::new(SyntheticStream::new(4096, 5, 0, 10, 1));
+        let mut dynamic = EventSource::from(boxed);
+        assert_eq!(drain_batched(&mut dynamic, 3), direct);
+        assert!(format!("{dynamic:?}").contains("Dyn"));
     }
 
     #[test]

@@ -6,15 +6,15 @@
 use proptest::prelude::*;
 use snic_uarch::config::MachineConfig;
 use snic_uarch::engine::run_colocated;
-use snic_uarch::stream::{AccessStream, SyntheticStream};
+use snic_uarch::stream::{EventSource, SyntheticStream};
 
 fn streams(
     victim: (u64, u32, u32, u64, u64),
     attacker: (u64, u32, u32, u64, u64),
-) -> Vec<Box<dyn AccessStream>> {
+) -> Vec<EventSource> {
     let v = SyntheticStream::new(victim.0, victim.1, victim.2, victim.3, victim.4);
     let a = SyntheticStream::new(attacker.0, attacker.1, attacker.2, attacker.3, attacker.4);
-    vec![Box::new(v), Box::new(a)]
+    vec![v.into(), a.into()]
 }
 
 proptest! {

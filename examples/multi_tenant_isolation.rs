@@ -20,7 +20,7 @@ use snic::types::packet::PacketBuilder;
 use snic::types::{ByteSize, CoreId, NfId, Protocol};
 use snic::uarch::config::MachineConfig;
 use snic::uarch::engine::run_colocated;
-use snic::uarch::stream::{AccessStream, ReplayStream, SyntheticStream};
+use snic::uarch::stream::{EventSource, ReplayStream, SyntheticStream};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
@@ -76,10 +76,9 @@ fn main() {
     let fw_stream = record_stream(fw.as_mut(), &packets);
 
     let cfg = MachineConfig::snic(2, 4 << 20);
-    let victim = || Box::new(ReplayStream::new(fw_stream.clone())) as Box<dyn AccessStream>;
-    let idle = Box::new(SyntheticStream::new(64, 1, 0, 1, 1)) as Box<dyn AccessStream>;
-    let hostile =
-        Box::new(SyntheticStream::new(64 << 20, 1, 1, 500_000, 666)) as Box<dyn AccessStream>;
+    let victim = || EventSource::from(ReplayStream::new(fw_stream.clone()));
+    let idle = EventSource::from(SyntheticStream::new(64, 1, 0, 1, 1));
+    let hostile = EventSource::from(SyntheticStream::new(64 << 20, 1, 1, 500_000, 666));
     let quiet = run_colocated(&cfg, vec![victim(), idle]);
     let noisy = run_colocated(&cfg, vec![victim(), hostile]);
     println!(

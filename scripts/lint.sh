@@ -50,4 +50,11 @@ cargo test -q -p snic-bench --test golden
 echo "==> telemetry overhead budget"
 cargo run -q --release -p snic-bench --bin telemetry_overhead
 
+# Engine perf gate: the fig5 sweep must stay within
+# SNIC_BENCH_TOLERANCE_PCT (default 10) percent of the committed
+# BENCH_uarch.json baseline. Intentional slowdowns re-bless with
+# SNIC_BLESS_BENCH=1 scripts/lint.sh (or uarch_perf --smoke directly).
+echo "==> engine perf baseline (BENCH_uarch.json)"
+cargo run -q --release -p snic-bench --bin uarch_perf -- --smoke
+
 echo "lint gate: OK"

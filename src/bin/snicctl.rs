@@ -26,6 +26,14 @@
 //!
 //! The Chrome trace opens directly in Perfetto (<https://ui.perfetto.dev>)
 //! or `chrome://tracing`.
+//!
+//! A third mode runs the engine wall-clock harness (see
+//! `BENCH_uarch.json` at the repo root):
+//!
+//! ```text
+//! snicctl bench            # fig5 colocation sweep, quick scale
+//! snicctl bench --full     # same at the paper scale
+//! ```
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -252,6 +260,30 @@ fn parse_kv(args: &[&str]) -> Result<HashMap<String, u64>, String> {
     Ok(out)
 }
 
+/// `snicctl bench [--full]`: run the engine wall-clock harness (the
+/// same one behind `uarch_perf` and the `BENCH_uarch.json` baseline)
+/// and print the report JSON. `--full` measures at the paper scale.
+fn bench_main(args: &[String]) -> Result<String, String> {
+    use snic::bench::perf::{extract_f64, run, to_json};
+    use snic::bench::Scale;
+
+    let (scale, scale_name) = match args {
+        [] => (Scale::quick(), "quick"),
+        [flag] if flag == "--full" => (Scale::paper(), "paper"),
+        _ => return Err("usage: snicctl bench [--full]".to_string()),
+    };
+    eprintln!("snicctl bench: measuring (scale={scale_name}, median of 5)...");
+    let report = run(&scale, 5);
+    // Carry the frozen pre-overhaul baseline forward so the printed
+    // speedup is against the same reference as the committed file.
+    let before = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_uarch.json"),
+    )
+    .ok()
+    .and_then(|j| extract_f64(&j, "events_per_sec_before"));
+    Ok(to_json(&report, scale_name, before))
+}
+
 /// `snicctl telemetry ...`: record the fig5 smoke sweep, render a
 /// summary file, or diff two of them.
 fn telemetry_main(args: &[String]) -> Result<String, String> {
@@ -295,6 +327,18 @@ fn telemetry_main(args: &[String]) -> Result<String, String> {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench") {
+        match bench_main(&argv[1..]) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("snicctl: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if argv.first().map(String::as_str) == Some("telemetry") {
         match telemetry_main(&argv[1..]) {
             Ok(out) => {
@@ -308,7 +352,9 @@ fn main() {
         }
     }
     let arg = argv.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: snicctl <script.snic | -> | snicctl telemetry ...");
+        eprintln!(
+            "usage: snicctl <script.snic | -> | snicctl bench [--full] | snicctl telemetry ..."
+        );
         std::process::exit(2);
     });
     let script = if arg == "-" {
@@ -414,6 +460,13 @@ attest ids
         assert!(diff.contains("nf.tx_sent"), "{diff}");
         let same = telemetry_main(&s(&["diff", &a, &a])).unwrap();
         assert!(same.contains("no differences"), "{same}");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_flags() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(bench_main(&s(&["--bogus"])).is_err());
+        assert!(bench_main(&s(&["--full", "extra"])).is_err());
     }
 
     #[test]

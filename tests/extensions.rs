@@ -8,7 +8,7 @@ use snic::types::{NfId, Picos, Protocol};
 use snic::uarch::cache::{Cache, CacheConfig, Partition};
 use snic::uarch::config::MachineConfig;
 use snic::uarch::engine::run_colocated;
-use snic::uarch::stream::{AccessStream, SyntheticStream};
+use snic::uarch::stream::{EventSource, SyntheticStream};
 
 #[test]
 fn nat_to_dpi_chain_over_link() {
@@ -55,10 +55,8 @@ fn secdcp_allows_asymmetric_allocations() {
     // toward the heavy tenant and beat the static 50/50 split for it,
     // without giving the light tenant a probe channel (its slice is
     // still exclusively its own).
-    let heavy =
-        || Box::new(SyntheticStream::new(3 << 20, 6, 4, 40_000, 11)) as Box<dyn AccessStream>;
-    let light =
-        || Box::new(SyntheticStream::new(16 << 10, 6, 4, 40_000, 22)) as Box<dyn AccessStream>;
+    let heavy = || EventSource::from(SyntheticStream::new(3 << 20, 6, 4, 40_000, 11));
+    let light = || EventSource::from(SyntheticStream::new(16 << 10, 6, 4, 40_000, 22));
 
     let static_cfg = MachineConfig::snic(2, 2 << 20);
     let secdcp_cfg = MachineConfig::snic_secdcp(vec![14, 2], 2 << 20);
