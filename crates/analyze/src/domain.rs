@@ -1,0 +1,272 @@
+//! The abstract domains: intervals for address bounds, a taint lattice
+//! for per-tenant information flow.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` of `u64` values (the address-bounds
+/// domain). The full range doubles as ⊤; ⊥ is represented by absence
+/// (an undefined register) rather than an empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The top element: any value.
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// `[lo, hi]`; callers must keep `lo <= hi`.
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The singleton `[v, v]`.
+    pub fn point(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// True if this is the full range.
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Abstract addition (saturating: NF address arithmetic never wraps,
+    /// and saturation only ever widens the result, which is sound).
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    /// Abstract multiplication by a constant scale.
+    pub fn scale(&self, k: u64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_mul(k),
+            hi: self.hi.saturating_mul(k),
+        }
+    }
+
+    /// Abstract `x % m` for `m > 0`: identity when the interval already
+    /// sits inside `[0, m)`, else the full residue range.
+    pub fn rem(&self, m: u64) -> Interval {
+        debug_assert!(m > 0, "modulus must be positive");
+        if self.hi < m {
+            *self
+        } else {
+            Interval { lo: 0, hi: m - 1 }
+        }
+    }
+
+    /// Standard widening: any bound that grew jumps to its extreme, so
+    /// ascending chains stabilize in one step per bound.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: if next.hi > self.hi { u64::MAX } else { self.hi },
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_top() {
+            write!(f, "⊤")
+        } else {
+            write!(f, "[{:#x}, {:#x}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// The information-flow lattice: a powerset of taint sources, joined by
+/// union. `PACKET` marks values derived from wire data, `STATE` marks
+/// values derived from the tenant's own memory — §4's isolation story
+/// says neither may leave the tenant's granted envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Taint(u8);
+
+impl Taint {
+    /// Untainted (lattice bottom).
+    pub const NONE: Taint = Taint(0);
+    /// Derived from packet contents.
+    pub const PACKET: Taint = Taint(1);
+    /// Derived from tenant state (rules, tables, counters).
+    pub const STATE: Taint = Taint(2);
+
+    /// Lattice join (set union).
+    pub fn union(self, other: Taint) -> Taint {
+        Taint(self.0 | other.0)
+    }
+
+    /// True if no taint source reaches this value.
+    pub fn is_clean(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every source in `other` is present in `self`.
+    pub fn contains(self, other: Taint) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Human-readable source list.
+    pub fn label(self) -> &'static str {
+        match self.0 & 3 {
+            0 => "clean",
+            1 => "packet-derived",
+            2 => "state-derived",
+            _ => "packet+state-derived",
+        }
+    }
+}
+
+/// One register's abstract value: an interval plus its taint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Value bounds.
+    pub iv: Interval,
+    /// Information-flow sources.
+    pub taint: Taint,
+}
+
+impl AbsVal {
+    /// Join both components.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.join(&other.iv),
+            taint: self.taint.union(other.taint),
+        }
+    }
+
+    /// Widen the interval, join the taint (the taint lattice is finite,
+    /// so it needs no widening).
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.widen(&next.iv),
+            taint: self.taint.union(next.taint),
+        }
+    }
+}
+
+/// The per-block abstract state: one optional [`AbsVal`] per register
+/// (`None` = undefined / ⊥).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Register file.
+    pub regs: Vec<Option<AbsVal>>,
+}
+
+impl AbsState {
+    /// All registers undefined.
+    pub fn bottom(n_regs: usize) -> AbsState {
+        AbsState {
+            regs: vec![None; n_regs],
+        }
+    }
+
+    /// Pointwise join; an undefined register joined with a defined one
+    /// takes the defined value (⊥ is the identity).
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        let regs = self
+            .regs
+            .iter()
+            .zip(&other.regs)
+            .map(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => Some(x.join(y)),
+                (Some(x), None) | (None, Some(x)) => Some(*x),
+                (None, None) => None,
+            })
+            .collect();
+        AbsState { regs }
+    }
+
+    /// Pointwise widening against `next` (used at loop headers).
+    pub fn widen(&self, next: &AbsState) -> AbsState {
+        let regs = self
+            .regs
+            .iter()
+            .zip(&next.regs)
+            .map(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => Some(x.widen(y)),
+                (Some(x), None) | (None, Some(x)) => Some(*x),
+                (None, None) => None,
+            })
+            .collect();
+        AbsState { regs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_join_hull() {
+        let a = Interval::new(4, 10);
+        let b = Interval::new(8, 20);
+        assert_eq!(a.join(&b), Interval::new(4, 20));
+        assert_eq!(
+            Interval::point(7).join(&Interval::point(7)),
+            Interval::point(7)
+        );
+    }
+
+    #[test]
+    fn interval_arith_saturates() {
+        let big = Interval::new(u64::MAX - 1, u64::MAX);
+        assert_eq!(big.add(&Interval::point(5)).hi, u64::MAX);
+        assert_eq!(big.scale(3).hi, u64::MAX);
+    }
+
+    #[test]
+    fn rem_is_identity_inside_modulus() {
+        assert_eq!(Interval::new(3, 7).rem(16), Interval::new(3, 7));
+        assert_eq!(Interval::new(3, 77).rem(16), Interval::new(0, 15));
+        assert_eq!(Interval::TOP.rem(8), Interval::new(0, 7));
+    }
+
+    #[test]
+    fn widening_stabilizes_growth() {
+        let a = Interval::new(0, 10);
+        let grown = Interval::new(0, 11);
+        assert_eq!(a.widen(&grown).hi, u64::MAX);
+        assert_eq!(a.widen(&Interval::new(2, 9)), a, "shrink does not widen");
+    }
+
+    #[test]
+    fn taint_lattice_union() {
+        let t = Taint::PACKET.union(Taint::STATE);
+        assert!(t.contains(Taint::PACKET) && t.contains(Taint::STATE));
+        assert!(!Taint::NONE.contains(Taint::PACKET));
+        assert!(Taint::NONE.is_clean());
+        assert_eq!(t.label(), "packet+state-derived");
+        assert_eq!(Taint::PACKET.label(), "packet-derived");
+    }
+
+    #[test]
+    fn state_join_treats_undefined_as_identity() {
+        let mut a = AbsState::bottom(2);
+        a.regs[0] = Some(AbsVal {
+            iv: Interval::point(4),
+            taint: Taint::PACKET,
+        });
+        let b = AbsState::bottom(2);
+        let j = a.join(&b);
+        assert_eq!(j.regs[0].unwrap().iv, Interval::point(4));
+        assert!(j.regs[1].is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Pass 0 of the S-NIC verifier: static analysis of NF programs.
+//!
+//! The verifier crates prove three things about a launch *after* the
+//! tenant hands over a manifest: the allocation is a partition (Pass 1),
+//! observed traces stay inside it (Pass 2), and fault transcripts respect
+//! the lifecycle (Pass 3). All of that trusts the NF *program* blindly.
+//! This crate closes the gap: a network function is submitted as a small
+//! dataflow IR ([`ir::NfProgram`]) alongside its code image, and an
+//! abstract-interpretation engine ([`engine::analyze`]) proves — before
+//! `nf_launch` touches any hardware state — that
+//!
+//! 1. **every load and store lands inside the manifest's granted
+//!    regions** (worklist fixpoint over an interval domain),
+//! 2. **no packet- or state-derived value flows to another tenant's
+//!    region, an ungranted accelerator, or the host bus outside the
+//!    granted DMA window** (a per-tenant taint lattice), and
+//! 3. **per-packet instruction count is bounded** (a loop-bound pass
+//!    over the CFG's back edges), giving admission control a ceiling.
+//!
+//! A clean analysis yields an [`certificate::AnalysisCertificate`] whose
+//! digest is folded into `nf_attest` quotes, so a remote verifier learns
+//! not just *what* launched but that the device proved it confined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certificate;
+pub mod domain;
+pub mod engine;
+pub mod ir;
+
+pub use certificate::AnalysisCertificate;
+pub use domain::{Interval, Taint};
+pub use engine::{
+    analyze, analyze_with_budget, AnalysisManifest, AnalysisReport, AnalysisViolation,
+    AnalysisViolationKind, DEFAULT_STEP_BUDGET,
+};
+pub use ir::{
+    Block, BlockId, NfProgram, Op, Operand, ProgramBuilder, Reg, RegionClass, RegionDecl, RegionId,
+    Terminator,
+};
+
+/// A complete Pass 0 submission: the program and the manifest the tenant
+/// claims it is confined to. This is what travels in a `LaunchRequest`.
+#[derive(Debug, Clone)]
+pub struct LaunchAnalysis {
+    /// The NF's dataflow IR.
+    pub program: ir::NfProgram,
+    /// The claimed resource envelope the analysis proves against.
+    pub manifest: engine::AnalysisManifest,
+}

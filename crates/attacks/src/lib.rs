@@ -17,11 +17,17 @@
 //!   contention; temporal partitioning destroys it,
 //! - [`nicos_tamper`]: the datacenter-provided NIC OS itself reads and
 //!   patches a tenant function's memory (what §4.2's denylist stops).
+//!
+//! [`corpus`] restates the same taxonomy one layer earlier: each attack's
+//! essential behaviour as a dataflow-IR submission that the Pass 0 static
+//! analyzer must reject — with a pinned stable violation code — before
+//! `nf_launch` touches any hardware state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bus_dos;
+pub mod corpus;
 pub mod nicos_tamper;
 pub mod packet_corruption;
 pub mod ruleset_theft;
@@ -29,6 +35,7 @@ pub mod traced;
 pub mod watermark;
 
 pub use bus_dos::run_bus_dos;
+pub use corpus::{adversarial_corpus, CorpusEntry};
 pub use nicos_tamper::run_nicos_tamper;
 pub use packet_corruption::run_packet_corruption;
 pub use ruleset_theft::run_ruleset_theft;

@@ -34,7 +34,13 @@ pub struct SignedStatement {
     /// just *what* launched but that the device's isolation invariants
     /// held when the quote was cut.
     pub verdict: bool,
-    /// AK signature over `measurement ‖ verdict ‖ context`.
+    /// Digest of the function's Pass 0 analysis certificate (all-zero
+    /// when it launched without a dataflow-IR submission). Covered by
+    /// the signature, so a relying party can require proof that the
+    /// program itself was statically confined, not just the allocation.
+    pub analysis_digest: [u8; 32],
+    /// AK signature over `measurement ‖ verdict ‖ analysis_digest ‖
+    /// context`.
     pub signature: RsaSignature,
     /// EK endorsement of the AK.
     pub ak_endorsement: Certificate,
@@ -57,6 +63,8 @@ pub struct AttestationQuote {
     pub measurement: [u8; 32],
     /// Static-verifier verdict embedded (and signed) by the hardware.
     pub verdict: bool,
+    /// Pass 0 analysis-certificate digest, signed alongside the verdict.
+    pub analysis_digest: [u8; 32],
     /// Hardware signature over the transcript.
     pub signature: RsaSignature,
     /// AK endorsement by the EK.
@@ -108,6 +116,7 @@ impl FunctionAttestation {
                 dh_public: keypair.public.clone(),
                 measurement: stmt.measurement,
                 verdict: stmt.verdict,
+                analysis_digest: stmt.analysis_digest,
                 signature: stmt.signature,
                 ak_endorsement: stmt.ak_endorsement,
                 ek_certificate: stmt.ek_certificate,
@@ -144,9 +153,10 @@ pub fn verify_quote(
         return false;
     }
     let context = transcript(&quote.g, &quote.p, &quote.nonce, &quote.dh_public);
-    let mut statement = Vec::with_capacity(33 + context.len());
+    let mut statement = Vec::with_capacity(65 + context.len());
     statement.extend_from_slice(&quote.measurement);
     statement.push(u8::from(quote.verdict));
+    statement.extend_from_slice(&quote.analysis_digest);
     statement.extend_from_slice(&context);
     snic_crypto::keys::verify_chain(
         vendor_public,

@@ -28,8 +28,8 @@ use snic_types::{
     TransientResource,
 };
 use snic_verify::{
-    verify_denylist_coverage, verify_manifests, verify_tlb_state, BusSpec, DeviceSpec,
-    EnforcementMode, VerificationReport, VnicManifest,
+    analyze_launch, verify_denylist_coverage, verify_manifests, verify_tlb_state, BusSpec,
+    DeviceSpec, EnforcementMode, VerificationReport, VnicManifest,
 };
 
 use crate::alloc::{BufferAllocator, META_BASE, META_SLOT, POOL_BASE};
@@ -110,6 +110,10 @@ pub struct NfRecord {
     pub image_base: u64,
     /// Launch measurement (§4.6 cumulative hash).
     pub measurement: [u8; 32],
+    /// Digest of the Pass 0 analysis certificate; all-zero when the
+    /// function launched without a dataflow-IR submission. Bound into
+    /// `nf_attest` quotes so a relying party can demand the proof.
+    pub analysis_digest: [u8; 32],
     /// Bound accelerator clusters.
     pub accel: Vec<AccelClusterId>,
     /// Requested memory.
@@ -684,6 +688,26 @@ impl SmartNic {
                 "nf_launch with zero memory".into(),
             ));
         }
+        // Pass 0 (static program analysis): when the tenant submits a
+        // dataflow IR, prove it confined to its claimed envelope before
+        // *any* resource is reserved. A rejection here is trivially
+        // atomic — no allocator, core, pool, or port state has been
+        // touched yet — and the resulting certificate digest is bound
+        // into the record so `nf_attest` can vouch for the proof.
+        let analysis_digest = match &req.analysis {
+            Some(submission) => {
+                let outcome = analyze_launch(NfId(self.next_nf), submission);
+                if !outcome.is_clean() {
+                    let report = VerificationReport {
+                        violations: outcome.violations,
+                        manifests_checked: 1,
+                    };
+                    return Err(SnicError::Verification(report.to_string()));
+                }
+                outcome.certificate_digest()
+            }
+            None => [0u8; 32],
+        };
         // Check the core bitmap (§4.1): all requested cores must exist
         // and be unassigned.
         for &c in &req.cores {
@@ -941,6 +965,7 @@ impl SmartNic {
             region: (base, region_len),
             image_base,
             measurement,
+            analysis_digest,
             accel,
             memory: req.memory,
             host_window: req.host_window,
@@ -1569,9 +1594,11 @@ impl SmartNic {
     // Attestation support (Appendix A)
     // ------------------------------------------------------------------
 
-    /// The `nf_attest` instruction: sign `Hash(initial state) || context`
-    /// with the AK. The context carries the verifier nonce and DH
-    /// transcript; protocol logic lives in [`crate::attest`].
+    /// The `nf_attest` instruction: sign `Hash(initial state) ‖ verdict
+    /// ‖ analysis_digest ‖ context` with the AK. The context carries the
+    /// verifier nonce and DH transcript; the analysis digest is the
+    /// Pass 0 certificate (all-zero when the function launched without
+    /// one). Protocol logic lives in [`crate::attest`].
     pub fn nf_attest(
         &mut self,
         nf: NfId,
@@ -1583,9 +1610,10 @@ impl SmartNic {
         // allocation still verifies as an isolation-respecting partition.
         let verdict = self.verify_state().is_ok();
         let record = self.launched.get(&nf).ok_or(SnicError::NoSuchNf(nf))?;
-        let mut statement = Vec::with_capacity(33 + context.len());
+        let mut statement = Vec::with_capacity(65 + context.len());
         statement.extend_from_slice(&record.measurement);
         statement.push(u8::from(verdict));
+        statement.extend_from_slice(&record.analysis_digest);
         statement.extend_from_slice(context);
         let signature = self.ak.sign(&statement);
         self.now += crate::instr::ATTEST_RSA + crate::instr::ATTEST_SHA;
@@ -1595,6 +1623,7 @@ impl SmartNic {
         Ok(crate::attest::SignedStatement {
             measurement: record.measurement,
             verdict,
+            analysis_digest: record.analysis_digest,
             signature,
             ak_endorsement: self.ak.endorsement.clone(),
             ek_certificate: self.ek.certificate.clone(),
@@ -1937,12 +1966,108 @@ mod tests {
         let mut expected = Vec::new();
         expected.extend_from_slice(&stmt.measurement);
         expected.push(1); // verifier verdict byte
+        expected.extend_from_slice(&[0u8; 32]); // no Pass 0 submission
         expected.extend_from_slice(b"nonce+dh");
         assert!(snic_crypto::keys::verify_chain(
             v.public(),
             &stmt.ek_certificate,
             &stmt.ak_endorsement,
             &expected,
+            &stmt.signature,
+        ));
+    }
+
+    fn clean_analysis() -> snic_analyze::LaunchAnalysis {
+        use snic_analyze::{AnalysisManifest, Operand, ProgramBuilder, RegionClass};
+        let mut b = ProgramBuilder::new("attested-nf");
+        let pkt = b.region("pktbuf", 0x1000, 0x200, RegionClass::PacketBuf);
+        let v = b.load(pkt, Operand::Imm(0), 8, 10);
+        b.emit(Operand::Reg(v), 5);
+        snic_analyze::LaunchAnalysis {
+            program: b.finish(),
+            manifest: AnalysisManifest {
+                regions: vec![(0x1000, 0x200)],
+                accel: vec![],
+                dma_window: None,
+                max_insns_per_packet: 100,
+            },
+        }
+    }
+
+    fn failing_analysis() -> snic_analyze::LaunchAnalysis {
+        use snic_analyze::{Operand, ProgramBuilder, RegionClass};
+        let mut sub = clean_analysis();
+        let mut b = ProgramBuilder::new("escaping-nf");
+        let pkt = b.region("pktbuf", 0x1000, 0x200, RegionClass::PacketBuf);
+        // The 8-byte load at offset 0x200 ends past the window.
+        let v = b.load(pkt, Operand::Imm(0x200), 8, 10);
+        b.emit(Operand::Reg(v), 5);
+        sub.program = b.finish();
+        sub
+    }
+
+    #[test]
+    fn launch_refuses_failing_analysis_atomically() {
+        for mut nic in [snic(), commodity()] {
+            // A live neighbor so the snapshot is non-trivial.
+            nic.nf_launch(req(0, 4)).unwrap();
+            let before = nic.resource_snapshot();
+            let mut bad = req(1, 4);
+            bad.analysis = Some(failing_analysis());
+            match nic.nf_launch(bad).unwrap_err() {
+                SnicError::Verification(report) => {
+                    assert!(report.contains("OobLoad"), "{report}");
+                    assert!(report.contains("Pass 0"), "{report}");
+                    assert!(report.contains("REFUSED"), "{report}");
+                }
+                other => panic!("expected Pass 0 refusal, got {other:?}"),
+            }
+            // The refusal happened before any reservation: every
+            // allocatable resource is byte-identical.
+            assert_eq!(before, nic.resource_snapshot());
+            // And the same core still launches cleanly afterwards.
+            assert!(nic.nf_launch(req(1, 4)).is_ok());
+        }
+    }
+
+    #[test]
+    fn attest_binds_analysis_certificate_digest() {
+        let v = vendor();
+        let mut nic = SmartNic::new(NicConfig::small(NicMode::Snic), &v);
+        let mut analyzed = req(0, 4);
+        analyzed.analysis = Some(clean_analysis());
+        let id = nic.nf_launch(analyzed).unwrap().nf_id;
+        let digest = nic.record_of(id).unwrap().analysis_digest;
+        assert_ne!(digest, [0u8; 32], "clean analysis must yield a certificate");
+        let expected_cert = {
+            let sub = clean_analysis();
+            snic_verify::analyze_launch(id, &sub).certificate_digest()
+        };
+        assert_eq!(digest, expected_cert, "record binds the exact certificate");
+
+        let stmt = nic.nf_attest(id, b"nonce+dh").unwrap();
+        assert_eq!(stmt.analysis_digest, digest);
+        // The digest sits inside the signed statement: tampering with it
+        // breaks the chain.
+        let mut statement = Vec::new();
+        statement.extend_from_slice(&stmt.measurement);
+        statement.push(1);
+        statement.extend_from_slice(&digest);
+        statement.extend_from_slice(b"nonce+dh");
+        assert!(snic_crypto::keys::verify_chain(
+            v.public(),
+            &stmt.ek_certificate,
+            &stmt.ak_endorsement,
+            &statement,
+            &stmt.signature,
+        ));
+        let mut tampered = statement.clone();
+        tampered[33] ^= 0xff; // first analysis-digest byte
+        assert!(!snic_crypto::keys::verify_chain(
+            v.public(),
+            &stmt.ek_certificate,
+            &stmt.ak_endorsement,
+            &tampered,
             &stmt.signature,
         ));
     }

@@ -52,12 +52,14 @@ impl HostEnclave {
     ) -> (AttestationQuote, DhKeyPair) {
         let keypair = DhKeyPair::generate(rng, params);
         let context = transcript(&params.g, &params.p, &nonce, &keypair.public);
-        let mut statement = Vec::with_capacity(33 + context.len());
+        let mut statement = Vec::with_capacity(65 + context.len());
         statement.extend_from_slice(&self.measurement);
-        // Enclaves have no vNIC manifest set to verify; the verdict slot
-        // in the statement is trivially clean (kept so NF and enclave
-        // quotes share one wire format and one `verify_quote`).
+        // Enclaves have no vNIC manifest set to verify and no dataflow
+        // IR to analyze; the verdict slot is trivially clean and the
+        // analysis-digest slot all-zero (kept so NF and enclave quotes
+        // share one wire format and one `verify_quote`).
         statement.push(1);
+        statement.extend_from_slice(&[0u8; 32]);
         statement.extend_from_slice(&context);
         let signature = self.ak.sign(&statement);
         (
@@ -68,6 +70,7 @@ impl HostEnclave {
                 dh_public: keypair.public.clone(),
                 measurement: self.measurement,
                 verdict: true,
+                analysis_digest: [0u8; 32],
                 signature,
                 ak_endorsement: self.ak.endorsement.clone(),
                 ek_certificate: self.ek_certificate.clone(),

@@ -87,6 +87,14 @@ pub struct LaunchRequest {
     /// so demos and tests can construct overlapping manifests that the
     /// verifier — not the ownership bitmap — must refuse.
     pub region_base: Option<u64>,
+    /// Pass 0 submission: the NF's dataflow IR plus the resource
+    /// envelope it claims confinement to. When present, the static
+    /// analyzer must prove the program confined *before* any resource is
+    /// reserved; a failing analysis refuses the launch atomically.
+    /// `None` launches without a program-analysis certificate (the
+    /// attestation digest stays all-zero, which a relying party can
+    /// reject).
+    pub analysis: Option<snic_analyze::LaunchAnalysis>,
 }
 
 impl LaunchRequest {
@@ -102,6 +110,7 @@ impl LaunchRequest {
             page_policy: None,
             host_window: None,
             region_base: None,
+            analysis: None,
         }
     }
 }

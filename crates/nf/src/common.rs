@@ -126,6 +126,14 @@ pub trait NetworkFunction {
 
     /// Current memory profile: static sections plus measured heap.
     fn memory_profile(&self) -> MemoryProfile;
+
+    /// The NF's dataflow IR for Pass 0 static analysis (see
+    /// [`crate::lowering`]). `None` means the NF provides no program for
+    /// the analyzer — `nf_launch` will refuse it when analysis is
+    /// required.
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        None
+    }
 }
 
 /// Virtual-address-space layout shared by all NFs.

@@ -21,7 +21,7 @@ use crate::profile::{paper_profile, MemoryProfile};
 /// Modeled bytes per automaton node record (for stream addresses and the
 /// memory profile): transitions, failure link, dictionary link, output
 /// count.
-const NODE_BYTES: u64 = 96;
+pub(crate) const NODE_BYTES: u64 = 96;
 
 /// One node of the automaton.
 #[derive(Debug, Clone)]
@@ -59,6 +59,9 @@ impl Node {
 pub struct AhoCorasick {
     nodes: Vec<Node>,
     pattern_count: usize,
+    /// Trie depth = longest compiled pattern; bounds every failure-link
+    /// and dictionary-link walk (links strictly decrease depth).
+    max_depth: usize,
 }
 
 impl AhoCorasick {
@@ -66,12 +69,14 @@ impl AhoCorasick {
     pub fn build(patterns: &[Vec<u8>]) -> AhoCorasick {
         let mut nodes = vec![Node::new()];
         let mut pattern_count = 0;
+        let mut max_depth = 0usize;
         // Phase 1: trie.
         for pat in patterns {
             if pat.is_empty() {
                 continue;
             }
             pattern_count += 1;
+            max_depth = max_depth.max(pat.len());
             let mut cur = 0u32;
             for &b in pat {
                 cur = match nodes[cur as usize].child(b) {
@@ -124,12 +129,18 @@ impl AhoCorasick {
         AhoCorasick {
             nodes,
             pattern_count,
+            max_depth,
         }
     }
 
     /// Number of automaton states.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Trie depth (longest compiled pattern), bounding link walks.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
     }
 
     /// Number of patterns compiled in.
@@ -258,6 +269,10 @@ impl NetworkFunction for DpiNf {
         let matches = self.automaton.scan(payload, sink);
         self.total_matches += matches;
         Verdict::Matched(matches as u32)
+    }
+
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::dpi_ir(self))
     }
 
     fn memory_profile(&self) -> MemoryProfile {

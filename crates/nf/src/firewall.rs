@@ -96,9 +96,9 @@ pub fn synth_rules(count: usize, seed: u64) -> Vec<FirewallRule> {
 
 /// Bytes per rule in the packed static-data representation (4+1+4+1+1+2+2+1
 /// rounded up for alignment).
-const RULE_BYTES: u64 = 16;
+pub(crate) const RULE_BYTES: u64 = 16;
 /// Bytes per flow-cache bucket in the modeled layout.
-const CACHE_BUCKET_BYTES: u64 = 24;
+pub(crate) const CACHE_BUCKET_BYTES: u64 = 24;
 
 /// The stateful firewall NF.
 #[derive(Debug)]
@@ -151,6 +151,16 @@ impl FirewallNf {
     /// Number of cached flows.
     pub fn cached_flows(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of configured rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Configured flow-cache capacity.
+    pub fn cache_limit(&self) -> usize {
+        self.cache_limit
     }
 
     fn bucket_addr(&self, ft: &FiveTuple) -> u64 {
@@ -217,6 +227,10 @@ impl NetworkFunction for FirewallNf {
             self.dropped += 1;
             Verdict::Drop
         }
+    }
+
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::firewall_ir(self))
     }
 
     fn memory_profile(&self) -> MemoryProfile {

@@ -26,6 +26,7 @@
 pub mod common;
 pub mod dpi;
 pub mod firewall;
+pub mod lowering;
 pub mod lpm;
 pub mod maglev;
 pub mod monitor;
@@ -36,6 +37,7 @@ pub mod sketch;
 pub use common::{AccessSink, NetworkFunction, NfKind, NullSink, RecordingSink, Verdict};
 pub use dpi::DpiNf;
 pub use firewall::FirewallNf;
+pub use lowering::{analysis_manifest, launch_analysis};
 pub use lpm::LpmNf;
 pub use maglev::MaglevNf;
 pub use monitor::MonitorNf;

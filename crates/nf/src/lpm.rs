@@ -244,6 +244,10 @@ impl NetworkFunction for LpmNf {
         }
     }
 
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::lpm_ir(self))
+    }
+
     fn memory_profile(&self) -> MemoryProfile {
         MemoryProfile {
             heap_stack: self.table.table_bytes(),

@@ -158,6 +158,10 @@ impl NetworkFunction for MaglevNf {
         Verdict::Steer(backend)
     }
 
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::maglev_ir(self))
+    }
+
     fn memory_profile(&self) -> MemoryProfile {
         let heap =
             vec_bytes(self.table.len(), 4) + hashmap_bytes(self.conn_track.len().max(1024), 40);

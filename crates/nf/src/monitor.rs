@@ -22,7 +22,7 @@ use crate::profile::{paper_profile, MemoryProfile};
 
 /// Modeled bytes per map slot: key (16 B five-tuple packed) + count (8 B)
 /// + control byte, rounded to 32 for alignment.
-const SLOT_BYTES: u64 = 32;
+pub(crate) const SLOT_BYTES: u64 = 32;
 
 /// The flow-monitor NF.
 #[derive(Debug)]
@@ -164,6 +164,10 @@ impl NetworkFunction for MonitorNf {
         let t = pkt.arrival;
         self.observe(ft, t, sink);
         Verdict::Forward
+    }
+
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::monitor_ir(self))
     }
 
     fn memory_profile(&self) -> MemoryProfile {

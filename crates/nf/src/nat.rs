@@ -24,7 +24,7 @@ pub const NAT_MAX_FLOWS: usize = 65_535;
 
 /// Modeled bytes of per-flow translation state (MazuNAT keeps the full
 /// rule plus timestamps and counters on both directions).
-const FLOW_STATE_BYTES: usize = 240;
+pub(crate) const FLOW_STATE_BYTES: usize = 240;
 
 /// Per-flow translation record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,10 @@ impl NetworkFunction for NatNf {
                 Verdict::Forward
             }
         }
+    }
+
+    fn dataflow_ir(&self) -> Option<snic_analyze::NfProgram> {
+        Some(crate::lowering::nat_ir(self))
     }
 
     fn memory_profile(&self) -> MemoryProfile {

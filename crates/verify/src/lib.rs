@@ -3,7 +3,16 @@
 //! The device model in `snic-core` *enforces* isolation dynamically: the
 //! memory guard faults cross-domain loads, the temporal arbiter refuses
 //! out-of-window bus grants, and so on. This crate *proves* isolation
-//! statically, before anything runs, in two passes:
+//! statically, before anything runs, in four passes:
+//!
+//! - **Pass 0 — program analysis** ([`pass0`]): abstract interpretation
+//!   of the NF's submitted dataflow IR (`snic-analyze`). A worklist
+//!   fixpoint over an interval domain proves every load/store inside the
+//!   granted regions, a per-tenant taint lattice proves no packet- or
+//!   state-derived value escapes to ungranted regions, accelerators, or
+//!   the host bus outside the DMA window, and a loop-bound pass proves a
+//!   per-packet instruction ceiling. A clean analysis issues a
+//!   certificate whose digest `nf_attest` binds into its quotes.
 //!
 //! - **Pass 1 — manifest verification** ([`manifest`]): given a
 //!   [`spec::DeviceSpec`] (the hardware inventory) and a set of proposed
@@ -47,12 +56,14 @@
 
 pub mod faults;
 pub mod manifest;
+pub mod pass0;
 pub mod report;
 pub mod spec;
 pub mod trace;
 
 pub use faults::lint_fault_transcript;
 pub use manifest::{verify_denylist_coverage, verify_manifests, verify_tlb_state};
+pub use pass0::{analyze_launch, verify_programs, Pass0Outcome};
 pub use report::{
     Finding, FindingActor, FindingKind, VerificationReport, Violation, ViolationKind,
 };

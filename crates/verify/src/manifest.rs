@@ -51,7 +51,9 @@ fn check_cores(spec: &DeviceSpec, manifests: &[VnicManifest], out: &mut Vec<Viol
                     range: Some((u64::from(core.0), 1)),
                     detail: format!("core {} does not exist (device has {})", core.0, spec.cores),
                 });
-                continue;
+                // Fall through: a nonexistent core still participates in
+                // duplicate-claim detection, otherwise two manifests
+                // fighting over the same phantom core hide the conflict.
             }
             if let Some(prev) = claimed.insert(core.0, m.nf) {
                 out.push(Violation {
@@ -416,6 +418,26 @@ mod tests {
                 ViolationKind::CoreConflict, // core 99 does not exist
             ]
         );
+    }
+
+    #[test]
+    fn duplicate_claims_of_nonexistent_core_still_conflict() {
+        // Regression: the existence check used to `continue` before
+        // recording the claim, so two manifests fighting over the same
+        // phantom core produced only existence violations and the
+        // duplicate claim vanished.
+        let a = manifest(1, 99, BASE);
+        let b = manifest(2, 99, BASE + 2 * MB);
+        let r = verify_manifests(&spec(), &[a, b]);
+        assert_eq!(
+            kinds(&r),
+            vec![
+                ViolationKind::CoreConflict, // nf 1: core 99 does not exist
+                ViolationKind::CoreConflict, // nf 2: core 99 does not exist
+                ViolationKind::CoreConflict, // nf 2: core 99 already bound
+            ]
+        );
+        assert!(r.violations[2].detail.contains("already bound to nf 1"));
     }
 
     #[test]

@@ -35,6 +35,28 @@ pub enum ViolationKind {
     VppOvercommit,
     /// The temporal bus schedule overcommits the epoch.
     BusOvercommit,
+    /// Pass 0: a load's address range can leave its granted region.
+    OobLoad,
+    /// Pass 0: a store's address range can leave its granted region.
+    OobStore,
+    /// Pass 0: a DMA transfer can leave the host-sanctioned window.
+    DmaOverflow,
+    /// Pass 0: a packet/state-derived value flows outside the grant
+    /// envelope.
+    TaintLeak,
+    /// Pass 0: an access to a region the manifest does not grant.
+    UngrantedRegion,
+    /// Pass 0: a submission to an ungranted accelerator family.
+    UngrantedAccel,
+    /// Pass 0: a CFG back edge with no per-packet trip bound.
+    UnboundedLoop,
+    /// Pass 0: the proven instruction ceiling exceeds the admission
+    /// limit.
+    InsnCeiling,
+    /// Pass 0: structurally invalid IR.
+    MalformedIr,
+    /// Pass 0: the analysis fixpoint exceeded its step budget.
+    FixpointBudget,
 }
 
 impl ViolationKind {
@@ -51,6 +73,44 @@ impl ViolationKind {
             ViolationKind::AccelOvercommit => "§4.3 (exclusive accelerator clusters)",
             ViolationKind::VppOvercommit => "§4.4 (reserved VPP buffers)",
             ViolationKind::BusOvercommit => "§4.5 (temporal bus partitioning)",
+            ViolationKind::OobLoad | ViolationKind::OobStore | ViolationKind::UngrantedRegion => {
+                "§4.1-§4.2 (single-owner memory, Pass 0)"
+            }
+            ViolationKind::DmaOverflow => "§4.2 (host-sanctioned DMA windows, Pass 0)",
+            ViolationKind::TaintLeak => "§3.3/§4 (cross-tenant information flow, Pass 0)",
+            ViolationKind::UngrantedAccel => "§4.3 (exclusive accelerators, Pass 0)",
+            ViolationKind::UnboundedLoop | ViolationKind::InsnCeiling => {
+                "§4 (per-NF compute admission, Pass 0)"
+            }
+            ViolationKind::MalformedIr | ViolationKind::FixpointBudget => "Pass 0 well-formedness",
+        }
+    }
+
+    /// Stable machine-readable code for CI and the fleet control plane.
+    /// Codes are part of the external interface: never reworded once
+    /// shipped.
+    pub fn code(self) -> &'static str {
+        match self {
+            ViolationKind::RegionOverlap => "P1-REGION-OVERLAP",
+            ViolationKind::NicOsCollision => "P1-NICOS-COLLISION",
+            ViolationKind::OutOfDram => "P1-OUT-OF-DRAM",
+            ViolationKind::DenylistGap => "P1-DENYLIST-GAP",
+            ViolationKind::TlbOverflow => "P1-TLB-OVERFLOW",
+            ViolationKind::TlbEscape => "P1-TLB-ESCAPE",
+            ViolationKind::CoreConflict => "P1-CORE-CONFLICT",
+            ViolationKind::AccelOvercommit => "P1-ACCEL-OVERCOMMIT",
+            ViolationKind::VppOvercommit => "P1-VPP-OVERCOMMIT",
+            ViolationKind::BusOvercommit => "P1-BUS-OVERCOMMIT",
+            ViolationKind::OobLoad => "P0-OOB-LOAD",
+            ViolationKind::OobStore => "P0-OOB-STORE",
+            ViolationKind::DmaOverflow => "P0-DMA-OVERFLOW",
+            ViolationKind::TaintLeak => "P0-TAINT-LEAK",
+            ViolationKind::UngrantedRegion => "P0-REGION-UNGRANTED",
+            ViolationKind::UngrantedAccel => "P0-ACCEL-UNGRANTED",
+            ViolationKind::UnboundedLoop => "P0-UNBOUNDED-LOOP",
+            ViolationKind::InsnCeiling => "P0-INSN-CEILING",
+            ViolationKind::MalformedIr => "P0-MALFORMED-IR",
+            ViolationKind::FixpointBudget => "P0-FIXPOINT-BUDGET",
         }
     }
 }
@@ -74,6 +134,52 @@ impl Violation {
     pub fn citation(&self) -> &'static str {
         self.kind.citation()
     }
+
+    /// Stable machine-readable code (`P0-*`/`P1-*`) for this violation.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// JSON object for `snicctl verify --json` and CI gating. The human
+    /// `Display` form stays the canonical text output.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"code\":\"{}\",\"kind\":\"{:?}\"",
+            self.code(),
+            self.kind
+        );
+        match self.nf {
+            Some(nf) => s.push_str(&format!(",\"nf\":{}", nf.0)),
+            None => s.push_str(",\"nf\":null"),
+        }
+        match self.range {
+            Some((base, len)) => s.push_str(&format!(",\"base\":{base},\"len\":{len}")),
+            None => s.push_str(",\"base\":null,\"len\":null"),
+        }
+        s.push_str(&format!(
+            ",\"detail\":\"{}\",\"citation\":\"{}\"}}",
+            json_escape(&self.detail),
+            json_escape(self.citation())
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escaping (the verifier emits no exotic text, but
+/// details may quote region names).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Violation {
@@ -109,6 +215,17 @@ impl VerificationReport {
         self.violations
             .iter()
             .filter(move |v| v.nf.is_none() || v.nf == Some(nf))
+    }
+
+    /// JSON report for `snicctl verify --json` and CI gating.
+    pub fn to_json(&self) -> String {
+        let violations: Vec<String> = self.violations.iter().map(Violation::to_json).collect();
+        format!(
+            "{{\"ok\":{},\"manifests_checked\":{},\"violations\":[{}]}}",
+            self.is_ok(),
+            self.manifests_checked,
+            violations.join(",")
+        )
     }
 }
 
@@ -199,6 +316,20 @@ impl FindingKind {
             FindingKind::IllegalLifecycleTransition => "§4.6 (launch/teardown lifecycle)",
         }
     }
+
+    /// Stable machine-readable code. Trace findings are `P2-*`; the
+    /// fault-transcript lints are `P3-*`.
+    pub fn code(self) -> &'static str {
+        match self {
+            FindingKind::CrossDomainReference => "P2-CROSS-DOMAIN-REF",
+            FindingKind::AllocatorMetadataWalk => "P2-ALLOCATOR-WALK",
+            FindingKind::BusInterference => "P2-BUS-INTERFERENCE",
+            FindingKind::CacheSetCoResidency => "P2-CACHE-CORESIDENCY",
+            FindingKind::UnscrubbedReuse => "P3-UNSCRUBBED-REUSE",
+            FindingKind::FaultPropagation => "P3-FAULT-PROPAGATION",
+            FindingKind::IllegalLifecycleTransition => "P3-LIFECYCLE",
+        }
+    }
 }
 
 /// One attack pattern recognized in a trace by Pass 2.
@@ -276,6 +407,75 @@ mod tests {
         assert!(r.to_string().contains("REFUSED"));
         assert_eq!(r.concerning(NfId(1)).count(), 2);
         assert_eq!(r.concerning(NfId(9)).count(), 1);
+    }
+
+    #[test]
+    fn violation_codes_are_stable_and_unique() {
+        let kinds = [
+            ViolationKind::RegionOverlap,
+            ViolationKind::NicOsCollision,
+            ViolationKind::OutOfDram,
+            ViolationKind::DenylistGap,
+            ViolationKind::TlbOverflow,
+            ViolationKind::TlbEscape,
+            ViolationKind::CoreConflict,
+            ViolationKind::AccelOvercommit,
+            ViolationKind::VppOvercommit,
+            ViolationKind::BusOvercommit,
+            ViolationKind::OobLoad,
+            ViolationKind::OobStore,
+            ViolationKind::DmaOverflow,
+            ViolationKind::TaintLeak,
+            ViolationKind::UngrantedRegion,
+            ViolationKind::UngrantedAccel,
+            ViolationKind::UnboundedLoop,
+            ViolationKind::InsnCeiling,
+            ViolationKind::MalformedIr,
+            ViolationKind::FixpointBudget,
+        ];
+        let codes: std::collections::HashSet<&str> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len(), "codes must be unique");
+        // Spot-check the published prefixes.
+        assert_eq!(ViolationKind::CoreConflict.code(), "P1-CORE-CONFLICT");
+        assert_eq!(ViolationKind::OobStore.code(), "P0-OOB-STORE");
+        assert!(kinds.iter().all(|k| {
+            let c = k.code();
+            c.starts_with("P0-") || c.starts_with("P1-")
+        }));
+    }
+
+    #[test]
+    fn report_json_has_codes_and_fields() {
+        let r = VerificationReport {
+            manifests_checked: 1,
+            violations: vec![Violation {
+                kind: ViolationKind::OobStore,
+                nf: Some(NfId(4)),
+                range: Some((0x1000, 0x20)),
+                detail: "store \"x\" escapes".into(),
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"ok\":false"));
+        assert!(j.contains("\"code\":\"P0-OOB-STORE\""));
+        assert!(j.contains("\"nf\":4"));
+        assert!(j.contains("\"base\":4096"));
+        assert!(j.contains("store \\\"x\\\" escapes"));
+        // Human display untouched by the JSON path.
+        assert!(r.to_string().contains("REFUSED"));
+    }
+
+    #[test]
+    fn finding_codes_are_stable() {
+        assert_eq!(
+            FindingKind::CrossDomainReference.code(),
+            "P2-CROSS-DOMAIN-REF"
+        );
+        assert_eq!(FindingKind::UnscrubbedReuse.code(), "P3-UNSCRUBBED-REUSE");
+        assert_eq!(
+            FindingKind::IllegalLifecycleTransition.code(),
+            "P3-LIFECYCLE"
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@ echo "==> fault-matrix smoke: serial/parallel determinism + demo"
 cargo test -q -p snic-bench --test fault_determinism matrix_serial_and_parallel_byte_identical
 cargo run -q --release --example fault_injection > /dev/null
 
+# Pass 0 analyze gate: the six paper NFs must verify clean, every
+# seeded adversarial corpus program must be rejected with its exact
+# stable code, and the analyzer itself must fit the runtime budget —
+# any drift (a code rename, a lowering change that trips the engine, a
+# fixpoint slowdown) fails here.
+echo "==> static analysis gate (snicctl analyze --gate)"
+cargo run -q --release --bin snicctl -- analyze --gate > /dev/null
+
 # Golden snapshots: every figure pipeline's rendered output at the
 # pinned scale must match the checked-in documents byte-for-byte
 # (regenerate intentionally with SNIC_BLESS=1).

@@ -34,6 +34,14 @@
 //! snicctl bench            # fig5 colocation sweep, quick scale
 //! snicctl bench --full     # same at the paper scale
 //! ```
+//!
+//! Two verifier modes expose the static passes:
+//!
+//! ```text
+//! snicctl analyze [--json] [--gate]   # Pass 0 over the paper NFs and
+//!     # the adversarial corpus; --gate enforces exact codes + runtime
+//! snicctl verify [--json] [--bad]     # Pass 1 over a manifest set
+//! ```
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -325,8 +333,181 @@ fn telemetry_main(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `snicctl analyze [--json] [--gate]`: run Pass 0 over every paper NF
+/// (all must verify clean, each earning a certificate) and over the
+/// seeded adversarial corpus (each must be rejected with its exact
+/// stable code). `--gate` additionally enforces an analyzer runtime
+/// budget and exits nonzero on any drift — the CI hook behind
+/// `scripts/lint.sh analyze`.
+fn analyze_main(args: &[String]) -> Result<String, String> {
+    use snic::analyze::analyze;
+    use snic::nf::NfKind;
+
+    let mut json = false;
+    let mut gate = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--gate" => gate = true,
+            other => return Err(format!("analyze: unknown flag '{other}'")),
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut json_nfs = Vec::new();
+    let mut failures = Vec::new();
+    let mut analyzer_time = std::time::Duration::ZERO;
+
+    for kind in NfKind::ALL {
+        let nf = snic::nf::build(kind, 7);
+        let Some(sub) = snic::nf::launch_analysis(nf.as_ref()) else {
+            failures.push(format!("{kind:?}: no dataflow IR"));
+            continue;
+        };
+        let t0 = std::time::Instant::now();
+        let report = analyze(&sub.program, &sub.manifest);
+        analyzer_time += t0.elapsed();
+        if !report.is_clean() {
+            failures.push(format!("{kind:?} must verify clean: {report}"));
+        }
+        lines.push(report.to_string());
+        json_nfs.push(report.to_json());
+    }
+
+    let mut json_corpus = Vec::new();
+    for entry in snic::attacks::adversarial_corpus() {
+        let t0 = std::time::Instant::now();
+        let report = analyze(&entry.submission.program, &entry.submission.manifest);
+        analyzer_time += t0.elapsed();
+        let codes: Vec<&str> = report.violations.iter().map(|v| v.kind.code()).collect();
+        if report.is_clean() || !codes.contains(&entry.expected_code) {
+            failures.push(format!(
+                "corpus '{}' must be rejected with {}, got {codes:?}",
+                entry.name, entry.expected_code
+            ));
+        }
+        lines.push(format!(
+            "Pass 0 {}: rejected as expected ({})",
+            entry.name, entry.expected_code
+        ));
+        json_corpus.push(format!(
+            "{{\"name\":\"{}\",\"expected_code\":\"{}\",\"report\":{}}}",
+            entry.name,
+            entry.expected_code,
+            report.to_json()
+        ));
+    }
+
+    // The analyzer must stay launch-path cheap: a generous 2 s budget
+    // over all twelve programs catches a fixpoint blow-up in CI without
+    // flaking on slow runners.
+    const BUDGET_MS: u128 = 2_000;
+    if gate && analyzer_time.as_millis() > BUDGET_MS {
+        failures.push(format!(
+            "analyzer runtime {} ms exceeds the {BUDGET_MS} ms gate budget",
+            analyzer_time.as_millis()
+        ));
+    }
+
+    if gate && !failures.is_empty() {
+        return Err(format!("analyze gate failed:\n  {}", failures.join("\n  ")));
+    }
+    if json {
+        return Ok(format!(
+            "{{\"nfs\":[{}],\"corpus\":[{}],\"analyzer_ms\":{},\"ok\":{}}}",
+            json_nfs.join(","),
+            json_corpus.join(","),
+            analyzer_time.as_millis(),
+            failures.is_empty()
+        ));
+    }
+    if !failures.is_empty() {
+        lines.push(format!("FAILURES:\n  {}", failures.join("\n  ")));
+    }
+    Ok(lines.join("\n"))
+}
+
+/// `snicctl verify [--json] [--bad]`: run Pass 1 over a paper-shaped
+/// manifest set (one vNIC per paper NF on a 16-core device). `--bad`
+/// swaps in a deliberately conflicting set so the violation codes are
+/// visible; `--json` emits the machine-readable report.
+fn verify_main(args: &[String]) -> Result<String, String> {
+    use snic::types::{AccelKind, ByteSize, NfId};
+    use snic::verify::{verify_manifests, BusSpec, DeviceSpec, EnforcementMode, VnicManifest};
+
+    let mut json = false;
+    let mut bad = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--bad" => bad = true,
+            other => return Err(format!("verify: unknown flag '{other}'")),
+        }
+    }
+
+    const MB: u64 = 1 << 20;
+    let spec = DeviceSpec {
+        mode: EnforcementMode::Snic,
+        dram: 2048 * MB,
+        nf_region_base: 0x0800_0000,
+        nic_os: vec![(0x0010_0000, 0x2_0000), (0x0200_0000, 32 * MB)],
+        cores: 16,
+        core_tlb_entries: 64,
+        accel: vec![(AccelKind::Crypto, 8), (AccelKind::Dpi, 8)],
+        rx_capacity: 64 * MB,
+        tx_capacity: 64 * MB,
+        bus: BusSpec::Temporal { epoch: 96 },
+    };
+    let mut manifests: Vec<VnicManifest> = (0..6u64)
+        .map(|i| {
+            let mut m = VnicManifest::minimal(
+                NfId(i + 1),
+                snic::types::CoreId(i as u16),
+                (0x0800_0000 + i * 64 * MB, 48 * MB),
+            );
+            m.vpp.pb = ByteSize::mib(4);
+            m
+        })
+        .collect();
+    if bad {
+        // Overlap nf 2 onto nf 1's region and double-claim core 0.
+        manifests[1].region = (0x0800_0000 + 16 * MB, 48 * MB);
+        manifests[1].cores = vec![snic::types::CoreId(0)];
+    }
+    let report = verify_manifests(&spec, &manifests);
+    Ok(if json {
+        report.to_json()
+    } else {
+        report.to_string()
+    })
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("analyze") {
+        match analyze_main(&argv[1..]) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("snicctl: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if argv.first().map(String::as_str) == Some("verify") {
+        match verify_main(&argv[1..]) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("snicctl: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if argv.first().map(String::as_str) == Some("bench") {
         match bench_main(&argv[1..]) {
             Ok(out) => {
@@ -353,7 +534,8 @@ fn main() {
     }
     let arg = argv.first().cloned().unwrap_or_else(|| {
         eprintln!(
-            "usage: snicctl <script.snic | -> | snicctl bench [--full] | snicctl telemetry ..."
+            "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
+             snicctl verify [--json] [--bad] | snicctl bench [--full] | snicctl telemetry ..."
         );
         std::process::exit(2);
     });
@@ -467,6 +649,34 @@ attest ids
         let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
         assert!(bench_main(&s(&["--bogus"])).is_err());
         assert!(bench_main(&s(&["--full", "extra"])).is_err());
+    }
+
+    #[test]
+    fn analyze_command_clean_nfs_and_rejected_corpus() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(analyze_main(&s(&["--bogus"])).is_err());
+        // The gate must pass on the shipped NFs and corpus.
+        let out = analyze_main(&s(&["--gate"])).unwrap();
+        assert!(out.contains("CLEAN"), "{out}");
+        assert!(out.contains("P0-TAINT-LEAK"), "{out}");
+        let j = analyze_main(&s(&["--json"])).unwrap();
+        assert!(j.contains("\"ok\":true"), "{j}");
+        assert!(j.contains("\"expected_code\":\"P0-DMA-OVERFLOW\""), "{j}");
+        assert!(j.contains("certificate_digest"), "{j}");
+    }
+
+    #[test]
+    fn verify_command_human_and_json() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(verify_main(&s(&["--bogus"])).is_err());
+        let clean = verify_main(&s(&[])).unwrap();
+        assert!(clean.contains("verified"), "{clean}");
+        let bad = verify_main(&s(&["--bad"])).unwrap();
+        assert!(bad.contains("REFUSED"), "{bad}");
+        let j = verify_main(&s(&["--bad", "--json"])).unwrap();
+        assert!(j.contains("\"ok\":false"), "{j}");
+        assert!(j.contains("P1-REGION-OVERLAP"), "{j}");
+        assert!(j.contains("P1-CORE-CONFLICT"), "{j}");
     }
 
     #[test]
