@@ -6,8 +6,9 @@
 //! ```text
 //! uarch_perf                  # measure (median of 5) and print the JSON
 //! uarch_perf --full           # same at the paper scale
+//! uarch_perf --shards 8       # fan S-NIC cells across up to 8 threads
 //! uarch_perf --write          # also write BENCH_uarch.json, preserving
-//!                             #   the frozen events_per_sec_before field
+//!                             #   the baseline events_per_sec_before
 //! uarch_perf --smoke          # lint-gate mode: median of 3, compare
 //!                             #   against the committed baseline, fail
 //!                             #   on >10% regression
@@ -15,8 +16,11 @@
 //! ```
 //!
 //! The regression tolerance is `SNIC_BENCH_TOLERANCE_PCT` (default 10).
+//! `--shards` defaults to 1 so the gate number stays comparable across
+//! hosts with different core counts; the report always records the
+//! `shards` and `host_threads` it was measured with.
 
-use snic_bench::perf::{extract_f64, run, to_json};
+use snic_bench::perf::{baseline_before, extract_f64, run, to_json};
 use snic_bench::Scale;
 
 /// Repo-root location of the committed baseline.
@@ -33,10 +37,21 @@ fn main() {
     } else {
         (Scale::quick(), "quick")
     };
+    let shards = match args.iter().position(|a| a == "--shards") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("uarch_perf: --shards needs a positive integer");
+                std::process::exit(2);
+            }),
+        None => 1,
+    };
     let reps = if smoke { 3 } else { 5 };
 
-    eprintln!("uarch_perf: measuring (scale={scale_name}, median of {reps})...");
-    let report = run(&scale, reps);
+    eprintln!("uarch_perf: measuring (scale={scale_name}, shards={shards}, median of {reps})...");
+    let report = run(&scale, reps, shards);
     for p in &report.points {
         eprintln!(
             "  {:>14}: {:>10} events in {:.4}s = {:>12.0} events/s",
@@ -44,15 +59,13 @@ fn main() {
         );
     }
     eprintln!(
-        "uarch_perf: serial events/sec = {:.0} ({} events)",
-        report.events_per_sec, report.total_events
+        "uarch_perf: events/sec = {:.0} ({} events, {} shards on {} host threads)",
+        report.events_per_sec, report.total_events, report.shards, report.host_threads
     );
 
     let path = bench_path();
     let committed = std::fs::read_to_string(&path).ok();
-    let before = committed
-        .as_deref()
-        .and_then(|j| extract_f64(j, "events_per_sec_before"));
+    let before = committed.as_deref().and_then(baseline_before);
     let after = committed
         .as_deref()
         .and_then(|j| extract_f64(j, "events_per_sec_after"));

@@ -2,25 +2,34 @@
 //!
 //! Every figure in the reproduction bottoms out in
 //! [`snic_uarch::engine::run_colocated_sink`], so this module measures
-//! exactly that: **serial** events per second over the recorded fig5 NF
-//! traces (seed `0xf15a`, the fig5a seed, so the workload is the real
-//! sweep workload, not a synthetic stand-in) at several colocation
-//! scales, warm-started the way the sweeps are (first trace pass warms
-//! the caches), median-of-k.
+//! exactly that: events per second over the recorded fig5 NF traces
+//! (seed `0xf15a`, the fig5a seed, so the workload is the real sweep
+//! workload, not a synthetic stand-in) at several colocation scales,
+//! warm-started the way the sweeps are (first trace pass warms the
+//! caches), median-of-k. With `shards > 1` the S-NIC cells go through
+//! [`snic_sim::run_sharded`] — the model-level independence of
+//! partitioned tenants turned into worker threads — while commodity
+//! cells (shared L2, not shardable) stay serial, exactly as `run()`
+//! would dispatch them in production.
 //!
-//! The numbers land in `BENCH_uarch.json` at the repo root:
+//! The numbers land in `BENCH_uarch.json` at the repo root (schema 2):
 //!
-//! - `events_per_sec_before` — frozen measurement of the pre-overhaul
-//!   engine (ISSUE 5), kept so the recorded speedup survives re-blessing;
+//! - `events_per_sec_before` — the serial baseline this PR started
+//!   from, kept so the recorded speedup survives re-blessing (a
+//!   schema-1 file's `after` becomes the schema-2 `before`);
 //! - `events_per_sec_after` — the committed baseline every future PR is
 //!   gated against (`scripts/lint.sh` runs `uarch_perf --smoke` and
-//!   fails on a >10 % regression; re-bless with `SNIC_BLESS_BENCH=1`).
+//!   fails on a >10 % regression; re-bless with `SNIC_BLESS_BENCH=1`);
+//! - `shards` / `host_threads` — how the `after` number was obtained,
+//!   so a one-core box's honest measurement is never mistaken for the
+//!   multi-core headline (see EXPERIMENTS.md for the scaling analysis).
 //!
 //! Timing uses the wall clock, so this module is for the perf binary
 //! and `snicctl bench` only — simulation results never depend on it.
 
 use std::time::Instant;
 
+use snic_sim::run_sharded;
 use snic_uarch::config::MachineConfig;
 use snic_uarch::engine::run_colocated_warm;
 use snic_uarch::stream::{EventSource, SharedReplayStream};
@@ -69,6 +78,16 @@ pub struct PerfReport {
     pub events_per_sec: f64,
     /// Repetitions per cell (median taken).
     pub median_of: usize,
+    /// Shard count the S-NIC cells were measured with (1 = serial).
+    pub shards: usize,
+    /// Hardware threads the host reports (how much parallelism the
+    /// sharded cells could actually use).
+    pub host_threads: usize,
+}
+
+/// Hardware threads available on this host (1 when unknown).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// The streams of one cell: `tenants` recorded traces (kinds taken
@@ -90,10 +109,15 @@ fn cell_streams(traces: &TraceSet, tenants: usize) -> (Vec<EventSource>, Vec<u64
     (streams, warmups, events)
 }
 
-/// Run the harness: every `(scale, personality)` cell `reps` times on
-/// the calling thread, median wall clock per cell.
-pub fn run(scale: &Scale, reps: usize) -> PerfReport {
+/// Run the harness: every `(scale, personality)` cell `reps` times,
+/// median wall clock per cell. `shards > 1` routes each cell through
+/// [`snic_sim::run_sharded`]: S-NIC cells fan their tenants out across
+/// up to `shards` worker threads, commodity cells (shared L2 — not
+/// shardable) fall back to the serial engine inside `run_sharded`, so
+/// both personalities are timed through the same production dispatch.
+pub fn run(scale: &Scale, reps: usize, shards: usize) -> PerfReport {
     assert!(reps >= 1, "need at least one repetition");
+    let shards = shards.max(1);
     let traces = all_traces(scale, PERF_SEED);
     let mut points = Vec::new();
     for &tenants in &PERF_TENANTS {
@@ -109,7 +133,11 @@ pub fn run(scale: &Scale, reps: usize) -> PerfReport {
                 let (streams, warmups, ev) = cell_streams(&traces, tenants);
                 events = ev;
                 let start = Instant::now();
-                let out = run_colocated_warm(&cfg, streams, &warmups);
+                let out = if shards > 1 {
+                    run_sharded(&cfg, streams, &warmups, shards)
+                } else {
+                    run_colocated_warm(&cfg, streams, &warmups)
+                };
                 secs.push(start.elapsed().as_secs_f64());
                 assert_eq!(out.nfs.len(), tenants);
             }
@@ -131,23 +159,27 @@ pub fn run(scale: &Scale, reps: usize) -> PerfReport {
         total_secs,
         events_per_sec: total_events as f64 / total_secs.max(1e-12),
         median_of: reps,
+        shards,
+        host_threads: host_threads(),
         points,
     }
 }
 
-/// Render the report as the `BENCH_uarch.json` document.
+/// Render the report as the `BENCH_uarch.json` document (schema 2).
 ///
-/// `before_eps` is the frozen pre-overhaul measurement (carried forward
-/// from the existing file on re-bless); when absent the current number
-/// doubles as its own baseline (speedup 1.0).
+/// `before_eps` is the baseline measurement carried forward from the
+/// existing file on re-bless (see [`baseline_before`]); when absent the
+/// current number doubles as its own baseline (speedup 1.0).
 pub fn to_json(report: &PerfReport, scale_name: &str, before_eps: Option<f64>) -> String {
     let before = before_eps.unwrap_or(report.events_per_sec);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": 1,\n");
-    s.push_str("  \"workload\": \"fig5-traces colocation sweep, warm-started, serial engine\",\n");
+    s.push_str("  \"schema\": 2,\n");
+    s.push_str("  \"workload\": \"fig5-traces colocation sweep, warm-started, sharded engine\",\n");
     s.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     s.push_str(&format!("  \"median_of\": {},\n", report.median_of));
+    s.push_str(&format!("  \"shards\": {},\n", report.shards));
+    s.push_str(&format!("  \"host_threads\": {},\n", report.host_threads));
     s.push_str(&format!("  \"total_events\": {},\n", report.total_events));
     s.push_str(&format!("  \"events_per_sec_before\": {:.1},\n", before));
     s.push_str(&format!(
@@ -179,6 +211,22 @@ pub fn to_json(report: &PerfReport, scale_name: &str, before_eps: Option<f64>) -
     s
 }
 
+/// The `events_per_sec_before` to carry into a re-blessed document,
+/// migrating across schema versions:
+///
+/// - schema 2 — keep the file's own `before` (the frozen reference);
+/// - schema 1 — that era's `after` **becomes** the new `before`: the
+///   schema-1 serial baseline is exactly the number the sharded engine
+///   is being compared against;
+/// - unreadable / absent — `None` (the new measurement self-baselines).
+pub fn baseline_before(json: &str) -> Option<f64> {
+    match extract_f64(json, "schema") {
+        Some(s) if s >= 2.0 => extract_f64(json, "events_per_sec_before"),
+        Some(_) => extract_f64(json, "events_per_sec_after"),
+        None => extract_f64(json, "events_per_sec_before"),
+    }
+}
+
 /// Extract a top-level numeric field from a `BENCH_uarch.json` document
 /// (good enough for the documents [`to_json`] writes; no external JSON
 /// dependency in the offline workspace).
@@ -207,16 +255,48 @@ mod tests {
 
     #[test]
     fn harness_covers_all_cells_and_json_round_trips() {
-        let report = run(&tiny(), 1);
+        let report = run(&tiny(), 1, 1);
         assert_eq!(report.points.len(), PERF_TENANTS.len() * 2);
         assert!(report.total_events > 0);
         assert!(report.events_per_sec > 0.0);
+        assert_eq!(report.shards, 1);
+        assert!(report.host_threads >= 1);
         let json = to_json(&report, "tiny", Some(report.events_per_sec / 3.0));
         let after = extract_f64(&json, "events_per_sec_after").expect("after present");
         assert!((after - report.events_per_sec).abs() / report.events_per_sec < 1e-3);
         let speedup = extract_f64(&json, "speedup").expect("speedup present");
         assert!((speedup - 3.0).abs() < 0.05, "speedup {speedup}");
+        assert_eq!(extract_f64(&json, "schema"), Some(2.0));
+        assert_eq!(extract_f64(&json, "shards"), Some(1.0));
+        assert!(extract_f64(&json, "host_threads").is_some_and(|t| t >= 1.0));
         assert!(extract_f64(&json, "no_such_key").is_none());
+    }
+
+    #[test]
+    fn sharded_harness_counts_the_same_events() {
+        // Same cells, same event totals — only the wall clock may move.
+        let serial = run(&tiny(), 1, 1);
+        let sharded = run(&tiny(), 1, 4);
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(serial.total_events, sharded.total_events);
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn baseline_before_migrates_schema_1_after() {
+        let v1 = "{\n  \"schema\": 1,\n  \"events_per_sec_before\": 100.0,\n  \
+                  \"events_per_sec_after\": 250.0\n}\n";
+        assert_eq!(baseline_before(v1), Some(250.0));
+        let v2 = "{\n  \"schema\": 2,\n  \"events_per_sec_before\": 250.0,\n  \
+                  \"events_per_sec_after\": 900.0\n}\n";
+        assert_eq!(baseline_before(v2), Some(250.0));
+        // Pre-schema documents fall back to their own before field.
+        let v0 = "{\n  \"events_per_sec_before\": 42.0\n}\n";
+        assert_eq!(baseline_before(v0), Some(42.0));
+        assert_eq!(baseline_before("{}"), None);
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //!   bit-identical to [`run_jobs_serial`];
 //! - [`par_map`] / [`par_map_on`] — the same order-preserving pool for
 //!   arbitrary independent work (per-NF launches, per-domain solo
-//!   replays, per-scenario attack recordings).
+//!   replays, per-scenario attack recordings);
+//! - [`run_sharded`] / [`run_sharded_sink`] — *intra-run* parallelism:
+//!   one colocation under the S-NIC disciplines (see [`shardable`])
+//!   split into contiguous tenant chunks simulated concurrently with
+//!   their global tenant ids, then reassembled — and, with a sink,
+//!   telemetry replayed in shard order from per-shard
+//!   [`BufferSink`]s — bit-identical to the serial run.
 //!
 //! Determinism is the contract: every function here is a pure reorder
 //! of *when* work happens, never of *what* is computed or in which slot
@@ -31,9 +37,13 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use snic_telemetry::TelemetrySink;
+use snic_telemetry::{BufferSink, TelemetrySink};
+use snic_uarch::bus::BusKind;
+use snic_uarch::cache::Partition;
 use snic_uarch::config::MachineConfig;
-use snic_uarch::engine::{run_colocated_sink, run_colocated_warm, RunOutcome};
+use snic_uarch::engine::{
+    run_colocated_ids_sink, run_colocated_sink, run_colocated_warm, RunOutcome,
+};
 use snic_uarch::stream::EventSource;
 
 /// A reference stream that can move to a worker thread. [`EventSource`]
@@ -49,6 +59,7 @@ pub struct SimJob {
     streams: Vec<SendStream>,
     warmups: Vec<u64>,
     sink: Option<Arc<dyn TelemetrySink>>,
+    shards: usize,
 }
 
 impl SimJob {
@@ -59,6 +70,7 @@ impl SimJob {
             streams,
             warmups: Vec::new(),
             sink: None,
+            shards: 1,
         }
     }
 
@@ -77,8 +89,27 @@ impl SimJob {
         self
     }
 
-    /// Execute the job on the current thread.
+    /// Split this run across up to `shards` worker threads (see
+    /// [`run_sharded`]). Only takes effect when the machine
+    /// configuration is [`shardable`]; otherwise the run stays serial
+    /// — either way the outcome is bit-identical.
+    pub fn with_shards(mut self, shards: usize) -> SimJob {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Execute the job, fanning a shardable colocation across worker
+    /// threads when [`SimJob::with_shards`] asked for it.
     pub fn run(self) -> RunOutcome {
+        if self.shards > 1 {
+            return run_sharded_sink(
+                &self.cfg,
+                self.streams,
+                &self.warmups,
+                self.shards,
+                self.sink.as_deref(),
+            );
+        }
         match self.sink {
             Some(sink) => run_colocated_sink(&self.cfg, self.streams, &self.warmups, sink.as_ref()),
             None => run_colocated_warm(&self.cfg, self.streams, &self.warmups),
@@ -93,8 +124,96 @@ impl std::fmt::Debug for SimJob {
             .field("streams", &self.streams.len())
             .field("warmups", &self.warmups)
             .field("sink", &self.sink.is_some())
+            .field("shards", &self.shards)
             .finish()
     }
+}
+
+/// Whether `cfg` guarantees per-tenant independence: a partitioned L2
+/// (static ways or SecDCP) together with the epoch-partitioned temporal
+/// bus. Under those disciplines a tenant's cache slice, bus windows,
+/// and address-space tag are functions of its id alone, so its
+/// simulated outcome cannot depend on co-tenant activity — which is
+/// exactly what makes [`run_sharded`] legal. A shared L2 or FCFS bus
+/// couples tenants through LRU state and queueing order, so those runs
+/// must stay on the serial interleaving engine.
+pub fn shardable(cfg: &MachineConfig) -> bool {
+    !matches!(cfg.l2_partition, Partition::Shared) && matches!(cfg.bus, BusKind::Temporal { .. })
+}
+
+/// Shard one colocation run across up to `shards` worker threads,
+/// without telemetry. See [`run_sharded_sink`].
+pub fn run_sharded(
+    cfg: &MachineConfig,
+    streams: Vec<SendStream>,
+    warmups: &[u64],
+    shards: usize,
+) -> RunOutcome {
+    run_sharded_sink(cfg, streams, warmups, shards, None)
+}
+
+/// Shard one colocation run: split the tenant list into `shards`
+/// contiguous chunks, simulate each chunk on the worker pool with the
+/// tenants' *global* ids (way slice, bus epoch slot, telemetry domain,
+/// address-space tag all follow the id, not the chunk position), and
+/// reassemble per-tenant results in tenant order.
+///
+/// Requires a [`shardable`] configuration to actually fan out; anything
+/// else falls back to the serial engine, as does `shards <= 1`. Either
+/// way the outcome — and, with a live sink, the telemetry operation
+/// stream — is bit-identical to the serial run: each shard buffers its
+/// telemetry in a [`BufferSink`] and the buffers are replayed into the
+/// real sink in shard order (`crates/bench/tests/shard_determinism.rs`
+/// holds all of this bit-for-bit).
+pub fn run_sharded_sink(
+    cfg: &MachineConfig,
+    streams: Vec<SendStream>,
+    warmups: &[u64],
+    shards: usize,
+    sink: Option<&dyn TelemetrySink>,
+) -> RunOutcome {
+    let n = streams.len();
+    let shards = shards.clamp(1, n.max(1));
+    if shards <= 1 || !shardable(cfg) {
+        return match sink {
+            Some(s) => run_colocated_sink(cfg, streams, warmups, s),
+            None => run_colocated_warm(cfg, streams, warmups),
+        };
+    }
+    let warm: Vec<u64> = (0..n)
+        .map(|i| warmups.get(i).copied().unwrap_or(0))
+        .collect();
+    // Contiguous tenant chunks [s*n/S, (s+1)*n/S), never empty.
+    let mut parts: Vec<(usize, Vec<SendStream>)> = Vec::with_capacity(shards);
+    let mut it = streams.into_iter();
+    for s in 0..shards {
+        let lo = s * n / shards;
+        let hi = (s + 1) * n / shards;
+        parts.push((lo, it.by_ref().take(hi - lo).collect()));
+    }
+    let live = sink.is_some_and(TelemetrySink::enabled);
+    let results = par_map_on(parts, default_threads(), |(lo, chunk)| {
+        let ids: Vec<u32> = (lo as u32..(lo + chunk.len()) as u32).collect();
+        let w = &warm[lo..lo + chunk.len()];
+        if live {
+            let buf = BufferSink::new();
+            let out = run_colocated_ids_sink(cfg, chunk, w, &ids, &buf);
+            (out, Some(buf))
+        } else {
+            let out = run_colocated_ids_sink(cfg, chunk, w, &ids, &snic_telemetry::NullSink);
+            (out, None)
+        }
+    });
+    let mut nfs = Vec::with_capacity(n);
+    for (out, buf) in results {
+        nfs.extend(out.nfs);
+        if let (Some(buf), Some(sink)) = (buf, sink) {
+            // Shard order = tenant order: the real sink sees the exact
+            // operation sequence of a serial run.
+            buf.replay(&sink);
+        }
+    }
+    RunOutcome { nfs }
 }
 
 /// Which execution strategy a sweep uses. The two must produce
@@ -306,6 +425,86 @@ mod tests {
             !recorder.summary().is_empty(),
             "the shared sink saw the instrumented runs"
         );
+    }
+
+    #[test]
+    fn shardable_requires_partitioned_l2_and_temporal_bus() {
+        assert!(shardable(&MachineConfig::snic(4, 1 << 20)));
+        assert!(shardable(&MachineConfig::snic_secdcp(vec![8, 8], 1 << 20)));
+        assert!(!shardable(&MachineConfig::commodity(4, 1 << 20)));
+        let mut half = MachineConfig::snic(4, 1 << 20);
+        half.bus = snic_uarch::bus::BusKind::Fcfs;
+        assert!(!shardable(&half), "partitioned L2 alone is not enough");
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_bitwise() {
+        let mk = |n: usize| -> Vec<SendStream> {
+            (0..n)
+                .map(|i| SyntheticStream::new(1 << 18, 6, 3, 3_000, 99 + i as u64).into())
+                .collect()
+        };
+        let cfg = MachineConfig::snic(5, 1 << 20);
+        let warm = vec![400u64; 5];
+        let serial = run_colocated_warm(&cfg, mk(5), &warm);
+        for shards in [1, 2, 3, 5, 16] {
+            let sharded = run_sharded(&cfg, mk(5), &warm, shards);
+            assert_eq!(serial.nfs, sharded.nfs, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn unshardable_configs_fall_back_to_serial() {
+        let mk = |n: usize| -> Vec<SendStream> {
+            (0..n)
+                .map(|i| SyntheticStream::new(1 << 18, 6, 0, 2_000, 7 + i as u64).into())
+                .collect()
+        };
+        let cfg = MachineConfig::commodity(3, 1 << 20);
+        let serial = run_colocated_warm(&cfg, mk(3), &[]);
+        let sharded = run_sharded(&cfg, mk(3), &[], 3);
+        assert_eq!(serial.nfs, sharded.nfs);
+    }
+
+    #[test]
+    fn sharded_telemetry_replays_in_shard_order() {
+        use snic_telemetry::Recorder;
+        let mk = |n: usize| -> Vec<SendStream> {
+            (0..n)
+                .map(|i| SyntheticStream::new(1 << 18, 6, 3, 3_000, 42 + i as u64).into())
+                .collect()
+        };
+        let cfg = MachineConfig::snic(4, 1 << 20);
+        let serial_rec = Recorder::new();
+        let serial = run_colocated_sink(&cfg, mk(4), &[], &serial_rec);
+        let shard_rec = Recorder::new();
+        let sharded = run_sharded_sink(&cfg, mk(4), &[], 2, Some(&shard_rec));
+        assert_eq!(serial.nfs, sharded.nfs);
+        assert_eq!(
+            serial_rec.summary().render(),
+            shard_rec.summary().render(),
+            "telemetry must replay to an identical summary"
+        );
+    }
+
+    #[test]
+    fn job_with_shards_matches_plain_job() {
+        let plain = job(11, 4);
+        let mut cfg = MachineConfig::snic(4, 1 << 20);
+        cfg.l2 = plain.cfg.l2;
+        let mk = || -> Vec<SendStream> {
+            (0..4)
+                .map(|i| SyntheticStream::new(2 << 20, 8, 4, 4_000, 11 + i as u64).into())
+                .collect()
+        };
+        let serial = SimJob::new(cfg.clone(), mk())
+            .with_warmups(vec![500; 4])
+            .run();
+        let sharded = SimJob::new(cfg, mk())
+            .with_warmups(vec![500; 4])
+            .with_shards(4)
+            .run();
+        assert_eq!(serial.nfs, sharded.nfs);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod hist;
 mod json;
 mod recorder;
@@ -33,6 +34,7 @@ mod sink;
 mod summary;
 mod trace;
 
+pub use buffer::BufferSink;
 pub use hist::Histogram;
 pub use json::{parse_json, Json, JsonError};
 pub use recorder::Recorder;

@@ -72,7 +72,7 @@ pub enum Partition {
 /// Tag sentinel for invalid lines; a real tag is an address shifted
 /// *right*, so it can only reach `u64::MAX` from an address within one
 /// line of `u64::MAX` (debug-asserted out in [`Cache::access`]).
-const TAG_INVALID: u64 = u64::MAX;
+pub(crate) const TAG_INVALID: u64 = u64::MAX;
 
 /// Precomputed per-tenant way slices, so the hot path indexes a table
 /// instead of re-deriving prefix sums from the [`Partition`] on every
@@ -81,9 +81,15 @@ const TAG_INVALID: u64 = u64::MAX;
 enum WaySlices {
     /// Every tenant may occupy every way.
     Shared,
-    /// `slices[t % slices.len()]` (static partitioning wraps tenants).
+    /// `slices[t]`, one slice per configured tenant. Out-of-range
+    /// tenants are rejected — wrapping (`t % slices.len()`), as this
+    /// lookup used to do, silently parks two tenants in one slice.
     Static(Box<[(u32, u32)]>),
-    /// `slices[min(t, slices.len() - 1)]` (SecDCP clamps tenants).
+    /// `slices[t]`, one slice per allocation entry. Out-of-range
+    /// tenants are rejected — clamping (`min(t, len - 1)`), as this
+    /// lookup used to do, silently merged every mis-numbered tenant
+    /// into the last tenant's partition: a cross-tenant sharing bug in
+    /// the isolation model itself.
     SecDcp(Box<[(u32, u32)]>),
 }
 
@@ -128,7 +134,7 @@ impl WaySlices {
 /// path is two shifts and a mask; non-power-of-two geometries (legal,
 /// e.g. 3 sets from a `3 * ways * line` size) take the division path.
 #[derive(Debug, Clone, Copy)]
-enum SetMap {
+pub(crate) enum SetMap {
     /// `line` and the set count are both powers of two.
     Pow2 {
         line_shift: u32,
@@ -140,7 +146,7 @@ enum SetMap {
 }
 
 impl SetMap {
-    fn build(config: &CacheConfig) -> SetMap {
+    pub(crate) fn build(config: &CacheConfig) -> SetMap {
         let nsets = config.sets();
         if config.line.is_power_of_two() && nsets.is_power_of_two() {
             SetMap::Pow2 {
@@ -158,7 +164,7 @@ impl SetMap {
 
     /// `(set index, tag)` of `addr`.
     #[inline]
-    fn locate(self, addr: u64) -> (usize, u64) {
+    pub(crate) fn locate(self, addr: u64) -> (usize, u64) {
         match self {
             SetMap::Pow2 {
                 line_shift,
@@ -270,19 +276,66 @@ impl Cache {
     }
 
     /// The way range `[lo, hi)` tenant `t` may occupy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` has no slice under a partitioned discipline.
+    /// Static partitioning used to *wrap* (`t % tenants`) and SecDCP
+    /// used to *clamp* (`min(t, last)`): both silently co-located an
+    /// out-of-range tenant with a legitimate one in the same way slice,
+    /// handing them mutual eviction visibility — exactly the channel
+    /// partitioning exists to close. Mirroring `TemporalArbiter::grant`,
+    /// a mis-numbered tenant is now a hard error (kept as a release
+    /// assert: this guards an isolation claim, not a perf invariant).
     #[inline]
     fn way_range(&self, t: u32) -> (usize, usize) {
         match &self.slices {
             WaySlices::Shared => (0, self.config.ways as usize),
             WaySlices::Static(slices) => {
-                let (lo, hi) = slices[t as usize % slices.len()];
+                assert!(
+                    (t as usize) < slices.len(),
+                    "tenant {t} out of range for a {}-tenant static way partition \
+                     (wrapping would silently share a slice across tenants)",
+                    slices.len()
+                );
+                let (lo, hi) = slices[t as usize];
                 (lo as usize, hi as usize)
             }
             WaySlices::SecDcp(slices) => {
-                let (lo, hi) = slices[(t as usize).min(slices.len() - 1)];
+                assert!(
+                    (t as usize) < slices.len(),
+                    "tenant {t} out of range for a {}-tenant SecDCP allocation \
+                     (clamping would silently merge it into the last tenant's slice)",
+                    slices.len()
+                );
+                let (lo, hi) = slices[t as usize];
                 (lo as usize, hi as usize)
             }
         }
+    }
+
+    /// Number of tenant domains the discipline distinguishes, or `None`
+    /// for [`Partition::Shared`] (any tenant id is legal there).
+    pub fn domains(&self) -> Option<u32> {
+        match &self.slices {
+            WaySlices::Shared => None,
+            WaySlices::Static(slices) | WaySlices::SecDcp(slices) => Some(slices.len() as u32),
+        }
+    }
+
+    /// Warm the *host* cache for an upcoming [`Cache::access`] to
+    /// `addr` — a pure performance hint with no model-visible effect.
+    /// The engine discovers L2 events a whole chunk ahead of consuming
+    /// them, so touching the set's tag and stamp lines early hides the
+    /// host-memory latency that otherwise dominates the miss path.
+    /// (`black_box` keeps the otherwise-dead loads from being elided;
+    /// there is no stable safe prefetch intrinsic.)
+    #[inline]
+    pub fn prefetch(&self, addr: u64) {
+        let (set_idx, _) = self.set_map.locate(addr);
+        let lo = set_idx * self.config.ways as usize;
+        std::hint::black_box(self.tags[lo]);
+        std::hint::black_box(self.stamps[lo]);
     }
 
     /// Access `addr` on behalf of tenant `t`; returns `true` on hit.
@@ -312,32 +365,19 @@ impl Cache {
         // accumulates a match bitmask instead of branching per way:
         // whether and where a lookup hits is data-dependent (i.e.
         // unpredictable), so an early-exit loop eats a misprediction on
-        // nearly every access, while the mask form runs branch-free and
-        // auto-vectorizes. Matching ways are then visited lowest-first
-        // (`trailing_zeros`), preserving the old first-match order.
+        // nearly every access, while the lane form runs branch-free
+        // four ways per step (see `simd::match_mask`). Matching ways
+        // are then visited lowest-first (`trailing_zeros`), preserving
+        // the old first-match order.
         //
         // Under Shared, a hit may be satisfied from any way regardless
         // of owner (this is what makes soft partitioning like Intel CAT
         // leaky — see §4.2 footnote). Under hard partitioning only the
-        // tenant's own slice is searched, and the owner check matters
-        // only when clamped/wrapped tenant ids share one slice — it sits
-        // behind the rare tag match, off the scan itself.
-        let mut mask: u64 = 0;
-        let tags = &self.tags[lo..hi];
-        if let Some(&[t0, t1, t2, t3]) = tags.first_chunk::<4>().filter(|_| tags.len() == 4) {
-            // The slice width is a runtime value, so the general loop
-            // below cannot unroll; 4-way slices (every shipped L1, and
-            // the 4-tenant static L2 split) are worth a hand-unrolled
-            // branch-free form.
-            mask = u64::from(t0 == tag)
-                | u64::from(t1 == tag) << 1
-                | u64::from(t2 == tag) << 2
-                | u64::from(t3 == tag) << 3;
-        } else {
-            for (w, &wtag) in tags.iter().enumerate() {
-                mask |= u64::from(wtag == tag) << w;
-            }
-        }
+        // tenant's own slice is searched and `way_range` rejects ids
+        // without a slice, so the owner check is defense-in-depth (it
+        // would catch a slice-table bug); it sits behind the rare tag
+        // match, off the scan itself.
+        let mut mask = crate::simd::match_mask(&self.tags[lo..hi], tag);
         while mask != 0 {
             let w = lo + mask.trailing_zeros() as usize;
             if shared || self.owners[w] == t {
@@ -351,14 +391,7 @@ impl Cache {
         // Miss: fill the LRU way — the first way with the smallest
         // stamp; invalid lines carry stamp 0, below every live stamp,
         // so they are chosen first.
-        let mut victim = lo;
-        let mut best = u64::MAX;
-        for (w, &stamp) in self.stamps[lo..hi].iter().enumerate() {
-            if stamp < best {
-                best = stamp;
-                victim = lo + w;
-            }
-        }
+        let victim = lo + crate::simd::min_stamp_way(&self.stamps[lo..hi]);
         self.tags[victim] = tag;
         self.stamps[victim] = self.clock;
         self.owners[victim] = t;
@@ -367,13 +400,47 @@ impl Cache {
     }
 
     /// Hits recorded for tenant `t`.
+    ///
+    /// Debug-asserts that `t` is a domain the partition knows about —
+    /// a silent 0 for a mis-numbered tenant masks indexing bugs in
+    /// sweep code. Sweeps probing tenants that may legitimately be
+    /// absent should use [`Cache::try_hits`].
     pub fn hits(&self, t: u32) -> u64 {
+        debug_assert!(
+            self.try_hits(t).is_some(),
+            "tenant {t} outside the partition's domain range"
+        );
         self.hits.get(t as usize).copied().unwrap_or(0)
     }
 
-    /// Misses recorded for tenant `t`.
+    /// Misses recorded for tenant `t`; see [`Cache::hits`] for the
+    /// range contract.
     pub fn misses(&self, t: u32) -> u64 {
+        debug_assert!(
+            self.try_misses(t).is_some(),
+            "tenant {t} outside the partition's domain range"
+        );
         self.misses.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Hits recorded for tenant `t`, or `None` when the partition has
+    /// no such domain (the checked form of [`Cache::hits`]). A tenant
+    /// inside the domain range that simply never accessed the cache
+    /// reports `Some(0)`.
+    pub fn try_hits(&self, t: u32) -> Option<u64> {
+        match self.domains() {
+            Some(n) if t >= n => None,
+            _ => Some(self.hits.get(t as usize).copied().unwrap_or(0)),
+        }
+    }
+
+    /// Misses recorded for tenant `t`, or `None` when the partition has
+    /// no such domain (the checked form of [`Cache::misses`]).
+    pub fn try_misses(&self, t: u32) -> Option<u64> {
+        match self.domains() {
+            Some(n) if t >= n => None,
+            _ => Some(self.misses.get(t as usize).copied().unwrap_or(0)),
+        }
     }
 
     /// Miss ratio for tenant `t` (0 when no accesses).
@@ -584,5 +651,90 @@ mod tests {
         assert_eq!(c.way_range(0), (0, 1));
         assert_eq!(c.way_range(1), (1, 2));
         assert_eq!(c.way_range(2), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 2-tenant static way partition")]
+    fn static_rejects_out_of_range_tenant() {
+        // Regression: tenant 2 of a 2-tenant split used to wrap to
+        // tenant 0's slice (t % tenants) and share its ways.
+        let mut c = tiny(Partition::StaticWays { tenants: 2 });
+        c.access(2, 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 2-tenant SecDCP allocation")]
+    fn secdcp_rejects_out_of_range_tenant() {
+        // Regression: tenant 7 used to clamp into the *last* tenant's
+        // slice (min(t, len-1)) — it could fill, evict, and probe
+        // tenant 1's ways as if they were its own.
+        let mut c = tiny(Partition::SecDcp {
+            allocation: vec![2, 2],
+        });
+        c.access(7, 0x1000);
+    }
+
+    #[test]
+    fn secdcp_clamp_no_longer_shares_the_last_slice() {
+        // The concrete leak the clamp enabled: out-of-range tenant 5
+        // priming tenant 1's slice and then observing tenant 1's
+        // evictions. Under strict domains the prime itself refuses.
+        let mut c = tiny(Partition::SecDcp {
+            allocation: vec![2, 2],
+        });
+        c.access(1, 0x1000);
+        let primed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.access(5, 0x2000);
+        }));
+        assert!(
+            primed.is_err(),
+            "mis-numbered tenant must not reach a slice"
+        );
+    }
+
+    #[test]
+    fn domains_reflect_discipline() {
+        assert_eq!(tiny(Partition::Shared).domains(), None);
+        assert_eq!(
+            tiny(Partition::StaticWays { tenants: 3 }).domains(),
+            Some(3)
+        );
+        assert_eq!(
+            tiny(Partition::SecDcp {
+                allocation: vec![2, 1, 1],
+            })
+            .domains(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn try_stats_distinguish_absent_from_zero() {
+        let mut c = tiny(Partition::StaticWays { tenants: 2 });
+        c.access(0, 0x1000);
+        assert_eq!(c.try_hits(0), Some(0));
+        assert_eq!(c.try_misses(0), Some(1));
+        // In-range tenant with no traffic: a real zero.
+        assert_eq!(c.try_hits(1), Some(0));
+        assert_eq!(c.try_misses(1), Some(0));
+        // Out-of-range tenant: no such domain.
+        assert_eq!(c.try_hits(2), None);
+        assert_eq!(c.try_misses(2), None);
+        // Shared caches accept any id (no domain table to violate).
+        let s = tiny(Partition::Shared);
+        assert_eq!(s.try_hits(1000), Some(0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn unchecked_stats_assert_range_in_debug() {
+        let c = tiny(Partition::StaticWays { tenants: 2 });
+        let hit = std::panic::catch_unwind(|| c.hits(9));
+        assert!(
+            hit.is_err(),
+            "hits(9) must debug-assert on a 2-tenant cache"
+        );
+        let miss = std::panic::catch_unwind(|| c.misses(9));
+        assert!(miss.is_err());
     }
 }

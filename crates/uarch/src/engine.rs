@@ -8,89 +8,71 @@
 //! work to do, IPC is directly correlated with function throughput"
 //! (§5.3).
 //!
-//! # Hot-path shape
+//! # Determinism contract
 //!
 //! The processing order is defined as the lexicographic order of
 //! `(local clock, stream index)` over all pending events — that order,
-//! nothing else, is the determinism contract every golden snapshot
-//! pins. The loop exploits two consequences of it:
+//! nothing else, is the contract every golden snapshot pins. The
+//! event-at-a-time loop that implements it literally lives on as the
+//! executable specification in [`crate::reference`]; this module is the
+//! production engine, restructured for throughput and differentially
+//! tested against the reference (`tests/engine_differential.rs`).
 //!
-//! - **Run-ahead**: after processing an event of stream `i`, if `i`'s
-//!   new key `(now, i)` is still below every other stream's key, the
-//!   next global event is again from `i` — so the loop keeps draining
-//!   `i` against a cached copy of the runner-up key until another
-//!   stream's key is smaller. Keys are distinct (per-stream indices
-//!   break ties), so `runner_up < (now, i)` is the exact condition.
-//!   Stream counts are small (≤ the NIC's core count), so the "pick
-//!   the next stream" step is a linear scan of a key array rather than
-//!   a binary heap — no sift branches, no per-switch allocation. With
-//!   one stream the scan degenerates and the run is a single drain.
-//! - **Batched pulls**: events arrive through a per-stream `Cursor`
-//!   holding a stack buffer refilled via [`EventSource::next_batch`],
-//!   so per-event stream dispatch and per-event `Option` bookkeeping
-//!   both disappear. Streams are independent, so eager prefetch cannot
-//!   reorder anything.
+//! # Two-phase hot path
+//!
+//! The restructuring exploits one architectural fact: **L1s are
+//! private**. A stream's L1 hit/miss sequence depends only on its own
+//! address sequence, never on co-tenant activity, so L1 work needs no
+//! global interleaving at all. Each stream therefore runs in two
+//! phases:
+//!
+//! - **Bulk L1 phase** ([`Lane::refill`]): pull a chunk of events,
+//!   decode all addresses in one batched pass (tag OR + prefix-sum of
+//!   instruction counts), and probe the private L1 branch-free — the
+//!   tag compare is the [`crate::simd`] four-lane scan, the victim pick
+//!   a select chain, and the fill an unconditional store (on a hit the
+//!   stored tag is unchanged, so "always store" needs no branch). L1
+//!   misses are compacted into a dense queue of *L2 events*.
+//! - **L2-event scheduler**: only those L2 events re-enter the global
+//!   interleaved loop, keyed by `(clock before the missing event,
+//!   stream index)` — exactly the key the per-event loop would give
+//!   them, with hit timing collapsed into prefix-sum arithmetic. Shared
+//!   state (L2 contents, bus arbiter) is touched in the identical
+//!   order, so commodity coupling (shared LRU + FCFS queueing) is
+//!   reproduced bit-for-bit; the run-ahead and runner-up-caching tricks
+//!   from the per-event loop carry over unchanged.
+//!
+//! Between two L1 misses a stream's clock advances by the pure sum of
+//! instruction counts, so nothing observable distinguishes this from
+//! processing every event individually — the differential suite and the
+//! goldens hold the two engines bit-identical.
+//!
+//! # Sharding
+//!
+//! [`run_colocated_ids_sink`] additionally decouples the *tenant id*
+//! (cache slice, bus epoch slot, telemetry domain, address-space tag)
+//! from the stream's position in the input vector. Under the S-NIC
+//! disciplines — per-tenant way slices and epoch-partitioned bus
+//! windows — every tenant's outcome is independent of co-tenant
+//! activity, so a colocation run may be partitioned into per-core
+//! shards, each simulating a contiguous subset of tenants with their
+//! *global* ids, and the per-tenant results are bit-identical to the
+//! serial run (asserted by `snic-bench`'s shard-determinism suite).
+//! `snic-sim` drives the sharding; this module only guarantees that a
+//! tenant's simulation depends on nothing but its id and its stream.
 
 use snic_telemetry::{metrics, Histogram, NullSink, TelemetrySink};
 
-use crate::bus::BusArbiter;
-use crate::cache::{Cache, Partition};
+use crate::bus::{BusArbiter, BusKind};
+use crate::cache::{Cache, CacheConfig, Partition, SetMap, TAG_INVALID};
 use crate::config::MachineConfig;
 use crate::stream::{Access, AccessKind, EventSource};
 
-/// Events pulled per [`Cursor`] refill. 64 events × 16 bytes fills a
-/// KiB of stack per stream — big enough to amortize dispatch, small
-/// enough to stay cache-resident at every colocation scale.
-const BATCH: usize = 64;
-
-/// A stream plus a refillable look-ahead buffer.
-struct Cursor {
-    src: EventSource,
-    buf: [Access; BATCH],
-    len: u32,
-    pos: u32,
-}
-
-impl Cursor {
-    fn new(src: EventSource) -> Cursor {
-        let mut c = Cursor {
-            src,
-            buf: [Access {
-                insns: 1,
-                addr: 0,
-                kind: AccessKind::Load,
-            }; BATCH],
-            len: 0,
-            pos: 0,
-        };
-        c.refill();
-        c
-    }
-
-    #[inline]
-    fn refill(&mut self) {
-        self.len = self.src.next_batch(&mut self.buf) as u32;
-        self.pos = 0;
-    }
-
-    /// Whether another event is buffered (refills happen on `take`, so
-    /// this is exact: `false` means the stream is exhausted).
-    #[inline]
-    fn has_next(&self) -> bool {
-        self.pos < self.len
-    }
-
-    /// Pop the next buffered event; callers must check [`Cursor::has_next`].
-    #[inline]
-    fn take(&mut self) -> Access {
-        let a = self.buf[self.pos as usize];
-        self.pos += 1;
-        if self.pos == self.len {
-            self.refill();
-        }
-        a
-    }
-}
+/// Events processed per bulk-L1 chunk. 256 events × 16 bytes of raw
+/// access plus the decode arrays keep a lane's working set around 9 KiB
+/// — large enough that the scheduler's per-chunk bookkeeping vanishes,
+/// small enough to stay L1-resident on the host while streaming.
+const CHUNK: usize = 256;
 
 /// Per-NF statistics from one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +98,17 @@ impl NfRunStats {
             0.0
         } else {
             self.insns as f64 / self.cycles as f64
+        }
+    }
+
+    fn zero() -> NfRunStats {
+        NfRunStats {
+            insns: 0,
+            cycles: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
         }
     }
 }
@@ -163,7 +156,7 @@ pub const NF_ADDR_BITS: u32 = 40;
 /// above that bound would silently alias into a *different* NF's tagged
 /// range in the shared L2 — exactly the cross-tenant sharing the tag
 /// exists to rule out — so debug builds reject it outright.
-fn tagged(nf: usize, addr: u64) -> u64 {
+pub(crate) fn tagged(nf: usize, addr: u64) -> u64 {
     debug_assert!(
         addr < (1u64 << NF_ADDR_BITS),
         "address {addr:#x} of NF {nf} exceeds the 2^{NF_ADDR_BITS}-byte private \
@@ -172,12 +165,448 @@ fn tagged(nf: usize, addr: u64) -> u64 {
     ((nf as u64) << NF_ADDR_BITS) | (addr & ((1u64 << NF_ADDR_BITS) - 1))
 }
 
+/// Reject tenant ids that have no slot in the configured isolation
+/// structures — the construction-time form of the checks the cache and
+/// bus layers enforce per access.
+///
+/// Before this existed, `WaySlices` *wrapped* (static) or *clamped*
+/// (SecDCP) an out-of-range tenant into another tenant's way slice, and
+/// an out-of-range bus domain only faulted at its first DRAM access.
+/// Now a mis-numbered tenant cannot even start the run.
+pub(crate) fn validate_domains(cfg: &MachineConfig, tenant_ids: &[u32], n_streams: usize) {
+    match &cfg.l2_partition {
+        Partition::StaticWays { tenants } => {
+            assert!(
+                *tenants as usize >= n_streams,
+                "more streams than cache partitions"
+            );
+            for &t in tenant_ids {
+                assert!(
+                    t < *tenants,
+                    "tenant {t} out of range for a {tenants}-tenant static way \
+                     partition: wrapping would silently share a slice across tenants"
+                );
+            }
+        }
+        Partition::SecDcp { allocation } => {
+            let dom = allocation.len();
+            for &t in tenant_ids {
+                assert!(
+                    (t as usize) < dom,
+                    "tenant {t} out of range for a {dom}-tenant SecDCP allocation: \
+                     clamping would silently merge it into the last tenant's slice"
+                );
+            }
+        }
+        Partition::Shared => {}
+    }
+    if let BusKind::Temporal { domains } = cfg.bus {
+        for &t in tenant_ids {
+            assert!(
+                t < domains,
+                "tenant {t} out of range for a {domains}-domain temporal schedule: \
+                 rejected at engine construction instead of at the first bus grant"
+            );
+        }
+    }
+}
+
+/// One 4-way set of the private L1: the tag quad and its LRU stamps
+/// packed into a single 64-byte record so a probe touches exactly one
+/// host cache line (the split tag/stamp arrays of the general [`Cache`]
+/// pay a second line on every miss for the victim scan).
+#[repr(align(64))]
+#[derive(Debug, Clone, Copy)]
+struct L1Set {
+    tags: [u64; 4],
+    stamps: [u64; 4],
+}
+
+/// Line storage of a [`PrivateL1`], specialized by associativity.
+#[derive(Debug)]
+enum L1Store {
+    /// Every shipped L1 is 4-way: one [`L1Set`] record per set.
+    W4(Box<[L1Set]>),
+    /// Any other associativity — the correctness fallback, laid out
+    /// like the general [`Cache`].
+    General {
+        tags: Box<[u64]>,
+        stamps: Box<[u64]>,
+        ways: usize,
+    },
+}
+
+/// A single-tenant private L1: the [`Cache`] model specialized to what
+/// an L1 actually needs. No partition table (one tenant), no owner
+/// array (every line is the tenant's), no per-tenant counter growth —
+/// which makes the update *branch-free*: the hit mask is the
+/// [`crate::simd`] lane scan shape, the LRU victim a select chain, and
+/// the fill an unconditional store (on a hit the stored tag equals the
+/// old tag, so hit and miss share one store path). Behaviour is
+/// bit-identical to `Cache::new(l1, Partition::Shared)` driven by a
+/// single tenant — the reference engine does exactly that, and the
+/// differential suite holds the two equal.
+#[derive(Debug)]
+struct PrivateL1 {
+    store: L1Store,
+    set_map: SetMap,
+    clock: u64,
+}
+
+impl PrivateL1 {
+    fn new(cfg: &CacheConfig) -> PrivateL1 {
+        assert!(
+            cfg.ways <= 64,
+            "associativity above 64 is unsupported (the hit scan packs \
+             way matches into a u64 bitmask)"
+        );
+        let sets = cfg.sets() as usize;
+        let store = if cfg.ways == 4 {
+            L1Store::W4(
+                vec![
+                    L1Set {
+                        tags: [TAG_INVALID; 4],
+                        stamps: [0; 4],
+                    };
+                    sets
+                ]
+                .into_boxed_slice(),
+            )
+        } else {
+            let n = sets * cfg.ways as usize;
+            L1Store::General {
+                tags: vec![TAG_INVALID; n].into_boxed_slice(),
+                stamps: vec![0; n].into_boxed_slice(),
+                ways: cfg.ways as usize,
+            }
+        };
+        PrivateL1 {
+            store,
+            set_map: SetMap::build(cfg),
+            clock: 0,
+        }
+    }
+
+    /// Probe-and-update one 4-way set record; returns `true` on hit.
+    #[inline(always)]
+    fn probe_set4(s: &mut L1Set, tag: u64, clock: u64) -> bool {
+        let m = u64::from(s.tags[0] == tag)
+            | u64::from(s.tags[1] == tag) << 1
+            | u64::from(s.tags[2] == tag) << 2
+            | u64::from(s.tags[3] == tag) << 3;
+        let (s1, s2, s3) = (s.stamps[1], s.stamps[2], s.stamps[3]);
+        let mut vw = 0usize;
+        let mut best = s.stamps[0];
+        if s1 < best {
+            vw = 1;
+            best = s1;
+        }
+        if s2 < best {
+            vw = 2;
+            best = s2;
+        }
+        if s3 < best {
+            vw = 3;
+        }
+        let hit = m != 0;
+        let way = if hit { m.trailing_zeros() as usize } else { vw };
+        s.tags[way] = tag;
+        s.stamps[way] = clock;
+        hit
+    }
+
+    /// Probe every address of a chunk, compacting the misses (chunk
+    /// position + address) into `miss_pos`/`miss_addr`; returns the miss
+    /// count. The layout/geometry dispatch is hoisted out of the loop so
+    /// the shipped shape — 4-way, power-of-two geometry — runs a tight
+    /// branch-free body with a single bounds check per event.
+    fn probe_chunk(&mut self, addrs: &[u64], miss_pos: &mut [u32], miss_addr: &mut [u64]) -> usize {
+        let mut m = 0usize;
+        let mut clock = self.clock;
+        match (&mut self.store, self.set_map) {
+            (
+                L1Store::W4(sets),
+                SetMap::Pow2 {
+                    line_shift,
+                    set_mask,
+                    set_shift,
+                },
+            ) => {
+                for (k, &addr) in addrs.iter().enumerate() {
+                    clock += 1;
+                    let line_addr = addr >> line_shift;
+                    let set = (line_addr & set_mask) as usize;
+                    let tag = line_addr >> set_shift;
+                    debug_assert!(tag != TAG_INVALID, "address maps to the tag sentinel");
+                    let hit = PrivateL1::probe_set4(&mut sets[set], tag, clock);
+                    miss_pos[m] = k as u32;
+                    miss_addr[m] = addr;
+                    m += usize::from(!hit);
+                }
+            }
+            (store, set_map) => {
+                for (k, &addr) in addrs.iter().enumerate() {
+                    clock += 1;
+                    let (set, tag) = set_map.locate(addr);
+                    debug_assert!(tag != TAG_INVALID, "address maps to the tag sentinel");
+                    let hit = match store {
+                        L1Store::W4(sets) => PrivateL1::probe_set4(&mut sets[set], tag, clock),
+                        L1Store::General { tags, stamps, ways } => {
+                            let lo = set * *ways;
+                            let hi = lo + *ways;
+                            let mask = crate::simd::match_mask(&tags[lo..hi], tag);
+                            let hit = mask != 0;
+                            let way = if hit {
+                                mask.trailing_zeros() as usize
+                            } else {
+                                crate::simd::min_stamp_way(&stamps[lo..hi])
+                            };
+                            tags[lo + way] = tag;
+                            stamps[lo + way] = clock;
+                            hit
+                        }
+                    };
+                    miss_pos[m] = k as u32;
+                    miss_addr[m] = addr;
+                    m += usize::from(!hit);
+                }
+            }
+        }
+        self.clock = clock;
+        m
+    }
+}
+
+/// One stream's simulation state: its source, private L1, current bulk
+/// chunk, and cumulative statistics.
+struct Lane {
+    src: EventSource,
+    l1: PrivateL1,
+    /// Raw events of the current chunk.
+    raw: Box<[Access]>,
+    /// Tagged addresses of the current chunk (decode pass output).
+    addrs: Box<[u64]>,
+    /// `prefix[k]` = instructions of chunk events `[0, k)`; the clock
+    /// distance between any two in-chunk positions is a subtraction.
+    prefix: Box<[u64]>,
+    /// Chunk positions of the L1 misses, densely packed.
+    miss_pos: Box<[u32]>,
+    /// Tagged addresses of those misses (decoded once in the bulk pass).
+    miss_addr: Box<[u64]>,
+    chunk_len: usize,
+    nmiss: usize,
+    /// Next unconsumed entry of `miss_pos`/`miss_addr`.
+    next_miss: usize,
+    /// Chunk events already folded into `time`.
+    consumed: usize,
+    /// Local clock after the last consumed event.
+    time: u64,
+    /// Events until the warmup snapshot boundary (0 = no warmup or
+    /// already snapshotted); refills never cross the boundary, so the
+    /// snapshot always lands exactly on a chunk close.
+    warm_left: u64,
+    /// Global tenant id: way slice, epoch slot, telemetry domain, and
+    /// address-space tag.
+    tenant: u32,
+    st: NfRunStats,
+    snapshot: Option<NfRunStats>,
+    tel: BusTelemetry,
+}
+
+impl Lane {
+    fn new(src: EventSource, tenant: u32, warm: u64, l1: &CacheConfig) -> Lane {
+        Lane {
+            src,
+            l1: PrivateL1::new(l1),
+            raw: vec![
+                Access {
+                    insns: 1,
+                    addr: 0,
+                    kind: AccessKind::Load,
+                };
+                CHUNK
+            ]
+            .into_boxed_slice(),
+            addrs: vec![0; CHUNK].into_boxed_slice(),
+            prefix: vec![0; CHUNK + 1].into_boxed_slice(),
+            miss_pos: vec![0; CHUNK].into_boxed_slice(),
+            miss_addr: vec![0; CHUNK].into_boxed_slice(),
+            chunk_len: 0,
+            nmiss: 0,
+            next_miss: 0,
+            consumed: 0,
+            time: 0,
+            warm_left: warm,
+            tenant,
+            st: NfRunStats::zero(),
+            snapshot: None,
+            tel: BusTelemetry::default(),
+        }
+    }
+
+    /// Bulk L1 phase: pull the next chunk, batch-decode every address,
+    /// prefix-sum the instruction counts, probe the private L1
+    /// branch-free, and compact the misses into the L2-event queue.
+    fn refill(&mut self) {
+        // Never pull past the warmup boundary: the snapshot must be the
+        // state after exactly `warm` events, and snapshots are taken at
+        // chunk closes.
+        let cap = if self.warm_left > 0 && self.warm_left < CHUNK as u64 {
+            self.warm_left as usize
+        } else {
+            CHUNK
+        };
+        let Lane {
+            src,
+            raw,
+            addrs,
+            prefix,
+            l1,
+            miss_pos,
+            miss_addr,
+            tenant,
+            chunk_len,
+            next_miss,
+            consumed,
+            nmiss,
+            ..
+        } = self;
+        // Pass 1 — decode: prefix-sum the instruction counts and tag
+        // every address with the lane's address-space id. Replay-backed
+        // sources lend their backing store directly (zero-copy); the
+        // rest synthesize into the chunk buffer first. Note a borrowed
+        // run may be *short* without meaning end-of-stream (shared
+        // recordings stop at each pass boundary) — only an empty chunk
+        // terminates the lane.
+        let events: &[Access] = match src.next_slice(cap) {
+            Some(run) => run,
+            None => {
+                let n = src.next_batch(&mut raw[..cap]);
+                &raw[..n]
+            }
+        };
+        let n = events.len();
+        let t = *tenant as usize;
+        prefix[0] = 0;
+        let mut acc = 0u64;
+        for (k, a) in events.iter().enumerate() {
+            acc += u64::from(a.insns);
+            prefix[k + 1] = acc;
+            addrs[k] = tagged(t, a.addr);
+        }
+        // Start pulling the *next* chunk's trace lines into the host
+        // cache now — the probe pass and the L2 events of this chunk
+        // give the loads a microsecond of latency to hide under.
+        src.prefetch_ahead(CHUNK);
+        *chunk_len = n;
+        *next_miss = 0;
+        *consumed = 0;
+        // Pass 2 — probe the private L1 branch-free and compact the
+        // misses (unconditional stores + conditional increment).
+        *nmiss = l1.probe_chunk(&addrs[..n], &mut miss_pos[..], &mut miss_addr[..]);
+    }
+
+    /// Fold the tail of the current chunk (all L1 hits past the last
+    /// miss) into the clock and credit the chunk's L1 statistics; take
+    /// the warmup snapshot when the boundary lands here.
+    fn close_chunk(&mut self) {
+        debug_assert_eq!(
+            self.next_miss, self.nmiss,
+            "chunk closed with misses pending"
+        );
+        let len = self.chunk_len;
+        self.time += self.prefix[len] - self.prefix[self.consumed];
+        self.st.insns += self.prefix[len];
+        self.st.l1_hits += (len - self.nmiss) as u64;
+        self.st.l1_misses += self.nmiss as u64;
+        self.consumed = len;
+        if self.warm_left > 0 {
+            self.warm_left -= len as u64;
+            if self.warm_left == 0 {
+                // Same accounting as the per-event loop at `ev == warm`:
+                // `cycles` is the clock after the warm-th event and the
+                // counters are cumulative at that instant.
+                self.st.cycles = self.time;
+                self.snapshot = Some(self.st.clone());
+            }
+        }
+    }
+
+    /// Ensure an unconsumed L2 event exists, closing and refilling
+    /// chunks as needed. Returns `false` when the stream is exhausted
+    /// (final `cycles` recorded).
+    fn advance(&mut self) -> bool {
+        while self.next_miss == self.nmiss {
+            self.close_chunk();
+            self.refill();
+            if self.chunk_len == 0 {
+                self.st.cycles = self.time;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The scheduler key time of the next L2 event: the lane clock just
+    /// *before* the missing event — exactly the `(local clock, index)`
+    /// key the per-event loop assigns it.
+    #[inline]
+    fn next_miss_key_time(&self) -> u64 {
+        let k = self.miss_pos[self.next_miss] as usize;
+        self.time + (self.prefix[k] - self.prefix[self.consumed])
+    }
+
+    /// Process the next L2 event against the shared L2 and bus, folding
+    /// the preceding hit run into the clock arithmetically.
+    #[inline]
+    fn consume_miss(
+        &mut self,
+        l2: &mut Cache,
+        arbiter: &mut BusArbiter,
+        cfg: &MachineConfig,
+        telemetry_on: bool,
+    ) {
+        let j = self.next_miss;
+        let k = self.miss_pos[j] as usize;
+        // Clock after the missing event's instruction charge: every
+        // event since the last consumed one was an L1 hit (cost = its
+        // insns), so the whole run collapses to a prefix-sum delta.
+        let mut now = self.time + (self.prefix[k + 1] - self.prefix[self.consumed]);
+        if l2.access(self.tenant, self.miss_addr[j]) {
+            self.st.l2_hits += 1;
+            now += cfg.l2_hit_cycles;
+        } else {
+            self.st.l2_misses += 1;
+            let ready = now + cfg.l2_hit_cycles;
+            let start = arbiter.grant(self.tenant, ready, cfg.bus_beat_cycles);
+            if telemetry_on {
+                self.tel.grants += 1;
+                self.tel.wait.record(start.saturating_sub(ready));
+                self.tel.dram.record(cfg.dram_cycles);
+                if start > ready {
+                    self.tel.delayed += 1;
+                }
+            }
+            now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
+        }
+        self.time = now;
+        self.consumed = k + 1;
+        self.next_miss = j + 1;
+        // Host-cache hint: the lane's next L2 event is already sitting
+        // in the compacted miss queue, so warm its set lines while the
+        // scheduler decides whose turn is next.
+        if j + 1 < self.nmiss {
+            l2.prefetch(self.miss_addr[j + 1]);
+        }
+    }
+}
+
 /// Run `streams` to exhaustion under `cfg`.
 ///
 /// # Panics
 ///
 /// Panics if `streams` is empty, or if a partitioned configuration has
-/// fewer tenants than streams.
+/// fewer tenant slots than streams.
 pub fn run_colocated(cfg: &MachineConfig, streams: Vec<EventSource>) -> RunOutcome {
     run_colocated_warm(cfg, streams, &[])
 }
@@ -209,58 +638,87 @@ pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
     warmup_events: &[u64],
     sink: &S,
 ) -> RunOutcome {
+    let ids: Vec<u32> = (0..streams.len() as u32).collect();
+    run_colocated_ids_sink(cfg, streams, warmup_events, &ids, sink)
+}
+
+/// Run a colocation (or one shard of one) with explicit global tenant
+/// ids.
+///
+/// `tenant_ids[i]` is stream `i`'s identity everywhere an identity
+/// matters: its L2 way slice / SecDCP slot, its temporal-bus epoch
+/// domain, its address-space tag, and its telemetry domain. The plain
+/// entry points pass `0..n`, which reproduces the historical behaviour
+/// exactly; shard drivers pass the subset of global ids the shard owns,
+/// and — because every structure keyed by tenant id behaves identically
+/// whether or not *other* tenants are simulated alongside (private way
+/// slices, pure-function epoch grants) — each tenant's results are
+/// bit-identical to the full serial run.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty, if `tenant_ids` and `streams` disagree
+/// in length, if the ids are not strictly increasing (the engine's
+/// event-order tiebreak is the stream index, which must agree with
+/// tenant order for shard merges to be deterministic), or if any id has
+/// no slot in the configured partition/bus schedule (see
+/// [`Cache::domains`]).
+pub fn run_colocated_ids_sink<S: TelemetrySink + ?Sized>(
+    cfg: &MachineConfig,
+    streams: Vec<EventSource>,
+    warmup_events: &[u64],
+    tenant_ids: &[u32],
+    sink: &S,
+) -> RunOutcome {
     assert!(!streams.is_empty(), "need at least one stream");
-    if let Partition::StaticWays { tenants } = cfg.l2_partition {
-        assert!(
-            tenants as usize >= streams.len(),
-            "more streams than cache partitions"
-        );
-    }
-    let n = streams.len();
-    let mut l1: Vec<Cache> = (0..n)
-        .map(|_| Cache::new(cfg.l1, Partition::Shared))
-        .collect();
+    assert_eq!(tenant_ids.len(), streams.len(), "one tenant id per stream");
+    assert!(
+        tenant_ids.windows(2).all(|w| w[0] < w[1]),
+        "tenant ids must be strictly increasing"
+    );
+    validate_domains(cfg, tenant_ids, streams.len());
+
     let mut l2 = Cache::new(cfg.l2, cfg.l2_partition.clone());
     let mut arbiter = BusArbiter::for_kind(cfg.bus, cfg.epoch_cycles);
+    // With NullSink this bool is a monomorphized constant `false`, so
+    // every guarded block below folds away.
+    let telemetry_on = sink.enabled();
 
-    let mut stats: Vec<NfRunStats> = (0..n)
-        .map(|_| NfRunStats {
-            insns: 0,
-            cycles: 0,
-            l1_hits: 0,
-            l1_misses: 0,
-            l2_hits: 0,
-            l2_misses: 0,
+    let mut lanes: Vec<Lane> = streams
+        .into_iter()
+        .enumerate()
+        .map(|(i, src)| {
+            Lane::new(
+                src,
+                tenant_ids[i],
+                warmup_events.get(i).copied().unwrap_or(0),
+                &cfg.l1,
+            )
         })
         .collect();
-    // Per-NF event counts and the stats snapshot taken when warmup ends.
-    let mut events: Vec<u64> = vec![0; n];
-    let mut snapshot: Vec<Option<NfRunStats>> = vec![None; n];
-    // With NullSink this bool is a monomorphized constant `false`, so
-    // the accumulators and every guarded block below fold away.
-    let telemetry_on = sink.enabled();
-    let mut bus_tel: Vec<BusTelemetry> = if telemetry_on {
-        vec![BusTelemetry::default(); n]
-    } else {
-        Vec::new()
-    };
 
-    // Batched cursor per NF; `keys[i]` is stream `i`'s next-event key
-    // `(local clock, i)` — the index makes every key distinct — or
-    // `DEAD` once the stream is exhausted.
-    let mut cursors: Vec<Cursor> = streams.into_iter().map(Cursor::new).collect();
+    // `keys[i]` is lane `i`'s next L2 event key `(clock before the
+    // event, i)` — the index makes every key distinct — or `DEAD` once
+    // the stream is exhausted. Priming a lane runs its bulk L1 phase up
+    // to the first L2 event; miss-free streams complete entirely here.
     const DEAD: (u64, usize) = (u64::MAX, usize::MAX);
-    let mut keys: Vec<(u64, usize)> = cursors
-        .iter()
+    let mut keys: Vec<(u64, usize)> = lanes
+        .iter_mut()
         .enumerate()
-        .map(|(i, c)| if c.has_next() { (0, i) } else { DEAD })
+        .map(|(i, l)| {
+            if l.advance() {
+                (l.next_miss_key_time(), i)
+            } else {
+                DEAD
+            }
+        })
         .collect();
 
     loop {
-        // Pick the stream with the smallest key and cache the runner-up
-        // in one pass (keys are distinct, so the second-smallest key IS
-        // the minimum over the other streams): stream counts are core
-        // counts, so a linear scan beats heap maintenance per event.
+        // Pick the lane with the smallest key and cache the runner-up in
+        // one pass (keys are distinct, so the second-smallest key IS the
+        // minimum over the other lanes): lane counts are core counts, so
+        // a linear scan beats heap maintenance per event.
         let mut best = DEAD;
         let mut runner_up = DEAD;
         for &k in &keys {
@@ -274,106 +732,64 @@ pub fn run_colocated_sink<S: TelemetrySink + ?Sized>(
         if best == DEAD {
             break;
         }
-        let (mut t, i) = best;
+        let i = best.1;
+        let lane = &mut lanes[i];
 
-        let warm = warmup_events.get(i).copied().unwrap_or(0);
-        let cur = &mut cursors[i];
-        let st = &mut stats[i];
-        let l1c = &mut l1[i];
-        let mut ev = events[i];
-
-        // Run ahead: keep draining stream `i` while its key stays below
-        // the (unchanged) runner-up — a single drain when it is the only
-        // live stream.
+        // Run ahead: keep consuming lane `i`'s L2 events while its key
+        // stays below the (unchanged) runner-up — a single drain when it
+        // is the only live lane.
         loop {
-            let access = cur.take();
-            let mut now = t + u64::from(access.insns);
-            st.insns += u64::from(access.insns);
-
-            let a = tagged(i, access.addr);
-            if l1c.access(i as u32, a) {
-                st.l1_hits += 1;
-            } else {
-                st.l1_misses += 1;
-                if l2.access(i as u32, a) {
-                    st.l2_hits += 1;
-                    now += cfg.l2_hit_cycles;
-                } else {
-                    st.l2_misses += 1;
-                    let ready = now + cfg.l2_hit_cycles;
-                    let start = arbiter.grant(i as u32, ready, cfg.bus_beat_cycles);
-                    if telemetry_on {
-                        let t = &mut bus_tel[i];
-                        t.grants += 1;
-                        t.wait.record(start.saturating_sub(ready));
-                        t.dram.record(cfg.dram_cycles);
-                        if start > ready {
-                            t.delayed += 1;
-                        }
-                    }
-                    now = start + cfg.bus_beat_cycles + cfg.dram_cycles;
-                }
-            }
-
-            ev += 1;
-            if ev == warm {
-                // `cycles` is only read at snapshot time and after the
-                // stream ends, so the hot loop skips the per-event store.
-                st.cycles = now;
-                snapshot[i] = Some(st.clone());
-            }
-            if !cur.has_next() {
-                st.cycles = now;
+            lane.consume_miss(&mut l2, &mut arbiter, cfg, telemetry_on);
+            if !lane.advance() {
                 keys[i] = DEAD;
                 break;
             }
-            if runner_up < (now, i) {
-                keys[i] = (now, i);
+            let k = (lane.next_miss_key_time(), i);
+            if runner_up < k {
+                keys[i] = k;
                 break;
             }
-            t = now;
         }
-        events[i] = ev;
     }
 
     // Subtract the warmup portion (streams shorter than the warmup keep
     // their full statistics).
-    let nfs = stats
-        .into_iter()
-        .zip(snapshot)
-        .map(|(total, snap)| match snap {
+    let nfs: Vec<NfRunStats> = lanes
+        .iter()
+        .map(|lane| match &lane.snapshot {
             Some(w) => NfRunStats {
-                insns: total.insns - w.insns,
-                cycles: total.cycles.saturating_sub(w.cycles),
-                l1_hits: total.l1_hits - w.l1_hits,
-                l1_misses: total.l1_misses - w.l1_misses,
-                l2_hits: total.l2_hits - w.l2_hits,
-                l2_misses: total.l2_misses - w.l2_misses,
+                insns: lane.st.insns - w.insns,
+                cycles: lane.st.cycles.saturating_sub(w.cycles),
+                l1_hits: lane.st.l1_hits - w.l1_hits,
+                l1_misses: lane.st.l1_misses - w.l1_misses,
+                l2_hits: lane.st.l2_hits - w.l2_hits,
+                l2_misses: lane.st.l2_misses - w.l2_misses,
             },
-            None => total,
+            None => lane.st.clone(),
         })
-        .collect::<Vec<NfRunStats>>();
+        .collect();
     if telemetry_on {
-        for (i, s) in nfs.iter().enumerate() {
-            sink.span_begin(i as u64, "uarch.nf_run", 0);
-            sink.span_end(i as u64, "uarch.nf_run", s.cycles);
-            sink.counter_add(i as u64, metrics::INSNS, s.insns);
-            sink.counter_add(i as u64, metrics::CYCLES, s.cycles);
-            sink.counter_add(i as u64, metrics::L1_HITS, s.l1_hits);
-            sink.counter_add(i as u64, metrics::L1_MISSES, s.l1_misses);
-            sink.counter_add(i as u64, metrics::L2_HITS, s.l2_hits);
-            sink.counter_add(i as u64, metrics::L2_MISSES, s.l2_misses);
+        for (lane, s) in lanes.iter().zip(&nfs) {
+            let d = u64::from(lane.tenant);
+            sink.span_begin(d, "uarch.nf_run", 0);
+            sink.span_end(d, "uarch.nf_run", s.cycles);
+            sink.counter_add(d, metrics::INSNS, s.insns);
+            sink.counter_add(d, metrics::CYCLES, s.cycles);
+            sink.counter_add(d, metrics::L1_HITS, s.l1_hits);
+            sink.counter_add(d, metrics::L1_MISSES, s.l1_misses);
+            sink.counter_add(d, metrics::L2_HITS, s.l2_hits);
+            sink.counter_add(d, metrics::L2_MISSES, s.l2_misses);
             // Flush the batched bus telemetry. Guards keep a miss-free
             // run from materializing zero-valued entries, matching the
             // per-sample behaviour this replaces.
-            let t = &bus_tel[i];
+            let t = &lane.tel;
             if t.grants > 0 {
-                sink.counter_add(i as u64, metrics::BUS_GRANTS, t.grants);
-                sink.merge_hist(i as u64, metrics::BUS_WAIT_CYCLES, &t.wait);
-                sink.merge_hist(i as u64, metrics::DRAM_CYCLES, &t.dram);
+                sink.counter_add(d, metrics::BUS_GRANTS, t.grants);
+                sink.merge_hist(d, metrics::BUS_WAIT_CYCLES, &t.wait);
+                sink.merge_hist(d, metrics::DRAM_CYCLES, &t.dram);
             }
             if t.delayed > 0 {
-                sink.counter_add(i as u64, metrics::BUS_DELAYED, t.delayed);
+                sink.counter_add(d, metrics::BUS_DELAYED, t.delayed);
             }
         }
     }
@@ -625,5 +1041,84 @@ mod tests {
             d8 > d2,
             "expected monotone degradation: 2NF={d2:.2}% 8NF={d8:.2}%"
         );
+    }
+
+    #[test]
+    fn matches_reference_engine_on_all_personalities() {
+        // Quick in-module guard; the proptest version lives in
+        // tests/engine_differential.rs.
+        use crate::reference::run_reference_sink;
+        use snic_telemetry::NullSink;
+        for cfg in [
+            MachineConfig::commodity(3, 512 << 10),
+            MachineConfig::snic(3, 512 << 10),
+            MachineConfig::snic_secdcp(vec![6, 4, 6], 512 << 10),
+        ] {
+            let warm = [500u64, 0, 1_000];
+            let fast = run_colocated_warm(&cfg, streams(3, 1 << 20, 8_000), &warm);
+            let slow = run_reference_sink(&cfg, streams(3, 1 << 20, 8_000), &warm, &NullSink);
+            assert_eq!(fast.nfs, slow.nfs, "engines diverged under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn shard_ids_reproduce_serial_per_tenant_results() {
+        // The sharding fidelity claim at engine level: simulating only
+        // tenants {2,3} of a 4-tenant S-NIC colocation — with their
+        // global ids — must reproduce the full run's stats for those
+        // tenants bit-for-bit.
+        use snic_telemetry::NullSink;
+        let cfg = MachineConfig::snic(4, 1 << 20);
+        let full = run_colocated_warm(&cfg, streams(4, 1 << 20, 10_000), &[100, 200, 300, 400]);
+        let all = streams(4, 1 << 20, 10_000);
+        let subset: Vec<EventSource> = all.into_iter().skip(2).collect();
+        let shard = run_colocated_ids_sink(&cfg, subset, &[300, 400], &[2, 3], &NullSink);
+        assert_eq!(shard.nfs[0], full.nfs[2]);
+        assert_eq!(shard.nfs[1], full.nfs[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 2-tenant static way partition")]
+    fn out_of_range_static_tenant_rejected_at_construction() {
+        use snic_telemetry::NullSink;
+        let cfg = MachineConfig::snic(2, 1 << 20);
+        let _ = run_colocated_ids_sink(&cfg, streams(1, 4 << 10, 10), &[], &[5], &NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 2-tenant SecDCP allocation")]
+    fn out_of_range_secdcp_tenant_rejected_at_construction() {
+        // Regression for the clamp bug: before strict domains, tenant 9
+        // would silently run inside tenant 1's slice.
+        use snic_telemetry::NullSink;
+        let mut cfg = MachineConfig::snic_secdcp(vec![8, 8], 1 << 20);
+        cfg.bus = BusKind::Temporal { domains: 16 };
+        let _ = run_colocated_ids_sink(&cfg, streams(1, 4 << 10, 10), &[], &[9], &NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a 4-domain temporal schedule")]
+    fn out_of_range_bus_domain_rejected_at_construction() {
+        // Previously this only faulted at the tenant's first DRAM
+        // access; a DRAM-free stream never tripped it.
+        use snic_telemetry::NullSink;
+        let mut cfg = MachineConfig::commodity(1, 1 << 20);
+        cfg.bus = BusKind::Temporal { domains: 4 };
+        let _ = run_colocated_ids_sink(&cfg, streams(1, 4 << 10, 10), &[], &[7], &NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_tenant_ids_rejected() {
+        use snic_telemetry::NullSink;
+        let cfg = MachineConfig::snic(4, 1 << 20);
+        let _ = run_colocated_ids_sink(&cfg, streams(2, 4 << 10, 10), &[], &[3, 1], &NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams than cache partitions")]
+    fn more_streams_than_partitions_rejected() {
+        let cfg = MachineConfig::snic(2, 1 << 20);
+        let _ = run_colocated(&cfg, streams(3, 4 << 10, 10));
     }
 }

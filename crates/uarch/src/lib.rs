@@ -14,7 +14,13 @@
 //! - [`stream`]: the memory-reference stream abstraction that network
 //!   functions emit (their real per-packet data-structure walks),
 //! - [`engine`]: the multi-stream interleaving simulator that produces
-//!   per-NF cycles and IPC,
+//!   per-NF cycles and IPC (two-phase: bulk branch-free L1 probing plus
+//!   an L2-event scheduler, shardable across tenants),
+//! - [`reference`]: the per-event engine kept as the executable
+//!   specification the production engine is differentially tested
+//!   against,
+//! - [`simd`]: the std-only u64x4-style lane helpers behind the cache
+//!   hit scan,
 //! - [`config`]: machine parameters matching the Marvell NIC used in the
 //!   iPipe paper (1.2 GHz cores, two-level cache, DDR3-1600).
 //!
@@ -30,12 +36,17 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod reference;
+pub mod simd;
 pub mod stream;
 
 pub use bus::{Arbiter, BusKind, FcfsArbiter, TemporalArbiter};
 pub use cache::{Cache, CacheConfig, Partition};
 pub use config::MachineConfig;
-pub use engine::{run_colocated, run_colocated_sink, NfRunStats, RunOutcome};
+pub use engine::{
+    run_colocated, run_colocated_ids_sink, run_colocated_sink, run_colocated_warm, NfRunStats,
+    RunOutcome,
+};
 pub use stream::{
     Access, AccessKind, AccessStream, EventSource, ReplayStream, SharedReplayStream,
     SyntheticStream,

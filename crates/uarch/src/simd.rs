@@ -1,0 +1,111 @@
+//! Manual u64x4-style lane operations for the cache hit scan.
+//!
+//! The workspace is std-only (no `wide`, no `packed_simd`), so the
+//! "vector" forms here are written the way auto-vectorizers like them:
+//! fixed-width four-lane bodies over `chunks_exact(4)` with no
+//! cross-lane dependencies, which LLVM lowers to `pcmpeqq`-style
+//! compares on x86 and 128-bit NEON compares on ARM. The scalar forms
+//! are kept as the executable specification — the cache differential
+//! suite pits the two against each other over random inputs, and the
+//! flat cache always goes through the lane form.
+
+/// Number of lanes the vector forms process per step.
+pub const LANES: usize = 4;
+
+/// Bitmask of ways in `tags` equal to `needle` (bit `w` set iff
+/// `tags[w] == needle`), computed one element at a time.
+///
+/// This is the reference implementation the lane form must match; it is
+/// also the fallback body for tag slices shorter than one lane block.
+#[inline]
+pub fn match_mask_scalar(tags: &[u64], needle: u64) -> u64 {
+    debug_assert!(tags.len() <= 64, "mask form packs at most 64 ways");
+    let mut mask = 0u64;
+    for (w, &t) in tags.iter().enumerate() {
+        mask |= u64::from(t == needle) << w;
+    }
+    mask
+}
+
+/// Bitmask of ways in `tags` equal to `needle`, computed [`LANES`] ways
+/// per step.
+///
+/// Each four-lane block is compared with independent equality tests and
+/// folded into the mask with four disjoint shifts — exactly the shape
+/// `u64x4::cmp_eq` + movemask would produce, with the remainder tail
+/// falling back to [`match_mask_scalar`]. Equal to the scalar form for
+/// every input (property-tested in `tests/cache_differential.rs`).
+#[inline]
+pub fn match_mask(tags: &[u64], needle: u64) -> u64 {
+    debug_assert!(tags.len() <= 64, "mask form packs at most 64 ways");
+    let mut mask = 0u64;
+    let mut chunks = tags.chunks_exact(LANES);
+    let mut base = 0u32;
+    for c in chunks.by_ref() {
+        let m = u64::from(c[0] == needle)
+            | u64::from(c[1] == needle) << 1
+            | u64::from(c[2] == needle) << 2
+            | u64::from(c[3] == needle) << 3;
+        mask |= m << base;
+        base += LANES as u32;
+    }
+    mask | match_mask_scalar(chunks.remainder(), needle) << base
+}
+
+/// Index of the first minimum element of `stamps` — the LRU victim rule
+/// (invalid lines carry stamp 0 and therefore win; ties resolve to the
+/// lowest way).
+///
+/// Written select-style (no early exit, no data-dependent branch body)
+/// so the comparison lowers to conditional moves; an LRU victim is
+/// data-dependent and an early-exit scan mispredicts on nearly every
+/// miss.
+#[inline]
+pub fn min_stamp_way(stamps: &[u64]) -> usize {
+    let mut best = u64::MAX;
+    let mut way = 0usize;
+    for (w, &s) in stamps.iter().enumerate() {
+        let better = s < best;
+        way = if better { w } else { way };
+        best = if better { s } else { best };
+    }
+    way
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_mask_matches_scalar_on_all_widths() {
+        // Every width 0..=19 with a repeating tag pattern: the lane form
+        // must agree with the scalar form including the remainder tail.
+        for len in 0..20usize {
+            let tags: Vec<u64> = (0..len as u64).map(|w| w % 3).collect();
+            for needle in 0..4u64 {
+                assert_eq!(
+                    match_mask(&tags, needle),
+                    match_mask_scalar(&tags, needle),
+                    "len={len} needle={needle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_bits_identify_matching_ways() {
+        let tags = [7u64, 9, 7, 1, 7, 2, 2, 9];
+        let m = match_mask(&tags, 7);
+        assert_eq!(m, 0b0001_0101);
+        assert_eq!(match_mask(&tags, 2), 0b0110_0000);
+        assert_eq!(match_mask(&tags, 42), 0);
+    }
+
+    #[test]
+    fn min_stamp_prefers_first_smallest() {
+        assert_eq!(min_stamp_way(&[5, 3, 3, 9]), 1, "ties resolve low");
+        assert_eq!(min_stamp_way(&[0, 0, 0, 0]), 0);
+        assert_eq!(min_stamp_way(&[9, 8, 7, 1]), 3);
+        assert_eq!(min_stamp_way(&[2]), 0);
+    }
+}

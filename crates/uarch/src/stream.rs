@@ -279,6 +279,66 @@ impl EventSource {
             EventSource::Dyn(s) => s.next_batch(out),
         }
     }
+
+    /// Borrow the next run of up to `max` events straight out of a
+    /// replay backing store, advancing the cursor — the zero-copy
+    /// counterpart of [`EventSource::next_batch`]. Returns `None` for
+    /// sources that must synthesize events into a caller buffer
+    /// (synthetic and boxed streams); callers fall back to
+    /// `next_batch` there. An exhausted replay source returns
+    /// `Some(&[])`, and a shared recording's runs never span a pass
+    /// boundary (the next call resumes at the front), so a short run —
+    /// unlike `next_batch`'s contract — does *not* imply end of stream;
+    /// only an empty one does.
+    #[inline]
+    pub fn next_slice(&mut self, max: usize) -> Option<&[Access]> {
+        match self {
+            EventSource::Replay(s) => {
+                let n = max.min(s.accesses.len() - s.pos);
+                let lo = s.pos;
+                s.pos += n;
+                Some(&s.accesses[lo..lo + n])
+            }
+            EventSource::Shared(s) => {
+                if s.passes_left == 0 || s.accesses.is_empty() {
+                    return Some(&[]);
+                }
+                let n = max.min(s.accesses.len() - s.pos);
+                let lo = s.pos;
+                s.pos += n;
+                if s.pos == s.accesses.len() {
+                    s.pos = 0;
+                    s.passes_left -= 1;
+                }
+                Some(&s.accesses[lo..lo + n])
+            }
+            EventSource::Synthetic(_) | EventSource::Dyn(_) => None,
+        }
+    }
+
+    /// Warm the host cache for the next `events` upcoming events of a
+    /// replay-backed source (no-op otherwise) — a pure performance
+    /// hint with no stream-visible effect. The engine pulls the trace
+    /// in chunk-sized bursts separated by simulation work, which is
+    /// exactly the pattern hardware stream prefetchers lose; touching
+    /// the next burst's cache lines while the current chunk simulates
+    /// hides the memory latency. (`black_box` keeps the otherwise-dead
+    /// loads from being elided.)
+    #[inline]
+    pub fn prefetch_ahead(&self, events: usize) {
+        let (accesses, pos) = match self {
+            EventSource::Replay(s) => (&s.accesses[..], s.pos),
+            EventSource::Shared(s) => (&s.accesses[..], s.pos),
+            EventSource::Synthetic(_) | EventSource::Dyn(_) => return,
+        };
+        let hi = accesses.len().min(pos + events);
+        let mut i = pos;
+        // One touch per 64-byte line (four 16-byte events).
+        while i < hi {
+            std::hint::black_box(accesses[i].addr);
+            i += 4;
+        }
+    }
 }
 
 impl AccessStream for EventSource {

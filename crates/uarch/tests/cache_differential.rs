@@ -1,17 +1,22 @@
 //! Differential test for the flat (structure-of-arrays) cache.
 //!
 //! The hot-path cache keeps its lines in three contiguous set-major
-//! arrays with encoded validity, precomputed set maps, and a bitmask
+//! arrays with encoded validity, precomputed set maps, and a SIMD-lane
 //! hit scan. This suite pits it against a deliberately naive reference
 //! model written straight from the spec — one `Vec` of line records per
 //! set, linear scans, explicit `valid` flags — over random geometries,
 //! all three sharing disciplines, and random interleaved multi-tenant
 //! access sequences. The hit/miss outcome of *every individual access*
-//! must match, as must the final per-tenant counters.
+//! must match, as must the final per-tenant counters. A second property
+//! pits the four-lane tag-match scan against its scalar specification
+//! over random way widths, and a third holds the strict-domain contract:
+//! any out-of-range tenant id under a partitioned discipline must refuse
+//! (the old wrap/clamp lookups silently shared a slice instead).
 
 use proptest::prelude::*;
 use proptest::TestRng;
 use snic_uarch::cache::{Cache, CacheConfig, Partition};
+use snic_uarch::simd;
 
 /// One line record of the reference model; validity is an explicit flag
 /// rather than the flat cache's sentinel encoding.
@@ -59,14 +64,15 @@ impl RefCache {
     }
 
     /// The way range `[lo, hi)` tenant `t` may occupy, straight from the
-    /// discipline definition (static partitioning wraps tenant ids,
-    /// SecDCP clamps them, the last static slice absorbs remainder ways).
+    /// discipline definition (strict domains: a tenant without a slice
+    /// is a hard error, the last static slice absorbs remainder ways).
     fn range(&self, t: u32) -> (usize, usize) {
         match &self.partition {
             Partition::Shared => (0, self.ways),
             Partition::StaticWays { tenants } => {
+                assert!(t < *tenants, "tenant {t} has no static slice");
                 let per = self.ways / *tenants as usize;
-                let slot = t as usize % *tenants as usize;
+                let slot = t as usize;
                 let lo = slot * per;
                 let hi = if slot == *tenants as usize - 1 {
                     self.ways
@@ -76,7 +82,11 @@ impl RefCache {
                 (lo, hi)
             }
             Partition::SecDcp { allocation } => {
-                let slot = (t as usize).min(allocation.len() - 1);
+                assert!(
+                    (t as usize) < allocation.len(),
+                    "tenant {t} has no SecDCP slot"
+                );
+                let slot = t as usize;
                 let lo: u32 = allocation[..slot].iter().sum();
                 (lo as usize, (lo + allocation[slot]) as usize)
             }
@@ -161,14 +171,15 @@ fn discipline(rng: &mut TestRng, ways: u32) -> Partition {
     }
 }
 
-/// Tenant-id bound for a discipline: a bit beyond the configured count,
-/// so the wrap (static) and clamp (SecDCP) paths — where two tenant ids
-/// share one slice and the owner check actually matters — get hit.
+/// Tenant-id bound for a discipline: exactly the configured domain
+/// count. Ids beyond it are construction-time errors now (covered by
+/// `out_of_range_tenants_always_refuse` below), not a shared-slice path
+/// to exercise.
 fn tenant_bound(partition: &Partition) -> u64 {
     match partition {
         Partition::Shared => 5,
-        Partition::StaticWays { tenants } => u64::from(*tenants) + 2,
-        Partition::SecDcp { allocation } => allocation.len() as u64 + 2,
+        Partition::StaticWays { tenants } => u64::from(*tenants),
+        Partition::SecDcp { allocation } => allocation.len() as u64,
     }
 }
 
@@ -205,8 +216,67 @@ proptest! {
             );
         }
         for t in 0..tenants as u32 {
-            prop_assert_eq!(flat.hits(t), naive.hits[t as usize]);
-            prop_assert_eq!(flat.misses(t), naive.misses[t as usize]);
+            // The checked accessors: every in-domain tenant must be
+            // `Some`, and the counts must match the reference.
+            let h = flat.try_hits(t);
+            let m = flat.try_misses(t);
+            prop_assert_eq!(h, Some(naive.hits[t as usize]));
+            prop_assert_eq!(m, Some(naive.misses[t as usize]));
         }
+    }
+
+    /// The four-lane tag-match scan against its scalar specification:
+    /// random way widths (including non-multiples of the lane count),
+    /// random tag values with planted duplicates, random needles.
+    #[test]
+    fn simd_lane_scan_matches_scalar_scan(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let ways = 1 + rng.below(24) as usize;
+        // A small tag universe plants plenty of duplicates and misses.
+        let universe = 1 + rng.below(6);
+        let tags: Vec<u64> = (0..ways).map(|_| rng.below(universe)).collect();
+        for _ in 0..16 {
+            let needle = rng.below(universe + 2);
+            let lane = simd::match_mask(&tags, needle);
+            let scalar = simd::match_mask_scalar(&tags, needle);
+            prop_assert_eq!(
+                lane, scalar,
+                "lane/scalar divergence: ways={} needle={}", ways, needle
+            );
+            // The mask's bits must be exactly the matching positions.
+            for (w, &t) in tags.iter().enumerate() {
+                prop_assert_eq!((lane >> w) & 1 == 1, t == needle);
+            }
+        }
+        // The LRU victim pick agrees with a naive first-minimum scan.
+        let stamps: Vec<u64> = (0..ways).map(|_| rng.below(8)).collect();
+        let naive = stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &s)| s)
+            .map(|(w, _)| w)
+            .unwrap_or(0);
+        prop_assert_eq!(simd::min_stamp_way(&stamps), naive);
+    }
+
+    /// Strict domains: any tenant id at or beyond the configured count
+    /// must refuse under a partitioned discipline, for every geometry.
+    /// (Before the fix, static wrapped into `t % tenants`' slice and
+    /// SecDCP clamped into the last slice — both silently shared ways.)
+    #[test]
+    fn out_of_range_tenants_always_refuse(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let config = geometry(&mut rng);
+        let partition = discipline(&mut rng, config.ways);
+        let Some(domains) = Cache::new(config, partition.clone()).domains() else {
+            return Ok(()); // Shared: every tenant id is legal.
+        };
+        let bad = domains + rng.below(1000) as u32;
+        let mut cache = Cache::new(config, partition);
+        let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.access(bad, 0x40)
+        }))
+        .is_err();
+        prop_assert!(refused, "tenant {} accepted on a {}-domain cache", bad, domains);
     }
 }

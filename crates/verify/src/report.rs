@@ -291,6 +291,12 @@ pub enum FindingKind {
     /// A tenant repeatedly observed its cache lines evicted by
     /// co-resident tenants (prime-and-probe substrate).
     CacheSetCoResidency,
+    /// A cache trace contains accesses from a tenant id outside the
+    /// claimed partition's domain count — the trace cannot have come
+    /// from the discipline it claims (a strict partition rejects such
+    /// tenants at construction; a clamping one would silently alias
+    /// them into another tenant's slice).
+    ForeignCacheTenant,
     /// A memory region was handed to a function before the zeroization
     /// of its previous owner's data completed (fault-transcript lint).
     UnscrubbedReuse,
@@ -311,6 +317,7 @@ impl FindingKind {
             FindingKind::AllocatorMetadataWalk => "§3.3 (allocator-metadata scan)",
             FindingKind::BusInterference => "§3.3 (bus DoS) / §4.5",
             FindingKind::CacheSetCoResidency => "§3.3 (cache contention) / §4.2",
+            FindingKind::ForeignCacheTenant => "§4.2 (way-partition domain binding)",
             FindingKind::UnscrubbedReuse => "§4.6 (teardown scrubbing)",
             FindingKind::FaultPropagation => "§4.3/§4.6 (fault containment)",
             FindingKind::IllegalLifecycleTransition => "§4.6 (launch/teardown lifecycle)",
@@ -325,6 +332,7 @@ impl FindingKind {
             FindingKind::AllocatorMetadataWalk => "P2-ALLOCATOR-WALK",
             FindingKind::BusInterference => "P2-BUS-INTERFERENCE",
             FindingKind::CacheSetCoResidency => "P2-CACHE-CORESIDENCY",
+            FindingKind::ForeignCacheTenant => "P2-FOREIGN-TENANT",
             FindingKind::UnscrubbedReuse => "P3-UNSCRUBBED-REUSE",
             FindingKind::FaultPropagation => "P3-FAULT-PROPAGATION",
             FindingKind::IllegalLifecycleTransition => "P3-LIFECYCLE",

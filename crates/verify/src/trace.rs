@@ -269,6 +269,38 @@ impl TraceLinter {
         }
         let mut replays: Vec<(u32, Vec<&CacheAccessEvent>)> = per_tenant.into_iter().collect();
         replays.sort_unstable_by_key(|(t, _)| *t);
+        // A partitioned discipline binds tenant ids to way slices at
+        // construction, so a trace event from a tenant the partition
+        // does not know is itself a finding: the trace cannot have come
+        // from the claimed discipline, and replaying it would either
+        // panic (the strict model) or alias into another tenant's slice
+        // (the clamping bug this repo's engine rejects). Report such
+        // tenants instead of replaying them.
+        let domains = match partition {
+            Partition::Shared => None,
+            Partition::StaticWays { tenants } => Some(*tenants),
+            Partition::SecDcp { allocation } => Some(allocation.len() as u32),
+        };
+        let mut foreign = Vec::new();
+        if let Some(n) = domains {
+            replays.retain(|(t, events)| {
+                if *t < n {
+                    return true;
+                }
+                foreign.push(Finding {
+                    kind: FindingKind::ForeignCacheTenant,
+                    actor: FindingActor::CacheTenant(*t),
+                    count: events.len(),
+                    range: events.first().map(|e| (e.addr, u64::from(cfg.line))),
+                    detail: format!(
+                        "{} access(es) from tenant {t}, outside the claimed \
+                         {n}-domain way partition",
+                        events.len()
+                    ),
+                });
+                false
+            });
+        }
         let findings = snic_sim::par_map(replays, |(t, events)| {
             let mut solo = Cache::new(*cfg, partition.clone());
             let mut evicted = 0usize;
@@ -291,7 +323,10 @@ impl TraceLinter {
                 ),
             })
         });
-        findings.into_iter().flatten().collect()
+        foreign
+            .into_iter()
+            .chain(findings.into_iter().flatten())
+            .collect()
     }
 }
 
@@ -511,6 +546,61 @@ mod tests {
         let mut cache = Cache::new(cfg, Partition::StaticWays { tenants: 2 });
         let fs = l.lint_cache(&cache_trace(&mut cache, cfg));
         assert!(fs.is_empty(), "way partitioning prevents probing: {fs:?}");
+    }
+
+    #[test]
+    fn foreign_tenant_is_reported_not_replayed() {
+        // An event from a tenant outside the claimed partition must
+        // surface as a finding — replaying it would panic in the strict
+        // cache model (and a clamping model would alias it into another
+        // tenant's slice, hiding the inconsistency).
+        let cfg = CacheConfig {
+            size: 1024,
+            ways: 4,
+            line: 64,
+        };
+        let l = linter(BusSpec::Fcfs).with_cache(cfg, Partition::StaticWays { tenants: 2 });
+        let mut trace = {
+            let mut cache = Cache::new(cfg, Partition::StaticWays { tenants: 2 });
+            cache_trace(&mut cache, cfg)
+        };
+        trace.push(CacheAccessEvent {
+            tenant: 7,
+            addr: BASE,
+            hit: false,
+        });
+        let fs = l.lint_cache(&trace);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, FindingKind::ForeignCacheTenant);
+        assert_eq!(fs[0].actor, FindingActor::CacheTenant(7));
+        assert_eq!(fs[0].count, 1);
+
+        // SecDcp binds domains by allocation length the same way.
+        let l = linter(BusSpec::Fcfs).with_cache(
+            cfg,
+            Partition::SecDcp {
+                allocation: vec![3, 1],
+            },
+        );
+        let fs = l.lint_cache(&[CacheAccessEvent {
+            tenant: 2,
+            addr: BASE,
+            hit: true,
+        }]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, FindingKind::ForeignCacheTenant);
+
+        // A shared cache has no domain binding — any tenant id replays.
+        let l = linter(BusSpec::Fcfs).with_cache(cfg, Partition::Shared);
+        let fs = l.lint_cache(&[CacheAccessEvent {
+            tenant: 7,
+            addr: BASE,
+            hit: false,
+        }]);
+        assert!(
+            fs.iter().all(|f| f.kind != FindingKind::ForeignCacheTenant),
+            "{fs:?}"
+        );
     }
 
     #[test]

@@ -52,6 +52,16 @@ cargo run -q --release --bin snicctl -- analyze --gate > /dev/null
 echo "==> golden snapshots"
 cargo test -q -p snic-bench --test golden
 
+# Determinism differentials: the optimized hot path (packed tag scan,
+# two-phase bulk probing) must match the reference models event-for-
+# event, and sharding a colocation run across worker threads must be
+# byte-identical to the serial interleaving engine — stats and
+# telemetry both — for every shard count.
+echo "==> engine differentials + shard determinism"
+cargo test -q -p snic-uarch --test cache_differential
+cargo test -q -p snic-uarch --test engine_differential
+cargo test -q -p snic-bench --test shard_determinism
+
 # Telemetry overhead gate: recording the fig5 smoke sweep must stay
 # within SNIC_TELEMETRY_BUDGET_PCT (default 10) percent wall clock of
 # the sink-off run, with bit-identical outcomes.

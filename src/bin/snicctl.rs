@@ -33,6 +33,7 @@
 //! ```text
 //! snicctl bench            # fig5 colocation sweep, quick scale
 //! snicctl bench --full     # same at the paper scale
+//! snicctl bench --shards 8 # shard S-NIC cells across worker threads
 //! ```
 //!
 //! Two verifier modes expose the static passes:
@@ -268,27 +269,48 @@ fn parse_kv(args: &[&str]) -> Result<HashMap<String, u64>, String> {
     Ok(out)
 }
 
-/// `snicctl bench [--full]`: run the engine wall-clock harness (the
-/// same one behind `uarch_perf` and the `BENCH_uarch.json` baseline)
-/// and print the report JSON. `--full` measures at the paper scale.
+/// `snicctl bench [--full] [--shards N]`: run the engine wall-clock
+/// harness (the same one behind `uarch_perf` and the `BENCH_uarch.json`
+/// baseline) and print the report JSON. `--full` measures at the paper
+/// scale; `--shards N` fans the S-NIC cells across up to N worker
+/// threads through the sharded engine (commodity cells are not
+/// shardable and stay serial).
 fn bench_main(args: &[String]) -> Result<String, String> {
-    use snic::bench::perf::{extract_f64, run, to_json};
+    use snic::bench::perf::{baseline_before, run, to_json};
     use snic::bench::Scale;
 
-    let (scale, scale_name) = match args {
-        [] => (Scale::quick(), "quick"),
-        [flag] if flag == "--full" => (Scale::paper(), "paper"),
-        _ => return Err("usage: snicctl bench [--full]".to_string()),
+    let usage = || "usage: snicctl bench [--full] [--shards N]".to_string();
+    let mut full = false;
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" if !full => full = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards needs a positive integer\n{}", usage()))?;
+            }
+            _ => return Err(usage()),
+        }
+    }
+    let (scale, scale_name) = if full {
+        (Scale::paper(), "paper")
+    } else {
+        (Scale::quick(), "quick")
     };
-    eprintln!("snicctl bench: measuring (scale={scale_name}, median of 5)...");
-    let report = run(&scale, 5);
-    // Carry the frozen pre-overhaul baseline forward so the printed
-    // speedup is against the same reference as the committed file.
+    eprintln!("snicctl bench: measuring (scale={scale_name}, shards={shards}, median of 5)...");
+    let report = run(&scale, 5, shards);
+    // Carry the baseline forward so the printed speedup is against the
+    // same reference as the committed file (schema-1 files migrate
+    // their `after` into the new `before`).
     let before = std::fs::read_to_string(
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_uarch.json"),
     )
     .ok()
-    .and_then(|j| extract_f64(&j, "events_per_sec_before"));
+    .and_then(|j| baseline_before(&j));
     Ok(to_json(&report, scale_name, before))
 }
 
@@ -535,7 +557,8 @@ fn main() {
     let arg = argv.first().cloned().unwrap_or_else(|| {
         eprintln!(
             "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
-             snicctl verify [--json] [--bad] | snicctl bench [--full] | snicctl telemetry ..."
+             snicctl verify [--json] [--bad] | snicctl bench [--full] [--shards N] | \
+             snicctl telemetry ..."
         );
         std::process::exit(2);
     });
@@ -649,6 +672,10 @@ attest ids
         let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
         assert!(bench_main(&s(&["--bogus"])).is_err());
         assert!(bench_main(&s(&["--full", "extra"])).is_err());
+        assert!(bench_main(&s(&["--full", "--full"])).is_err());
+        assert!(bench_main(&s(&["--shards"])).is_err());
+        assert!(bench_main(&s(&["--shards", "0"])).is_err());
+        assert!(bench_main(&s(&["--shards", "many"])).is_err());
     }
 
     #[test]
