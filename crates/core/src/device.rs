@@ -252,6 +252,22 @@ impl SmartNic {
         self.injector = FaultInjector::new(plan);
     }
 
+    /// Arm additional fault rules *mid-stream*, preserving the
+    /// transcript and per-site counters accumulated so far. The
+    /// resident daemon's `inject-fault` verb uses this: replacing the
+    /// injector with [`SmartNic::inject_faults`] would erase lifecycle
+    /// history that Pass 3/Pass 4 lint and the restart differential
+    /// replays.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.injector.arm(plan);
+    }
+
+    /// How many events the injector has observed at `site` — the base
+    /// for arming "k-th event from now" triggers mid-stream.
+    pub fn fault_site_count(&self, site: FaultSite) -> u64 {
+        self.injector.count(site)
+    }
+
     /// The fault/lifecycle transcript so far.
     pub fn fault_log(&self) -> &[FaultRecord] {
         self.injector.log()

@@ -61,4 +61,4 @@ pub use constellation::Constellation;
 pub use device::{ResourceSnapshot, ScrubTicket, SmartNic};
 pub use enclave::HostEnclave;
 pub use instr::{LaunchReceipt, LaunchRequest, NfImage, TeardownReceipt};
-pub use nicos::{NicOs, RetryPolicy};
+pub use nicos::{NicOs, RetryError, RetryPolicy};

@@ -14,7 +14,8 @@ use crate::instr::{LaunchReceipt, LaunchRequest, TeardownReceipt};
 
 /// Retry schedule for transient admission failures (the orchestrator's
 /// answer to [`SnicError::is_retryable`] errors): capped exponential
-/// backoff in *simulated* time.
+/// backoff in *simulated* time, optionally with deterministic seeded
+/// jitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (the first try included).
@@ -23,6 +24,13 @@ pub struct RetryPolicy {
     pub initial_backoff: Picos,
     /// Backoff ceiling.
     pub max_backoff: Picos,
+    /// Jitter seed. `Some(seed)` adds a pseudo-random component in
+    /// `[0, backoff/4)` to each applied backoff, derived *only* from
+    /// `(seed, attempt)` via a fixed mixer — no wall clock, no OS
+    /// entropy — so retried schedules stay bit-reproducible while
+    /// decorrelating concurrent tenants' retry storms. `None` keeps the
+    /// exact legacy doubling schedule.
+    pub jitter: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -31,9 +39,85 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             initial_backoff: Picos::micros(50),
             max_backoff: Picos::micros(400),
+            jitter: None,
         }
     }
 }
+
+impl RetryPolicy {
+    /// The default schedule with deterministic jitter derived from
+    /// `seed`.
+    pub fn jittered(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            jitter: Some(seed),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff actually applied before retry `attempt` (1-based),
+    /// given the un-jittered `base` for that attempt. Pure function of
+    /// the policy: the daemon's snapshot/replay machinery depends on
+    /// this never consulting ambient state.
+    pub fn applied_backoff(&self, attempt: u32, base: Picos) -> Picos {
+        match self.jitter {
+            None => base,
+            Some(seed) => {
+                // splitmix64 over (seed, attempt): cheap, fixed, and
+                // platform-independent.
+                let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let span = (base.0 / 4).max(1);
+                Picos(base.0 + z % span)
+            }
+        }
+    }
+}
+
+/// Why a retry loop stopped without a receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError {
+    /// The first non-retryable error; retrying would never help.
+    Fatal(SnicError),
+    /// Every attempt in the budget failed with a retryable error.
+    Exhausted {
+        /// Attempts consumed (== `RetryPolicy::max_attempts`).
+        attempts: u32,
+        /// The last transient error observed.
+        last: SnicError,
+    },
+    /// The next backoff would cross the request's deadline; the loop
+    /// cancelled instead of sleeping past it. Failed attempts have
+    /// already rolled back, so cancellation leaves no partial effects
+    /// (the `ResourceSnapshot` equality guarantee).
+    DeadlineExceeded {
+        /// Attempts consumed before cancelling.
+        attempts: u32,
+        /// The deadline that would have been crossed.
+        deadline: Picos,
+    },
+}
+
+impl core::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RetryError::Fatal(e) => write!(f, "fatal: {e}"),
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::DeadlineExceeded { attempts, deadline } => {
+                write!(
+                    f,
+                    "cancelled after {attempts} attempts: next backoff crosses deadline {}ps",
+                    deadline.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
 
 /// The management-plane wrapper around a device.
 pub struct NicOs<'a> {
@@ -85,31 +169,102 @@ impl<'a> NicOs<'a> {
 
     /// `NF_create` with retry: transient failures (injected or organic
     /// resource exhaustion, a NIC-OS restart) back off in simulated
-    /// time — doubling up to `policy.max_backoff` — and re-issue; fatal
-    /// errors surface immediately.
+    /// time — doubling up to `policy.max_backoff`, plus seeded jitter
+    /// when the policy asks for it — and re-issue; fatal errors surface
+    /// immediately.
     pub fn nf_create_with_retry(
         &mut self,
         request: LaunchRequest,
         policy: RetryPolicy,
     ) -> Result<LaunchReceipt, SnicError> {
+        self.nf_create_with_deadline(request, policy, None)
+            .map_err(|e| match e {
+                RetryError::Fatal(err) | RetryError::Exhausted { last: err, .. } => err,
+                // Unreachable with `deadline: None`, but total anyway.
+                RetryError::DeadlineExceeded { .. } => {
+                    SnicError::Transient(snic_types::TransientResource::NicOs)
+                }
+            })
+    }
+
+    /// `NF_create` with retry *and* a cancellation deadline in
+    /// simulated time: the daemon's standard launch path.
+    ///
+    /// Attempt counts and give-up reasons are surfaced as
+    /// `snic-telemetry` counters (`nicos.retry_attempts`,
+    /// `nicos.giveup_*`) and every applied backoff lands in the
+    /// `nicos.backoff_ps` histogram, so an operator watching the live
+    /// summary sees retry storms instead of silence. The loop never
+    /// advances simulated time past `deadline`: if the next backoff
+    /// would cross it, the loop cancels with
+    /// [`RetryError::DeadlineExceeded`]. Each failed attempt has
+    /// already rolled back (launch failure atomicity), so cancellation
+    /// leaves the device's [`crate::device::ResourceSnapshot`] exactly
+    /// as it was before the call.
+    pub fn nf_create_with_deadline(
+        &mut self,
+        request: LaunchRequest,
+        policy: RetryPolicy,
+        deadline: Option<Picos>,
+    ) -> Result<LaunchReceipt, RetryError> {
+        use snic_telemetry::metrics;
         let mut backoff = policy.initial_backoff;
         let mut attempt = 1u32;
+        let note_outcome = |nic: &mut SmartNic, attempts: u32, reason: &'static str| {
+            let telemetry = nic.telemetry();
+            if telemetry.enabled() {
+                telemetry.counter_add(0, metrics::NICOS_RETRY_ATTEMPTS, u64::from(attempts));
+                if !reason.is_empty() {
+                    telemetry.counter_add(0, reason, 1);
+                    telemetry.instant(0, reason, nic.now().0);
+                }
+            }
+        };
         loop {
             match self.nf_create(request.clone()) {
-                Ok(receipt) => return Ok(receipt),
+                Ok(receipt) => {
+                    note_outcome(self.nic, attempt, "");
+                    return Ok(receipt);
+                }
                 Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
-                    self.nic
-                        .fault_note(None, FaultEventKind::RetryBackoff { attempt, backoff });
+                    let applied = policy.applied_backoff(attempt, backoff);
+                    if let Some(d) = deadline {
+                        if self.nic.now() + applied > d {
+                            note_outcome(self.nic, attempt, metrics::NICOS_GIVEUP_DEADLINE);
+                            return Err(RetryError::DeadlineExceeded {
+                                attempts: attempt,
+                                deadline: d,
+                            });
+                        }
+                    }
+                    self.nic.fault_note(
+                        None,
+                        FaultEventKind::RetryBackoff {
+                            attempt,
+                            backoff: applied,
+                        },
+                    );
                     let telemetry = self.nic.telemetry();
                     if telemetry.enabled() {
-                        telemetry.counter_add(0, snic_telemetry::metrics::NICOS_RETRIES, 1);
+                        telemetry.counter_add(0, metrics::NICOS_RETRIES, 1);
+                        telemetry.record(0, metrics::NICOS_BACKOFF_PS, applied.0);
                         telemetry.instant(0, "nicos.retry_backoff", self.nic.now().0);
                     }
-                    self.nic.advance(backoff);
+                    self.nic.advance(applied);
                     backoff = Picos((backoff.0 * 2).min(policy.max_backoff.0));
                     attempt += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) if e.is_retryable() => {
+                    note_outcome(self.nic, attempt, metrics::NICOS_GIVEUP_BUDGET);
+                    return Err(RetryError::Exhausted {
+                        attempts: attempt,
+                        last: e,
+                    });
+                }
+                Err(e) => {
+                    note_outcome(self.nic, attempt, metrics::NICOS_GIVEUP_FATAL);
+                    return Err(RetryError::Fatal(e));
+                }
             }
         }
     }
@@ -163,6 +318,119 @@ mod tests {
         os.nf_destroy(r.nf_id).unwrap();
         assert!(os.managed().is_empty());
         assert!(os.nf_destroy(r.nf_id).is_err(), "double destroy fails");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::jittered(42);
+        let base = Picos::micros(100);
+        for attempt in 1..8 {
+            let a = p.applied_backoff(attempt, base);
+            let b = p.applied_backoff(attempt, base);
+            assert_eq!(a, b, "same (seed, attempt) => same jitter");
+            assert!(a >= base);
+            assert!(a.0 < base.0 + base.0 / 4 + 1, "jitter bounded to base/4");
+        }
+        // Different seeds decorrelate; no jitter means the exact base.
+        let q = RetryPolicy::jittered(43);
+        assert_ne!(p.applied_backoff(1, base), q.applied_backoff(1, base));
+        assert_eq!(RetryPolicy::default().applied_backoff(1, base), base);
+    }
+
+    #[test]
+    fn deadline_cancels_before_crossing_and_rolls_back() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut device = nic();
+        // Every launch attempt hits transient DRAM exhaustion.
+        device.inject_faults(
+            FaultPlan::none()
+                .on_nth(FaultSite::Launch, 1, FaultKind::DramExhaustion)
+                .on_nth(FaultSite::Launch, 2, FaultKind::DramExhaustion)
+                .on_nth(FaultSite::Launch, 3, FaultKind::DramExhaustion)
+                .on_nth(FaultSite::Launch, 4, FaultKind::DramExhaustion),
+        );
+        let before = device.resource_snapshot();
+        let t0 = device.now();
+        let mut os = NicOs::new(&mut device);
+        // Deadline tighter than the first backoff: the loop must cancel
+        // rather than sleep past it.
+        let deadline = t0 + Picos::micros(10);
+        let err = os
+            .nf_create_with_deadline(
+                LaunchRequest::minimal(CoreId(0), ByteSize::mib(4), NfImage::default()),
+                RetryPolicy::jittered(7),
+                Some(deadline),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, RetryError::DeadlineExceeded { attempts: 1, .. }),
+            "{err:?}"
+        );
+        assert!(device.now() <= deadline, "never advanced past the deadline");
+        assert_eq!(
+            device.resource_snapshot(),
+            before,
+            "cancellation left partial effects"
+        );
+    }
+
+    #[test]
+    fn exhausted_and_fatal_are_distinguished() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        let mut device = nic();
+        let plan = (1..=4).fold(FaultPlan::none(), |p, n| {
+            p.on_nth(FaultSite::Launch, n, FaultKind::DramExhaustion)
+        });
+        device.inject_faults(plan);
+        let mut os = NicOs::new(&mut device);
+        let err = os
+            .nf_create_with_deadline(
+                LaunchRequest::minimal(CoreId(0), ByteSize::mib(4), NfImage::default()),
+                RetryPolicy::default(),
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, RetryError::Exhausted { attempts: 4, .. }),
+            "{err:?}"
+        );
+        // A fatal error (invalid config) surfaces immediately.
+        let mut device = nic();
+        let mut os = NicOs::new(&mut device);
+        let err = os
+            .nf_create_with_deadline(
+                LaunchRequest::minimal(CoreId(0), ByteSize::mib(0), NfImage::default()),
+                RetryPolicy::default(),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RetryError::Fatal(_)), "{err:?}");
+    }
+
+    #[test]
+    fn retry_outcomes_surface_as_telemetry_counters() {
+        use snic_faults::{FaultKind, FaultPlan, FaultSite};
+        use snic_telemetry::{metrics, Recorder};
+        use std::sync::Arc;
+        let mut device = nic();
+        let recorder = Arc::new(Recorder::new());
+        device.set_telemetry(recorder.clone());
+        device.inject_faults(FaultPlan::none().on_nth(
+            FaultSite::Launch,
+            1,
+            FaultKind::DramExhaustion,
+        ));
+        let mut os = NicOs::new(&mut device);
+        os.nf_create_with_retry(
+            LaunchRequest::minimal(CoreId(0), ByteSize::mib(4), NfImage::default()),
+            RetryPolicy::jittered(3),
+        )
+        .unwrap();
+        let summary = recorder.summary();
+        let text = summary.to_text();
+        assert!(text.contains(metrics::NICOS_RETRIES), "{text}");
+        assert!(text.contains(metrics::NICOS_RETRY_ATTEMPTS), "{text}");
+        assert!(text.contains(metrics::NICOS_BACKOFF_PS), "{text}");
     }
 
     #[test]

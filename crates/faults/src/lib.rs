@@ -32,6 +32,10 @@ use std::fmt;
 
 use snic_types::{NfId, NfState, Picos};
 
+pub mod serve;
+
+pub use serve::{render_serve_transcript, ServeEventKind, ServeRecord};
+
 /// The fault taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -413,6 +417,23 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
+    /// Append `plan`'s rules to the armed set *without* disturbing the
+    /// per-site counters or the transcript. This is how a resident
+    /// daemon injects faults mid-stream: `FaultInjector::new` would
+    /// erase the lifecycle history recorded so far, which Pass 3 and
+    /// the serving layer both lint.
+    ///
+    /// Nth-event triggers count from the injector's birth, not from the
+    /// arming point: arming `OnNthEvent { n: 3 }` after two events have
+    /// already passed at that site fires on the very next one, and a
+    /// rule whose ordinal has already gone by never fires. Callers that
+    /// mean "the k-th event from now" should offset by
+    /// [`FaultInjector::count`].
+    pub fn arm(&mut self, plan: FaultPlan) {
+        self.rules
+            .extend(plan.rules.into_iter().map(|r| (r, false)));
+    }
+
     /// Consult the injector at `site` at simulated time `now`,
     /// attributing the event to `nf` when known. Increments the site
     /// counter, evaluates armed rules in plan order, and returns the
@@ -565,6 +586,29 @@ mod tests {
         let text = render_transcript(inj.log());
         assert!(text.contains("inject nf-crash @rx"), "{text}");
         assert!(text.contains("state running -> faulted"), "{text}");
+    }
+
+    #[test]
+    fn arm_appends_without_clearing_history() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::none().on_nth(FaultSite::Rx, 1, FaultKind::NfCrash));
+        assert_eq!(
+            inj.check(FaultSite::Rx, Picos(1), None),
+            Some(FaultKind::NfCrash)
+        );
+        let before = inj.log().len();
+        assert!(before > 0);
+        // Arm a second plan mid-stream: transcript and counters survive,
+        // and the new rule's ordinal is absolute (count() + k from now).
+        let next = inj.count(FaultSite::Rx) + 1;
+        inj.arm(FaultPlan::none().on_nth(FaultSite::Rx, next, FaultKind::NfCrash));
+        assert_eq!(inj.log().len(), before, "arming must not touch the log");
+        assert!(!inj.exhausted());
+        assert_eq!(
+            inj.check(FaultSite::Rx, Picos(2), None),
+            Some(FaultKind::NfCrash)
+        );
+        assert!(inj.exhausted());
     }
 
     #[test]

@@ -1,0 +1,1263 @@
+//! The resident daemon: a [`Daemon`] owns one [`SmartNic`] and serves
+//! the line protocol of [`crate::protocol`].
+//!
+//! # Determinism contract
+//!
+//! Every observable output — response lines, the [`ServeRecord`]
+//! transcript, device state — is a pure function of the
+//! [`DaemonConfig`] and the sequence of ingested lines. The daemon
+//! consults no wall clock and no OS entropy: time is the device's
+//! simulated clock (one [`DaemonConfig::tick_ps`] per ingested line,
+//! plus whatever operations cost), randomness is seeded from
+//! [`DaemonConfig::seed`]. This is what makes snapshots cheap: a
+//! snapshot is just the config plus the ingested line history, and a
+//! restore is a replay (see [`crate::snapshot`]).
+//!
+//! # Serving model
+//!
+//! Tenant ops (`launch`, `teardown`, `attest`, `stats`, `send`,
+//! `poll`) pass admission control — bounded per-tenant queue,
+//! token-bucket rate limit — and wait in their tenant's queue; a
+//! round-robin pump serves queues one request per step, so a bursty
+//! tenant cannot starve the others. Management ops (`register`,
+//! `health`, `telemetry-summary`, `verify`, `inject-fault`, `advance`,
+//! `resume-scrubs`, `reclaim`, `snapshot`, `drain`) execute
+//! immediately.
+//!
+//! When an executed op leaves one of a tenant's NFs in the `Faulted`
+//! lifecycle state, the daemon freezes *that tenant's* queue — its
+//! subsequent requests are rejected `SERVE-FROZEN`, its queued
+//! requests wait — while every other tenant keeps being served
+//! (§4.3/§4.6 blast-radius containment, lifted to the serving layer).
+//! An explicit `reclaim` tears down the faulted NFs, sheds the frozen
+//! queue, and thaws the tenant.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snic_core::attest::{FunctionAttestation, Verifier};
+use snic_core::config::{NicConfig, NicMode};
+use snic_core::device::SmartNic;
+use snic_core::instr::{LaunchRequest, NfImage};
+use snic_core::{NicOs, RetryError, RetryPolicy};
+use snic_crypto::dh::DhParams;
+use snic_crypto::keys::VendorCa;
+use snic_crypto::sha256::{sha256, to_hex};
+use snic_faults::{FaultKind, FaultPlan, FaultSite, ServeEventKind, ServeRecord};
+use snic_pktio::rules::{RuleMatch, SwitchRule};
+use snic_telemetry::{metrics, Json, Recorder, TelemetrySink};
+use snic_types::packet::PacketBuilder;
+use snic_types::{ByteSize, CoreId, NfId, NfState, Picos, Protocol};
+use snic_verify::Finding;
+
+use crate::admission::{Pending, QueuedOp, TenantQuota, TenantState};
+use crate::protocol::{accept, codes, esc, parse_request, reject, Request};
+
+/// Daemon configuration. Rendered canonically into snapshot images;
+/// two daemons with equal configs and equal input histories are
+/// byte-identical in every observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Master seed: NIC config seed, vendor CA keys, retry jitter,
+    /// attestation nonces all derive from it.
+    pub seed: u64,
+    /// Device personality.
+    pub mode: NicMode,
+    /// Simulated picoseconds added per ingested line.
+    pub tick_ps: u64,
+    /// Service-pump steps run after each ingested line.
+    pub auto_steps: u32,
+    /// Default relative deadline (µs) applied to queued requests that
+    /// carry none; `0` means no default deadline.
+    pub default_deadline_us: u64,
+    /// Default per-tenant admission limits (override per tenant with
+    /// the `register` op).
+    pub quota: TenantQuota,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            seed: 0xD5EED,
+            mode: NicMode::Snic,
+            tick_ps: 1_000_000, // 1 µs per line
+            auto_steps: 2,
+            default_deadline_us: 0,
+            quota: TenantQuota::default(),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Canonical one-line JSON form (the snapshot header).
+    pub fn render(&self) -> String {
+        let mode = match self.mode {
+            NicMode::Snic => "snic",
+            NicMode::Commodity => "commodity",
+        };
+        format!(
+            "{{\"seed\":{},\"mode\":\"{mode}\",\"tick_ps\":{},\"auto_steps\":{},\
+             \"default_deadline_us\":{},\"quota\":{{\"queue_depth\":{},\"max_live_nfs\":{},\
+             \"burst\":{},\"refill_ps\":{}}}}}",
+            self.seed,
+            self.tick_ps,
+            self.auto_steps,
+            self.default_deadline_us,
+            self.quota.queue_depth,
+            self.quota.max_live_nfs,
+            self.quota.burst,
+            self.quota.refill_ps,
+        )
+    }
+
+    /// Parse the canonical form back. Inverse of [`DaemonConfig::render`].
+    pub fn parse(text: &str) -> Result<DaemonConfig, String> {
+        let j = snic_telemetry::parse_json(text).map_err(|e| e.to_string())?;
+        let num = |j: &Json, k: &str| -> Result<u64, String> {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("config: missing '{k}'"))
+        };
+        let mode = match j.get("mode").and_then(Json::as_str) {
+            Some("snic") => NicMode::Snic,
+            Some("commodity") => NicMode::Commodity,
+            other => return Err(format!("config: bad mode {other:?}")),
+        };
+        let q = j.get("quota").ok_or("config: missing 'quota'")?;
+        Ok(DaemonConfig {
+            seed: num(&j, "seed")?,
+            mode,
+            tick_ps: num(&j, "tick_ps")?,
+            auto_steps: num(&j, "auto_steps")? as u32,
+            default_deadline_us: num(&j, "default_deadline_us")?,
+            quota: TenantQuota {
+                queue_depth: num(q, "queue_depth")? as u32,
+                max_live_nfs: num(q, "max_live_nfs")? as u32,
+                burst: num(q, "burst")?,
+                refill_ps: num(q, "refill_ps")?,
+            },
+        })
+    }
+}
+
+/// Deterministic per-request seed: splitmix64 over the daemon seed, an
+/// FNV-1a hash of the tenant name, and the request id.
+fn request_seed(seed: u64, tenant: &str, id: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tenant.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = seed ^ h ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The resident serving daemon.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    vendor: VendorCa,
+    nic: SmartNic,
+    recorder: Arc<Recorder>,
+    tenants: BTreeMap<String, TenantState>,
+    /// Tenant names in first-contact order (round-robin schedule).
+    order: Vec<String>,
+    cursor: usize,
+    /// Every ingested line, verbatim — the event source.
+    history: Vec<String>,
+    audit: Vec<ServeRecord>,
+    seq: u64,
+    draining: bool,
+    served_total: u64,
+    packet_seq: u32,
+    snapshot_pending: bool,
+    last_snapshot: Option<String>,
+}
+
+impl Daemon {
+    /// Boot a daemon: fresh device, fresh vendor CA, empty tenant set.
+    pub fn new(cfg: DaemonConfig) -> Daemon {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vendor = VendorCa::new(&mut rng);
+        let mut nic_cfg = NicConfig::small(cfg.mode);
+        nic_cfg.seed = cfg.seed;
+        let mut nic = SmartNic::new(nic_cfg, &vendor);
+        let recorder = Arc::new(Recorder::new());
+        nic.set_telemetry(recorder.clone());
+        Daemon {
+            cfg,
+            vendor,
+            nic,
+            recorder,
+            tenants: BTreeMap::new(),
+            order: Vec::new(),
+            cursor: 0,
+            history: Vec::new(),
+            audit: Vec::new(),
+            seq: 0,
+            draining: false,
+            served_total: 0,
+            packet_seq: 0,
+            snapshot_pending: false,
+            last_snapshot: None,
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// The admission transcript so far.
+    pub fn transcript(&self) -> &[ServeRecord] {
+        &self.audit
+    }
+
+    /// The ingested line history (the event source a snapshot embeds).
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Read access to the device, for tests and state digests.
+    pub fn nic(&self) -> &SmartNic {
+        &self.nic
+    }
+
+    /// Whether `tenant` is currently frozen (fault attributed, queue
+    /// held until `reclaim`).
+    pub fn is_frozen(&self, tenant: &str) -> bool {
+        self.tenants.get(tenant).is_some_and(|t| t.frozen.is_some())
+    }
+
+    /// Per-tenant accounting, for gates and tables.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<crate::admission::TenantStats> {
+        self.tenants.get(tenant).map(|t| t.stats)
+    }
+
+    /// Current queue depth of `tenant` (0 if unknown).
+    pub fn queue_depth(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, |t| t.queue.len())
+    }
+
+    /// The configured queue bound of `tenant`, if registered.
+    pub fn queue_bound(&self, tenant: &str) -> Option<u32> {
+        self.tenants.get(tenant).map(|t| t.quota.queue_depth)
+    }
+
+    /// Tenant names in first-contact (round-robin) order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    /// Run Pass 4 over the daemon's own transcript.
+    pub fn lint(&self) -> Vec<Finding> {
+        snic_verify::lint_serve_transcript(&self.audit)
+    }
+
+    /// The most recent snapshot image, rendered when a `snapshot` op
+    /// was last ingested (`snicd --snapshot-out` writes this).
+    pub fn last_snapshot(&self) -> Option<&str> {
+        self.last_snapshot.as_deref()
+    }
+
+    /// A stable multi-line digest of everything that must survive a
+    /// restart: simulated time, the full device resource snapshot
+    /// (including pending scrub watermarks), and every tenant's
+    /// admission state. Snapshot images embed its SHA-256; the
+    /// differential restart tests compare it byte-for-byte.
+    pub fn state_fingerprint(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("now_ps {}\n", self.nic.now().0));
+        s.push_str(&format!("resource {:?}\n", self.nic.resource_snapshot()));
+        s.push_str(&format!(
+            "daemon draining={} served_total={} seq={} cursor={} packet_seq={}\n",
+            self.draining, self.served_total, self.seq, self.cursor, self.packet_seq
+        ));
+        for (name, t) in &self.tenants {
+            s.push_str(&format!(
+                "tenant {name} frozen={:?} stats={:?} nfs={:?} queue={:?} bucket={:?}\n",
+                t.frozen, t.stats, t.nfs, t.queue, t.bucket
+            ));
+        }
+        s
+    }
+
+    fn push_record(
+        audit: &mut Vec<ServeRecord>,
+        seq: &mut u64,
+        at: Picos,
+        tenant: &str,
+        id: u64,
+        kind: ServeEventKind,
+    ) {
+        audit.push(ServeRecord {
+            seq: *seq,
+            at,
+            tenant: tenant.to_string(),
+            id,
+            kind,
+        });
+        *seq += 1;
+    }
+
+    fn record(&mut self, tenant: &str, id: u64, kind: ServeEventKind) {
+        Self::push_record(
+            &mut self.audit,
+            &mut self.seq,
+            self.nic.now(),
+            tenant,
+            id,
+            kind,
+        );
+    }
+
+    fn count(&self, metric: &'static str) {
+        self.recorder.counter_add(0, metric, 1);
+    }
+
+    /// Feed one input line; returns every response line it produced
+    /// (admission rejections plus whatever the auto pumps completed).
+    /// Blank lines and `#` comments are recorded in history (so
+    /// replays stay aligned) but otherwise ignored.
+    pub fn ingest(&mut self, line: &str) -> Vec<String> {
+        self.history.push(line.to_string());
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Vec::new();
+        }
+        self.nic.advance(Picos(self.cfg.tick_ps));
+        let mut out = Vec::new();
+        match parse_request(trimmed) {
+            Err(e) => out.push(reject(0, "", "?", codes::BAD_REQUEST, &e)),
+            Ok(req) => self.dispatch(req, &mut out),
+        }
+        for _ in 0..self.cfg.auto_steps {
+            self.pump(&mut out);
+        }
+        if self.snapshot_pending {
+            self.snapshot_pending = false;
+            self.last_snapshot = Some(crate::snapshot::render_image(self));
+        }
+        out
+    }
+
+    /// Pump the scheduler until every unfrozen queue is empty.
+    /// Returns how many requests were completed by this call.
+    pub fn pump_dry(&mut self, out: &mut Vec<String>) -> u64 {
+        let mut n = 0;
+        while self.pump(out) {
+            n += 1;
+        }
+        n
+    }
+
+    fn dispatch(&mut self, req: Request, out: &mut Vec<String>) {
+        match req.op.as_str() {
+            "register" => self.op_register(&req, out),
+            "step" => self.op_step(&req, out),
+            "health" => self.op_health(&req, out),
+            "telemetry-summary" => self.op_telemetry_summary(&req, out),
+            "verify" => self.op_verify(&req, out),
+            "inject-fault" => self.op_inject_fault(&req, out),
+            "advance" => self.op_advance(&req, out),
+            "resume-scrubs" => self.op_resume_scrubs(&req, out),
+            "reclaim" => self.op_reclaim(&req, out),
+            "snapshot" => self.op_snapshot(&req, out),
+            "drain" => self.op_drain(&req, out),
+            "launch" | "teardown" | "attest" | "stats" | "send" | "poll" => self.admit(&req, out),
+            other => out.push(reject(
+                req.id,
+                &req.tenant,
+                other,
+                codes::BAD_REQUEST,
+                "unknown op",
+            )),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Admission
+    // --------------------------------------------------------------
+
+    fn parse_queued(req: &Request) -> Result<QueuedOp, String> {
+        let name = || -> Result<String, String> {
+            Ok(req.str("name").ok_or("missing \"name\"")?.to_string())
+        };
+        match req.op.as_str() {
+            "launch" => Ok(QueuedOp::Launch {
+                name: name()?,
+                core: req.num("core").map(|c| c as u16),
+                mem_mib: req.num("mem").ok_or("missing \"mem\"")?,
+                port: req.num("port").map(|p| p as u16),
+            }),
+            "teardown" => Ok(QueuedOp::Teardown { name: name()? }),
+            "attest" => Ok(QueuedOp::Attest { name: name()? }),
+            "stats" => Ok(QueuedOp::Stats { name: name()? }),
+            "poll" => Ok(QueuedOp::Poll { name: name()? }),
+            "send" => Ok(QueuedOp::Send {
+                count: req.num("count").ok_or("missing \"count\"")? as u32,
+                port: req.num("port").ok_or("missing \"port\"")? as u16,
+            }),
+            other => Err(format!("op '{other}' is not queueable")),
+        }
+    }
+
+    fn admit(&mut self, req: &Request, out: &mut Vec<String>) {
+        if req.tenant.is_empty() {
+            out.push(reject(
+                req.id,
+                "",
+                &req.op,
+                codes::BAD_REQUEST,
+                "tenant required",
+            ));
+            return;
+        }
+        let now = self.nic.now();
+        let quota = self.cfg.quota;
+        if !self.tenants.contains_key(&req.tenant) {
+            self.tenants
+                .insert(req.tenant.clone(), TenantState::new(quota, now));
+            self.order.push(req.tenant.clone());
+        }
+        let op = match Self::parse_queued(req) {
+            Ok(op) => op,
+            Err(e) => {
+                let t = self.tenants.get_mut(&req.tenant).expect("registered");
+                t.stats.submitted += 1;
+                t.stats.shed += 1;
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    now,
+                    &req.tenant,
+                    req.id,
+                    ServeEventKind::Shed {
+                        code: codes::BAD_REQUEST,
+                    },
+                );
+                self.count(metrics::SERVE_SHED);
+                out.push(reject(req.id, &req.tenant, &req.op, codes::BAD_REQUEST, &e));
+                return;
+            }
+        };
+        let draining = self.draining;
+        let t = self.tenants.get_mut(&req.tenant).expect("registered");
+        t.stats.submitted += 1;
+        let verdict: Result<(), (&'static str, String)> = if draining {
+            Err((codes::DRAINING, "daemon is draining".to_string()))
+        } else if let Some(reason) = &t.frozen {
+            Err((codes::FROZEN, format!("tenant frozen: {reason}")))
+        } else if !t.bucket.try_take(&t.quota, now) {
+            Err((
+                codes::RATE_LIMITED,
+                format!("token bucket empty (burst {})", t.quota.burst),
+            ))
+        } else if t.queue.len() >= t.quota.queue_depth as usize {
+            Err((
+                codes::OVERLOADED,
+                format!("queue full at depth {}", t.quota.queue_depth),
+            ))
+        } else {
+            Ok(())
+        };
+        match verdict {
+            Err((code, error)) => {
+                t.stats.shed += 1;
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    now,
+                    &req.tenant,
+                    req.id,
+                    ServeEventKind::Shed { code },
+                );
+                self.count(metrics::SERVE_SHED);
+                out.push(reject(req.id, &req.tenant, &req.op, code, &error));
+            }
+            Ok(()) => {
+                let deadline = req
+                    .num("deadline_us")
+                    .or(match self.cfg.default_deadline_us {
+                        0 => None,
+                        us => Some(us),
+                    })
+                    .map(|us| Picos(now.0 + us * 1_000_000));
+                let tag = op.tag();
+                t.queue.push_back(Pending {
+                    id: req.id,
+                    op,
+                    deadline,
+                });
+                t.stats.admitted += 1;
+                let depth = t.queue.len() as u32;
+                let bound = t.quota.queue_depth;
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    now,
+                    &req.tenant,
+                    req.id,
+                    ServeEventKind::Admitted {
+                        op: tag,
+                        depth,
+                        bound,
+                    },
+                );
+                self.count(metrics::SERVE_ADMITTED);
+                self.recorder
+                    .record(0, metrics::SERVE_QUEUE_DEPTH, u64::from(depth));
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Service pump
+    // --------------------------------------------------------------
+
+    /// Serve at most one queued request, round-robin across unfrozen
+    /// tenants. Returns whether anything was served.
+    fn pump(&mut self, out: &mut Vec<String>) -> bool {
+        let n = self.order.len();
+        if n == 0 {
+            return false;
+        }
+        for k in 0..n {
+            let idx = (self.cursor + k) % n;
+            let name = &self.order[idx];
+            let ready = self
+                .tenants
+                .get(name)
+                .is_some_and(|t| t.frozen.is_none() && !t.queue.is_empty());
+            if !ready {
+                continue;
+            }
+            let name = name.clone();
+            self.cursor = (idx + 1) % n;
+            let pending = self
+                .tenants
+                .get_mut(&name)
+                .expect("in order")
+                .queue
+                .pop_front()
+                .expect("checked non-empty");
+            self.execute(&name, pending, out);
+            return true;
+        }
+        false
+    }
+
+    fn execute(&mut self, tenant: &str, p: Pending, out: &mut Vec<String>) {
+        let now = self.nic.now();
+        if let Some(d) = p.deadline {
+            if now > d {
+                let t = self.tenants.get_mut(tenant).expect("serving");
+                t.stats.expired += 1;
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    now,
+                    tenant,
+                    p.id,
+                    ServeEventKind::Expired,
+                );
+                self.count(metrics::SERVE_EXPIRED);
+                out.push(reject(
+                    p.id,
+                    tenant,
+                    p.op.tag(),
+                    codes::EXPIRED,
+                    &format!("deadline {}ps passed while queued", d.0),
+                ));
+                return;
+            }
+        }
+        let tag = p.op.tag();
+        let result = match p.op {
+            QueuedOp::Launch {
+                name,
+                core,
+                mem_mib,
+                port,
+            } => self.exec_launch(tenant, p.id, &name, core, mem_mib, port, p.deadline),
+            QueuedOp::Teardown { name } => self.exec_teardown(tenant, &name),
+            QueuedOp::Attest { name } => self.exec_attest(tenant, p.id, &name),
+            QueuedOp::Stats { name } => self.exec_stats(tenant, &name),
+            QueuedOp::Send { count, port } => self.exec_send(count, port),
+            QueuedOp::Poll { name } => self.exec_poll(tenant, &name),
+        };
+        self.served_total += 1;
+        let t = self.tenants.get_mut(tenant).expect("serving");
+        t.stats.served += 1;
+        match result {
+            Ok(extras) => {
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    self.nic.now(),
+                    tenant,
+                    p.id,
+                    ServeEventKind::Served {
+                        ok: true,
+                        code: None,
+                    },
+                );
+                self.count(metrics::SERVE_SERVED);
+                out.push(accept(p.id, tenant, tag, &extras));
+            }
+            Err((code, error)) => {
+                t.stats.failed += 1;
+                Self::push_record(
+                    &mut self.audit,
+                    &mut self.seq,
+                    self.nic.now(),
+                    tenant,
+                    p.id,
+                    ServeEventKind::Served {
+                        ok: false,
+                        code: Some(code),
+                    },
+                );
+                self.count(metrics::SERVE_SERVED);
+                out.push(reject(p.id, tenant, tag, code, &error));
+            }
+        }
+        self.scan_faults();
+    }
+
+    /// Attribute newly `Faulted` NFs to their owning tenants and freeze
+    /// those tenants' queues. The serving layer's blast radius is
+    /// exactly the faulted tenant: everyone else keeps being served.
+    fn scan_faults(&mut self) {
+        let mut newly: Vec<(String, String)> = Vec::new();
+        for (tname, t) in &self.tenants {
+            if t.frozen.is_some() {
+                continue;
+            }
+            for (nf_name, nf) in &t.nfs {
+                if matches!(self.nic.state_of(*nf), Ok(NfState::Faulted)) {
+                    newly.push((tname.clone(), nf_name.clone()));
+                    break;
+                }
+            }
+        }
+        for (tname, nf_name) in newly {
+            let reason = format!("nf '{nf_name}' faulted");
+            self.tenants.get_mut(&tname).expect("scanned above").frozen = Some(reason.clone());
+            self.record(&tname, 0, ServeEventKind::Frozen { reason });
+            self.count(metrics::SERVE_FROZEN);
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Queued-op execution
+    // --------------------------------------------------------------
+
+    fn lookup(&self, tenant: &str, name: &str) -> Result<NfId, (&'static str, String)> {
+        self.tenants
+            .get(tenant)
+            .and_then(|t| t.nfs.get(name).copied())
+            .ok_or_else(|| {
+                (
+                    codes::UNKNOWN_NF,
+                    format!("tenant '{tenant}' has no NF '{name}'"),
+                )
+            })
+    }
+
+    fn free_core(&self) -> Option<u16> {
+        self.nic
+            .resource_snapshot()
+            .core_owner
+            .iter()
+            .position(Option::is_none)
+            .map(|i| i as u16)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_launch(
+        &mut self,
+        tenant: &str,
+        id: u64,
+        name: &str,
+        core: Option<u16>,
+        mem_mib: u64,
+        port: Option<u16>,
+        deadline: Option<Picos>,
+    ) -> ExecResult {
+        let t = self.tenants.get(tenant).expect("serving");
+        if t.nfs.len() >= t.quota.max_live_nfs as usize {
+            return Err((
+                codes::QUOTA,
+                format!("live-NF quota {} reached", t.quota.max_live_nfs),
+            ));
+        }
+        if t.nfs.contains_key(name) {
+            return Err((
+                codes::BAD_REQUEST,
+                format!("NF '{name}' already exists for tenant '{tenant}'"),
+            ));
+        }
+        let core = match core.or_else(|| self.free_core()) {
+            Some(c) => c,
+            None => return Err((codes::FAULT, "no free core".to_string())),
+        };
+        let mut request = LaunchRequest::minimal(
+            CoreId(core),
+            ByteSize::mib(mem_mib),
+            NfImage {
+                code: format!("{tenant}/{name}").into_bytes(),
+                config: vec![],
+            },
+        );
+        if let Some(p) = port {
+            request.rules.push(SwitchRule {
+                dst_port: RuleMatch::Exact(p),
+                priority: 10,
+                ..SwitchRule::any(NfId(0))
+            });
+        }
+        let before = self.nic.resource_snapshot();
+        let policy = RetryPolicy::jittered(request_seed(self.cfg.seed, tenant, id));
+        match NicOs::new(&mut self.nic).nf_create_with_deadline(request, policy, deadline) {
+            Ok(receipt) => {
+                self.tenants
+                    .get_mut(tenant)
+                    .expect("serving")
+                    .nfs
+                    .insert(name.to_string(), receipt.nf_id);
+                Ok(vec![
+                    ("nf", receipt.nf_id.0.to_string()),
+                    ("latency_ps", receipt.latency.total().0.to_string()),
+                ])
+            }
+            Err(RetryError::DeadlineExceeded { attempts, deadline }) => {
+                debug_assert_eq!(
+                    before,
+                    self.nic.resource_snapshot(),
+                    "cancelled launch must leave no partial effects"
+                );
+                Err((
+                    codes::EXPIRED,
+                    format!(
+                        "launch cancelled after {attempts} attempts: next backoff crosses \
+                         deadline {}ps",
+                        deadline.0
+                    ),
+                ))
+            }
+            Err(RetryError::Exhausted { attempts, last }) => {
+                debug_assert_eq!(
+                    before,
+                    self.nic.resource_snapshot(),
+                    "failed launch must leave no partial effects"
+                );
+                Err((
+                    codes::RETRIES_EXHAUSTED,
+                    format!("gave up after {attempts} attempts: {last}"),
+                ))
+            }
+            Err(RetryError::Fatal(e)) => Err((codes::FAULT, e.to_string())),
+        }
+    }
+
+    fn exec_teardown(&mut self, tenant: &str, name: &str) -> ExecResult {
+        let nf = self.lookup(tenant, name)?;
+        match self.nic.nf_teardown(nf) {
+            Ok(receipt) => {
+                self.tenants
+                    .get_mut(tenant)
+                    .expect("serving")
+                    .nfs
+                    .remove(name);
+                Ok(vec![("scrub_ps", receipt.latency.scrub.0.to_string())])
+            }
+            Err(snic_types::SnicError::PowerLoss) => {
+                // The scrub was interrupted: its watermark ticket
+                // survives on the device; the region stays quarantined
+                // until `resume-scrubs`. Power comes back immediately
+                // (the daemon is the operator) and the NF is gone.
+                self.nic.restore_power();
+                self.tenants
+                    .get_mut(tenant)
+                    .expect("serving")
+                    .nfs
+                    .remove(name);
+                Err((
+                    codes::FAULT,
+                    "power lost mid-scrub; region pending with watermark".to_string(),
+                ))
+            }
+            Err(e) => Err((codes::FAULT, e.to_string())),
+        }
+    }
+
+    fn exec_attest(&mut self, tenant: &str, id: u64, name: &str) -> ExecResult {
+        let nf = self.lookup(tenant, name)?;
+        let measurement = self
+            .nic
+            .measurement_of(nf)
+            .map_err(|e| (codes::FAULT, e.to_string()))?;
+        let seed = request_seed(self.cfg.seed, tenant, id);
+        let params = DhParams::tiny_test_group();
+        let mut verifier = Verifier::hello(&mut StdRng::seed_from_u64(seed ^ 0xA77E57));
+        let nonce = verifier.nonce;
+        let vendor_pub = self.vendor.public().clone();
+        let f = FunctionAttestation::respond(
+            &mut StdRng::seed_from_u64(seed ^ 0xF0),
+            &mut self.nic,
+            nf,
+            &params,
+            nonce,
+        )
+        .map_err(|e| (codes::FAULT, e.to_string()))?;
+        let v_pub = verifier
+            .accept(
+                &mut StdRng::seed_from_u64(seed ^ 0xF1),
+                &vendor_pub,
+                &measurement,
+                &f.quote,
+            )
+            .map_err(|e| (codes::FAULT, e.to_string()))?;
+        let ok = f.session_key(&v_pub) == verifier.session_key(&f.quote.dh_public);
+        Ok(vec![("verified", ok.to_string())])
+    }
+
+    fn exec_stats(&mut self, tenant: &str, name: &str) -> ExecResult {
+        let nf = self.lookup(tenant, name)?;
+        let r = self
+            .nic
+            .record_of(nf)
+            .map_err(|e| (codes::FAULT, e.to_string()))?;
+        Ok(vec![
+            ("delivered", r.rx_delivered.to_string()),
+            ("dropped", r.rx_dropped.to_string()),
+            ("sent", r.tx_sent.to_string()),
+        ])
+    }
+
+    fn exec_send(&mut self, count: u32, port: u16) -> ExecResult {
+        let mut delivered = 0u32;
+        for _ in 0..count {
+            self.packet_seq += 1;
+            let pkt = PacketBuilder::new(
+                0x0a00_0000 + self.packet_seq,
+                0xc633_0001,
+                Protocol::Tcp,
+                (1024 + self.packet_seq % 60_000) as u16,
+                port,
+            )
+            .payload(b"snicd".to_vec())
+            .build();
+            match self.nic.rx_packet(&pkt) {
+                Ok(Some(_)) => delivered += 1,
+                Ok(None) => {}
+                Err(e) => return Err((codes::FAULT, e.to_string())),
+            }
+        }
+        Ok(vec![("delivered", delivered.to_string())])
+    }
+
+    fn exec_poll(&mut self, tenant: &str, name: &str) -> ExecResult {
+        let nf = self.lookup(tenant, name)?;
+        let mut n = 0u32;
+        loop {
+            match self.nic.poll_packet(nf) {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => break,
+                Err(e) => return Err((codes::FAULT, e.to_string())),
+            }
+        }
+        Ok(vec![("polled", n.to_string())])
+    }
+
+    // --------------------------------------------------------------
+    // Management ops
+    // --------------------------------------------------------------
+
+    fn op_register(&mut self, req: &Request, out: &mut Vec<String>) {
+        if req.tenant.is_empty() {
+            out.push(reject(
+                req.id,
+                "",
+                "register",
+                codes::BAD_REQUEST,
+                "tenant required",
+            ));
+            return;
+        }
+        let now = self.nic.now();
+        let mut quota = self.cfg.quota;
+        if let Some(d) = req.num("queue_depth") {
+            quota.queue_depth = d as u32;
+        }
+        if let Some(n) = req.num("max_live_nfs") {
+            quota.max_live_nfs = n as u32;
+        }
+        if let Some(b) = req.num("burst") {
+            quota.burst = b;
+        }
+        if let Some(r) = req.num("refill_ps") {
+            quota.refill_ps = r;
+        }
+        match self.tenants.get_mut(&req.tenant) {
+            Some(t) => t.quota = quota,
+            None => {
+                self.tenants
+                    .insert(req.tenant.clone(), TenantState::new(quota, now));
+                self.order.push(req.tenant.clone());
+            }
+        }
+        out.push(accept(
+            req.id,
+            &req.tenant,
+            "register",
+            &[
+                ("queue_depth", quota.queue_depth.to_string()),
+                ("max_live_nfs", quota.max_live_nfs.to_string()),
+                ("burst", quota.burst.to_string()),
+                ("refill_ps", quota.refill_ps.to_string()),
+            ],
+        ));
+    }
+
+    /// `step {"n":k}`: run `k` service-pump steps explicitly. With
+    /// `auto_steps: 0` in the config this is the only way queued work
+    /// gets served, which lets schedules control the service rate —
+    /// the soak harness and the admission property tests drive
+    /// backpressure this way.
+    fn op_step(&mut self, req: &Request, out: &mut Vec<String>) {
+        let n = req.num("n").unwrap_or(1);
+        let mut served = 0u64;
+        for _ in 0..n {
+            if self.pump(out) {
+                served += 1;
+            }
+        }
+        out.push(accept(
+            req.id,
+            "",
+            "step",
+            &[("served", served.to_string())],
+        ));
+    }
+
+    fn op_health(&mut self, req: &Request, out: &mut Vec<String>) {
+        let mut tenants = String::from("{");
+        for (i, (name, t)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                tenants.push(',');
+            }
+            tenants.push_str(&format!(
+                "\"{}\":{{\"frozen\":{},\"queued\":{},\"live\":{},\"submitted\":{},\
+                 \"admitted\":{},\"served\":{},\"failed\":{},\"shed\":{},\"expired\":{},\
+                 \"reclaimed\":{}}}",
+                esc(name),
+                t.frozen.is_some(),
+                t.queue.len(),
+                t.nfs.len(),
+                t.stats.submitted,
+                t.stats.admitted,
+                t.stats.served,
+                t.stats.failed,
+                t.stats.shed,
+                t.stats.expired,
+                t.stats.reclaimed,
+            ));
+        }
+        tenants.push('}');
+        out.push(accept(
+            req.id,
+            "",
+            "health",
+            &[
+                ("now_ps", self.nic.now().0.to_string()),
+                ("draining", self.draining.to_string()),
+                (
+                    "pending_scrubs",
+                    self.nic.pending_scrubs().len().to_string(),
+                ),
+                ("tenants", tenants),
+            ],
+        ));
+    }
+
+    fn op_telemetry_summary(&mut self, req: &Request, out: &mut Vec<String>) {
+        let summary = self.recorder.summary();
+        let mut counters = String::from("{");
+        let mut first = true;
+        for ((domain, metric), value) in &summary.counters {
+            if *domain != 0 || !(metric.starts_with("serve.") || metric.starts_with("nicos.")) {
+                continue;
+            }
+            if !first {
+                counters.push(',');
+            }
+            first = false;
+            counters.push_str(&format!("\"{}\":{value}", esc(metric)));
+        }
+        counters.push('}');
+        out.push(accept(
+            req.id,
+            "",
+            "telemetry-summary",
+            &[("counters", counters)],
+        ));
+    }
+
+    fn op_verify(&mut self, req: &Request, out: &mut Vec<String>) {
+        let findings = self.lint();
+        let codes_list = findings
+            .iter()
+            .map(|f| format!("\"{}\"", f.kind.code()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push(accept(
+            req.id,
+            "",
+            "verify",
+            &[
+                ("findings", findings.len().to_string()),
+                ("codes", format!("[{codes_list}]")),
+            ],
+        ));
+    }
+
+    fn op_inject_fault(&mut self, req: &Request, out: &mut Vec<String>) {
+        let site = match req.str("site") {
+            Some("launch") => FaultSite::Launch,
+            Some("teardown") => FaultSite::Teardown,
+            Some("scrub") => FaultSite::Scrub,
+            Some("dma") => FaultSite::Dma,
+            Some("rx") => FaultSite::Rx,
+            Some("datapath") => FaultSite::DataPath,
+            Some("accel") => FaultSite::Accel,
+            Some("nicos") => FaultSite::NicOs,
+            other => {
+                out.push(reject(
+                    req.id,
+                    "",
+                    "inject-fault",
+                    codes::BAD_REQUEST,
+                    &format!("bad site {other:?}"),
+                ));
+                return;
+            }
+        };
+        let kind = match req.str("kind") {
+            Some("nf-crash") => FaultKind::NfCrash,
+            Some("accel-cluster-fault") => FaultKind::AccelClusterFault,
+            Some("dma-bus-error") => FaultKind::DmaBusError,
+            Some("dram-exhaustion") => FaultKind::DramExhaustion,
+            Some("accel-pool-exhaustion") => FaultKind::AccelPoolExhaustion,
+            Some("nic-os-crash") => FaultKind::NicOsCrash,
+            Some("power-loss") => FaultKind::PowerLoss,
+            other => {
+                out.push(reject(
+                    req.id,
+                    "",
+                    "inject-fault",
+                    codes::BAD_REQUEST,
+                    &format!("bad kind {other:?}"),
+                ));
+                return;
+            }
+        };
+        // `after` counts from now: 1 = the very next event at `site`.
+        let after = req.num("after").unwrap_or(1).max(1);
+        let nth = self.nic.fault_site_count(site) + after;
+        self.nic
+            .arm_faults(FaultPlan::none().on_nth(site, nth, kind));
+        out.push(accept(
+            req.id,
+            "",
+            "inject-fault",
+            &[("nth", nth.to_string())],
+        ));
+    }
+
+    fn op_advance(&mut self, req: &Request, out: &mut Vec<String>) {
+        let Some(us) = req.num("us") else {
+            out.push(reject(
+                req.id,
+                "",
+                "advance",
+                codes::BAD_REQUEST,
+                "missing \"us\"",
+            ));
+            return;
+        };
+        self.nic.advance(Picos(us * 1_000_000));
+        out.push(accept(
+            req.id,
+            "",
+            "advance",
+            &[("now_ps", self.nic.now().0.to_string())],
+        ));
+    }
+
+    fn op_resume_scrubs(&mut self, req: &Request, out: &mut Vec<String>) {
+        let done = self.nic.resume_scrubs();
+        out.push(accept(
+            req.id,
+            "",
+            "resume-scrubs",
+            &[
+                ("completed", done.to_string()),
+                ("pending", self.nic.pending_scrubs().len().to_string()),
+            ],
+        ));
+    }
+
+    fn op_reclaim(&mut self, req: &Request, out: &mut Vec<String>) {
+        if req.tenant.is_empty() || !self.tenants.contains_key(&req.tenant) {
+            out.push(reject(
+                req.id,
+                &req.tenant,
+                "reclaim",
+                codes::BAD_REQUEST,
+                "unknown tenant",
+            ));
+            return;
+        }
+        // Tear down this tenant's faulted NFs (scrub + reclaim their
+        // resources), then shed the held queue and thaw.
+        let faulted: Vec<(String, NfId)> = self.tenants[&req.tenant]
+            .nfs
+            .iter()
+            .filter(|(_, nf)| matches!(self.nic.state_of(**nf), Ok(NfState::Faulted)))
+            .map(|(n, nf)| (n.clone(), *nf))
+            .collect();
+        let mut torn = 0u32;
+        for (name, nf) in &faulted {
+            match self.nic.nf_teardown(*nf) {
+                Ok(_) => {}
+                Err(snic_types::SnicError::PowerLoss) => self.nic.restore_power(),
+                Err(_) => {}
+            }
+            self.tenants
+                .get_mut(&req.tenant)
+                .expect("checked")
+                .nfs
+                .remove(name);
+            torn += 1;
+        }
+        let now = self.nic.now();
+        let t = self.tenants.get_mut(&req.tenant).expect("checked");
+        let shed = t.queue.len() as u32;
+        let dropped: Vec<Pending> = t.queue.drain(..).collect();
+        t.stats.reclaimed += u64::from(shed);
+        for p in &dropped {
+            out.push(reject(
+                p.id,
+                &req.tenant,
+                p.op.tag(),
+                codes::FROZEN,
+                "queue reclaimed",
+            ));
+        }
+        Self::push_record(
+            &mut self.audit,
+            &mut self.seq,
+            now,
+            &req.tenant,
+            req.id,
+            ServeEventKind::Reclaimed { shed },
+        );
+        let was_frozen = self
+            .tenants
+            .get_mut(&req.tenant)
+            .expect("checked")
+            .frozen
+            .take();
+        if was_frozen.is_some() {
+            self.record(&req.tenant, req.id, ServeEventKind::Thawed);
+        }
+        out.push(accept(
+            req.id,
+            &req.tenant,
+            "reclaim",
+            &[
+                ("torn_down", torn.to_string()),
+                ("shed", shed.to_string()),
+                ("thawed", was_frozen.is_some().to_string()),
+            ],
+        ));
+    }
+
+    fn op_snapshot(&mut self, req: &Request, out: &mut Vec<String>) {
+        // The digest covers the config and the full input history
+        // (including this very line): both are known before any effect
+        // of the op, so a replayed `snapshot` line reproduces it
+        // bit-for-bit.
+        let mut pre = self.cfg.render();
+        pre.push('\n');
+        for l in &self.history {
+            pre.push_str(l);
+            pre.push('\n');
+        }
+        let digest = to_hex(&sha256(pre.as_bytes()));
+        self.record(
+            "",
+            req.id,
+            ServeEventKind::SnapshotTaken {
+                digest: digest.clone(),
+            },
+        );
+        self.snapshot_pending = true;
+        out.push(accept(
+            req.id,
+            "",
+            "snapshot",
+            &[
+                ("digest", format!("\"{digest}\"")),
+                ("lines", self.history.len().to_string()),
+            ],
+        ));
+    }
+
+    fn op_drain(&mut self, req: &Request, out: &mut Vec<String>) {
+        if self.draining {
+            out.push(reject(
+                req.id,
+                "",
+                "drain",
+                codes::DRAINING,
+                "already draining",
+            ));
+            return;
+        }
+        self.draining = true;
+        self.record("", req.id, ServeEventKind::DrainStarted);
+        self.pump_dry(out);
+        self.record(
+            "",
+            req.id,
+            ServeEventKind::DrainCompleted {
+                served: self.served_total,
+            },
+        );
+        let frozen_pending: usize = self
+            .tenants
+            .values()
+            .filter(|t| t.frozen.is_some())
+            .map(|t| t.queue.len())
+            .sum();
+        out.push(accept(
+            req.id,
+            "",
+            "drain",
+            &[
+                ("served", self.served_total.to_string()),
+                ("frozen_pending", frozen_pending.to_string()),
+            ],
+        ));
+    }
+}
+
+/// Outcome of one queued-op execution: response extras, or a typed
+/// rejection.
+type ExecResult = Result<Vec<(&'static str, String)>, (&'static str, String)>;

@@ -1,0 +1,51 @@
+//! `snic-serve` — `snicd`, a resident serving daemon over the device
+//! model.
+//!
+//! The rest of the workspace drives a [`snic_core::SmartNic`] as a
+//! library: construct, poke, assert, drop. This crate gives it a
+//! *service* shape — a long-running daemon that owns one device and
+//! serves multi-tenant requests over a line-delimited JSON protocol —
+//! and makes the robustness story of the paper's control plane
+//! testable end to end:
+//!
+//! - **Admission control and backpressure** ([`admission`]): per-tenant
+//!   bounded queues (shed `SERVE-OVERLOADED`), deterministic token
+//!   buckets over simulated time (`SERVE-RATE-LIMITED`), live-NF quotas
+//!   (`SERVE-QUOTA`).
+//! - **Deadlines and retries** ([`daemon`]): absolute simulated-time
+//!   deadlines that expire requests in queue or cancel a launch between
+//!   retry attempts with the device rolled back to its pre-call
+//!   resource snapshot; `nf_create_with_retry`'s capped, seeded-jitter
+//!   backoff is the standard launch policy.
+//! - **Graceful degradation**: a NIC-OS-attributed fault freezes only
+//!   the faulted tenant's queue; everyone else keeps being served. An
+//!   explicit `reclaim` tears the faulted NFs down, sheds the held
+//!   queue, and thaws.
+//! - **Crash-safe restart** ([`snapshot`]): because every observable is
+//!   a pure function of `(config, input lines)`, a snapshot is the
+//!   canonical config plus the line history, sealed with transcript and
+//!   state digests; restore replays and verifies.
+//! - **Verification** ([`snic_verify::serve`]): Pass 4 lints the serve
+//!   transcript for frozen-tenant service, quota bypass, and
+//!   expired-then-served violations.
+//! - **Soak** ([`soak`]): a seeded ~30-simulated-second overload
+//!   schedule with a mid-run fault plan and a byte-stability gate.
+//!
+//! The binary lives in the facade crate (`src/bin/snicd.rs`); `snicctl
+//! serve` and `snicctl soak` drive the same [`daemon::Daemon`] in
+//! process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod daemon;
+pub mod protocol;
+pub mod snapshot;
+pub mod soak;
+
+pub use admission::{TenantQuota, TenantStats};
+pub use daemon::{Daemon, DaemonConfig};
+pub use protocol::codes;
+pub use snapshot::{render_image, restore};
+pub use soak::{run as soak_run, run_with_restart as soak_run_with_restart, SoakReport};

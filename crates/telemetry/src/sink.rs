@@ -71,6 +71,31 @@ pub mod metrics {
 
     /// NF creations retried by the NIC-OS control loop.
     pub const NICOS_RETRIES: &str = "nicos.retries";
+    /// Total attempts consumed by completed `nf_create` retry loops
+    /// (successes and give-ups both count their attempts here).
+    pub const NICOS_RETRY_ATTEMPTS: &str = "nicos.retry_attempts";
+    /// Retry loops that gave up on a non-retryable error.
+    pub const NICOS_GIVEUP_FATAL: &str = "nicos.giveup_fatal";
+    /// Retry loops that exhausted their attempt budget.
+    pub const NICOS_GIVEUP_BUDGET: &str = "nicos.giveup_budget";
+    /// Retry loops cancelled because the next backoff would cross the
+    /// request deadline.
+    pub const NICOS_GIVEUP_DEADLINE: &str = "nicos.giveup_deadline";
+    /// Histogram of applied (jittered) backoffs in picoseconds.
+    pub const NICOS_BACKOFF_PS: &str = "nicos.backoff_ps";
+
+    /// Requests admitted into a tenant queue by the serving daemon.
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Requests shed at admission (overload, rate, draining).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests dequeued and executed by the daemon.
+    pub const SERVE_SERVED: &str = "serve.served";
+    /// Queued requests cancelled because their deadline passed.
+    pub const SERVE_EXPIRED: &str = "serve.expired";
+    /// Tenant queues frozen by fault attribution.
+    pub const SERVE_FROZEN: &str = "serve.frozen_tenants";
+    /// Histogram of per-tenant queue depth sampled at each admission.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 }
 
 /// Receiver for telemetry emitted by instrumented code.

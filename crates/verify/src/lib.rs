@@ -46,6 +46,12 @@
 //!   across power losses), no fault propagation across tenants
 //!   (§4.3/§4.6), and a legal lifecycle transition relation.
 //!
+//! - **Pass 4 — admission-transcript linting** ([`serve`]): replays a
+//!   `snicd` daemon admission transcript (`snic_faults::ServeRecord`)
+//!   and checks the serving-layer claims: no request served for a
+//!   frozen tenant, no bounded queue admitted past its configured
+//!   depth, and no deadline-expired request served afterwards.
+//!
 //! `snic-core` runs Pass 1 inside `nf_launch` (a manifest that cannot be
 //! verified is refused before any state changes) and embeds the verdict
 //! in `nf_attest` quotes; `snic-bench` exposes both passes as the
@@ -58,6 +64,7 @@ pub mod faults;
 pub mod manifest;
 pub mod pass0;
 pub mod report;
+pub mod serve;
 pub mod spec;
 pub mod trace;
 
@@ -67,5 +74,6 @@ pub use pass0::{analyze_launch, verify_programs, Pass0Outcome};
 pub use report::{
     Finding, FindingActor, FindingKind, VerificationReport, Violation, ViolationKind,
 };
+pub use serve::lint_serve_transcript;
 pub use spec::{BusSpec, DeviceSpec, EnforcementMode, VnicManifest};
 pub use trace::{BusGrantEvent, CacheAccessEvent, TraceBundle, TraceLinter};

@@ -262,6 +262,10 @@ pub enum FindingActor {
     BusDomain(u32),
     /// A cache tenant slot (cache-trace findings).
     CacheTenant(u32),
+    /// A serving-daemon tenant, by its index in the transcript's
+    /// first-appearance order (the finding's `detail` names it; Pass 4
+    /// admission-transcript lints).
+    ServeTenant(u32),
 }
 
 impl fmt::Display for FindingActor {
@@ -271,6 +275,7 @@ impl fmt::Display for FindingActor {
             FindingActor::Management => write!(f, "management core"),
             FindingActor::BusDomain(d) => write!(f, "bus domain {d}"),
             FindingActor::CacheTenant(t) => write!(f, "cache tenant {t}"),
+            FindingActor::ServeTenant(t) => write!(f, "serve tenant {t}"),
         }
     }
 }
@@ -307,6 +312,17 @@ pub enum FindingKind {
     /// A lifecycle transition violated the
     /// `Launched → Running → Faulted → Scrubbing → Reclaimed` relation.
     IllegalLifecycleTransition,
+    /// The daemon served a request for a tenant whose queue was frozen
+    /// — blast-radius containment at the serving layer failed
+    /// (admission-transcript lint).
+    FrozenTenantServed,
+    /// A tenant's queue depth exceeded its configured admission bound,
+    /// or accounting shows more requests admitted than the bound allows
+    /// — backpressure was bypassed (admission-transcript lint).
+    AdmissionQuotaBypass,
+    /// A request recorded as deadline-expired was nonetheless served —
+    /// cancelled work reached the device (admission-transcript lint).
+    ExpiredRequestServed,
 }
 
 impl FindingKind {
@@ -321,11 +337,15 @@ impl FindingKind {
             FindingKind::UnscrubbedReuse => "§4.6 (teardown scrubbing)",
             FindingKind::FaultPropagation => "§4.3/§4.6 (fault containment)",
             FindingKind::IllegalLifecycleTransition => "§4.6 (launch/teardown lifecycle)",
+            FindingKind::FrozenTenantServed => "§4.3/§4.6 (fault containment, serving layer)",
+            FindingKind::AdmissionQuotaBypass => "§2.2 (multi-tenant resource quotas)",
+            FindingKind::ExpiredRequestServed => "§4.6 (teardown/cancel atomicity)",
         }
     }
 
     /// Stable machine-readable code. Trace findings are `P2-*`; the
-    /// fault-transcript lints are `P3-*`.
+    /// fault-transcript lints are `P3-*`; the admission-transcript
+    /// (daemon) lints are `P4-*`.
     pub fn code(self) -> &'static str {
         match self {
             FindingKind::CrossDomainReference => "P2-CROSS-DOMAIN-REF",
@@ -336,6 +356,9 @@ impl FindingKind {
             FindingKind::UnscrubbedReuse => "P3-UNSCRUBBED-REUSE",
             FindingKind::FaultPropagation => "P3-FAULT-PROPAGATION",
             FindingKind::IllegalLifecycleTransition => "P3-LIFECYCLE",
+            FindingKind::FrozenTenantServed => "P4-FROZEN-SERVE",
+            FindingKind::AdmissionQuotaBypass => "P4-QUOTA-BYPASS",
+            FindingKind::ExpiredRequestServed => "P4-EXPIRED-SERVE",
         }
     }
 }
@@ -484,6 +507,9 @@ mod tests {
             FindingKind::IllegalLifecycleTransition.code(),
             "P3-LIFECYCLE"
         );
+        assert_eq!(FindingKind::FrozenTenantServed.code(), "P4-FROZEN-SERVE");
+        assert_eq!(FindingKind::AdmissionQuotaBypass.code(), "P4-QUOTA-BYPASS");
+        assert_eq!(FindingKind::ExpiredRequestServed.code(), "P4-EXPIRED-SERVE");
     }
 
     #[test]

@@ -46,6 +46,16 @@ cargo run -q --release --example fault_injection > /dev/null
 echo "==> static analysis gate (snicctl analyze --gate)"
 cargo run -q --release --bin snicctl -- analyze --gate > /dev/null
 
+# snicd soak gate: the seeded ~30-simulated-second multi-tenant
+# overload schedule with its mid-run fault plan. Non-faulted tenants
+# must see zero failed requests, the faulted tenant's queue must be
+# frozen and then reclaimed, Pass 4 must lint the serve transcript
+# clean, and a snapshot/restart at the schedule midpoint must be
+# byte-identical to the uninterrupted run. The summary is also pinned
+# by tests/golden/soak.txt (re-bless with SNIC_BLESS=1).
+echo "==> snicd soak gate (snicctl soak --gate)"
+cargo run -q --release --bin snicctl -- soak --gate > /dev/null
+
 # Golden snapshots: every figure pipeline's rendered output at the
 # pinned scale must match the checked-in documents byte-for-byte
 # (regenerate intentionally with SNIC_BLESS=1).

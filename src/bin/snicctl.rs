@@ -43,6 +43,22 @@
 //!     # the adversarial corpus; --gate enforces exact codes + runtime
 //! snicctl verify [--json] [--bad]     # Pass 1 over a manifest set
 //! ```
+//!
+//! Two serving modes drive an in-process `snicd` daemon (see
+//! `src/bin/snicd.rs` for the resident process):
+//!
+//! ```text
+//! snicctl serve <requests.jsonl | -> [--seed N] [--auto-steps N]
+//!     [--restore <image>] [--snapshot-out <path>]   # one response/line
+//! snicctl soak [--seed N] [--gate] [--emit-schedule]  # the seeded
+//!     # overload + fault-plan soak; --gate enforces the acceptance
+//!     # criteria plus a mid-run-restart byte-identity differential
+//! ```
+//!
+//! Exit codes are distinct per failure class and documented in the
+//! README: `0` success, `2` usage or I/O error, `3` script execution
+//! error, `4` verify error, `5` analyze failure, `6` bench error, `7`
+//! telemetry error, `8` serve error, `9` soak gate failure.
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -371,7 +387,11 @@ fn analyze_main(args: &[String]) -> Result<String, String> {
         match a.as_str() {
             "--json" => json = true,
             "--gate" => gate = true,
-            other => return Err(format!("analyze: unknown flag '{other}'")),
+            other => {
+                return Err(format!(
+                    "usage: snicctl analyze [--json] [--gate] (unknown flag '{other}')"
+                ))
+            }
         }
     }
 
@@ -463,7 +483,11 @@ fn verify_main(args: &[String]) -> Result<String, String> {
         match a.as_str() {
             "--json" => json = true,
             "--bad" => bad = true,
-            other => return Err(format!("verify: unknown flag '{other}'")),
+            other => {
+                return Err(format!(
+                    "usage: snicctl verify [--json] [--bad] (unknown flag '{other}')"
+                ))
+            }
         }
     }
 
@@ -504,83 +528,201 @@ fn verify_main(args: &[String]) -> Result<String, String> {
     })
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("analyze") {
-        match analyze_main(&argv[1..]) {
-            Ok(out) => {
-                println!("{out}");
-                return;
+/// `snicctl serve <requests.jsonl | -> [flags]`: drive an in-process
+/// `snicd` daemon over a request file (or stdin with `-`) and print
+/// one response line per completed request. `--restore <image>` boots
+/// from a snapshot (replayed responses are not re-emitted);
+/// `--snapshot-out <path>` writes the latest sealed image after the
+/// run (the one the last `snapshot` op produced, or a fresh image of
+/// the final state).
+fn serve_main(args: &[String]) -> Result<String, String> {
+    use snic::serve::daemon::{Daemon, DaemonConfig};
+    use snic::serve::snapshot;
+
+    let usage = "usage: snicctl serve <requests.jsonl | -> [--seed N] [--auto-steps N] \
+         [--restore <image>] [--snapshot-out <path>]";
+    let mut input: Option<String> = None;
+    let mut cfg = DaemonConfig::default();
+    let mut restore_path: Option<String> = None;
+    let mut snapshot_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("{usage}\n(--seed needs an integer)"))?;
             }
-            Err(e) => {
-                eprintln!("snicctl: {e}");
-                std::process::exit(1);
+            "--auto-steps" => {
+                cfg.auto_steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("{usage}\n(--auto-steps needs an integer)"))?;
             }
+            "--restore" => restore_path = it.next().cloned(),
+            "--snapshot-out" => snapshot_out = it.next().cloned(),
+            other if input.is_none() && !other.starts_with("--") => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("{usage}\n(unexpected '{other}')")),
         }
     }
-    if argv.first().map(String::as_str) == Some("verify") {
-        match verify_main(&argv[1..]) {
-            Ok(out) => {
-                println!("{out}");
-                return;
-            }
-            Err(e) => {
-                eprintln!("snicctl: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-    if argv.first().map(String::as_str) == Some("bench") {
-        match bench_main(&argv[1..]) {
-            Ok(out) => {
-                println!("{out}");
-                return;
-            }
-            Err(e) => {
-                eprintln!("snicctl: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if argv.first().map(String::as_str) == Some("telemetry") {
-        match telemetry_main(&argv[1..]) {
-            Ok(out) => {
-                println!("{out}");
-                return;
-            }
-            Err(e) => {
-                eprintln!("snicctl: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
-    let arg = argv.first().cloned().unwrap_or_else(|| {
-        eprintln!(
-            "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
-             snicctl verify [--json] [--bad] | snicctl bench [--full] [--shards N] | \
-             snicctl telemetry ..."
-        );
-        std::process::exit(2);
-    });
-    let script = if arg == "-" {
+    let input = input.ok_or(usage.to_string())?;
+    let text = if input == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("usage: cannot read stdin: {e}"))?;
         s
     } else {
-        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
-            eprintln!("snicctl: cannot read {arg}: {e}");
-            std::process::exit(2);
-        })
+        std::fs::read_to_string(&input).map_err(|e| format!("usage: cannot read {input}: {e}"))?
+    };
+    let mut daemon = match restore_path {
+        Some(path) => {
+            let image = std::fs::read_to_string(&path)
+                .map_err(|e| format!("usage: cannot read {path}: {e}"))?;
+            snapshot::restore(&image)
+                .map_err(|e| format!("restore failed: {e}"))?
+                .0
+        }
+        None => Daemon::new(cfg),
+    };
+    let mut responses = Vec::new();
+    for line in text.lines() {
+        responses.extend(daemon.ingest(line));
+    }
+    if let Some(path) = snapshot_out {
+        let image = daemon
+            .last_snapshot()
+            .map(str::to_string)
+            .unwrap_or_else(|| snapshot::render_image(&daemon));
+        std::fs::write(&path, image).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(responses.join("\n"))
+}
+
+/// `snicctl soak [--seed N] [--gate] [--emit-schedule]`: run the
+/// seeded multi-tenant overload + fault-plan soak (~30 simulated
+/// seconds) and print the per-tenant table and run digest. `--gate`
+/// additionally enforces the acceptance criteria — non-faulted tenants
+/// undisrupted, backpressure engaged, the victim frozen/reclaimed/
+/// thawed, Pass 4 clean — plus a mid-run snapshot/restart differential
+/// that must be byte-identical. `--emit-schedule` prints the raw
+/// schedule instead (pipe it to `snicd` or `snicctl serve -`).
+fn soak_main(args: &[String]) -> Result<String, String> {
+    use snic::serve::soak;
+
+    let usage = "usage: snicctl soak [--seed N] [--gate] [--emit-schedule]";
+    let mut seed: u64 = 0xBEEF;
+    let mut gate = false;
+    let mut emit = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("{usage}\n(--seed needs an integer)"))?;
+            }
+            "--gate" => gate = true,
+            "--emit-schedule" => emit = true,
+            other => return Err(format!("{usage}\n(unknown flag '{other}')")),
+        }
+    }
+    if emit {
+        return Ok(soak::schedule(seed).join("\n"));
+    }
+    let report = soak::run(seed);
+    let mut out = format!(
+        "soak seed={seed:#x}: {} requests ingested\n\n{}\nvictim: {:?}\ndigest: {}",
+        report.responses.len(),
+        report.table(),
+        report.victim,
+        report.digest()
+    );
+    if gate {
+        report.gate()?;
+        let split = soak::schedule(seed).len() / 2;
+        let (a, b) = soak::run_with_restart(seed, split)?;
+        if a.responses != b.responses || a.transcript != b.transcript || a.state != b.state {
+            return Err(format!(
+                "mid-soak restart at line {split} is not byte-identical to the \
+                 uninterrupted run"
+            ));
+        }
+        out.push_str(&format!(
+            "\ngate: OK (restart differential at line {split} byte-identical)"
+        ));
+    }
+    Ok(out)
+}
+
+/// Run the classic line-oriented `.snic` script mode.
+fn script_main(argv: &[String]) -> Result<String, (i32, String)> {
+    let usage = || {
+        "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
+         snicctl verify [--json] [--bad] | snicctl bench [--full] [--shards N] | \
+         snicctl telemetry ... | snicctl serve <requests.jsonl | -> ... | \
+         snicctl soak [--gate]"
+            .to_string()
+    };
+    let arg = argv.first().cloned().ok_or_else(|| (2, usage()))?;
+    let script = if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| (2, format!("cannot read stdin: {e}")))?;
+        s
+    } else {
+        std::fs::read_to_string(&arg).map_err(|e| (2, format!("cannot read {arg}: {e}")))?
     };
     let mut session = Session::new();
+    let mut out = Vec::new();
     for (lineno, line) in script.lines().enumerate() {
         match session.execute(line) {
-            Ok(out) if out.is_empty() => {}
-            Ok(out) => println!("{out}"),
-            Err(e) => {
-                eprintln!("snicctl: line {}: {e}", lineno + 1);
-                std::process::exit(1);
+            Ok(o) if o.is_empty() => {}
+            Ok(o) => out.push(o),
+            Err(e) => return Err((3, format!("line {}: {e}", lineno + 1))),
+        }
+    }
+    Ok(out.join("\n"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Each verb owns a distinct exit code for operational failures (see
+    // the README table); errors whose text starts with "usage:" exit 2
+    // across the board.
+    let (result, fail_code) = match argv.first().map(String::as_str) {
+        Some("analyze") => (analyze_main(&argv[1..]), 5),
+        Some("verify") => (verify_main(&argv[1..]), 4),
+        Some("bench") => (bench_main(&argv[1..]), 6),
+        Some("telemetry") => (telemetry_main(&argv[1..]), 7),
+        Some("serve") => (serve_main(&argv[1..]), 8),
+        Some("soak") => (soak_main(&argv[1..]), 9),
+        _ => match script_main(&argv) {
+            Ok(out) => (Ok(out), 3),
+            Err((code, e)) => {
+                eprintln!("snicctl: {e}");
+                std::process::exit(code);
             }
+        },
+    };
+    match result {
+        Ok(out) => {
+            if !out.is_empty() {
+                println!("{out}");
+            }
+        }
+        Err(e) => {
+            eprintln!("snicctl: {e}");
+            std::process::exit(if e.starts_with("usage:") {
+                2
+            } else {
+                fail_code
+            });
         }
     }
 }
@@ -704,6 +846,48 @@ attest ids
         assert!(j.contains("\"ok\":false"), "{j}");
         assert!(j.contains("P1-REGION-OVERLAP"), "{j}");
         assert!(j.contains("P1-CORE-CONFLICT"), "{j}");
+    }
+
+    #[test]
+    fn serve_command_round_trips_requests_and_snapshots() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(serve_main(&s(&[])).is_err());
+        assert!(serve_main(&s(&["in.jsonl", "--bogus"])).is_err());
+        let dir = std::env::temp_dir();
+        let reqs = dir.join("snicctl-serve-reqs.jsonl");
+        let snap = dir.join("snicctl-serve-snap.img");
+        std::fs::write(
+            &reqs,
+            "{\"op\":\"launch\",\"tenant\":\"a\",\"id\":1,\"name\":\"fw\",\"mem\":8,\"port\":80}\n\
+             {\"op\":\"send\",\"tenant\":\"a\",\"id\":2,\"count\":3,\"port\":80}\n\
+             {\"op\":\"health\",\"id\":3}\n",
+        )
+        .unwrap();
+        let (reqs, snap) = (
+            reqs.to_string_lossy().into_owned(),
+            snap.to_string_lossy().into_owned(),
+        );
+        let out = serve_main(&s(&[&reqs, "--snapshot-out", &snap])).unwrap();
+        assert!(out.contains("\"op\":\"launch\",\"ok\":true"), "{out}");
+        assert!(out.contains("\"delivered\":3"), "{out}");
+        // The written image restores; replayed responses stay quiet.
+        let empty = dir.join("snicctl-serve-empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let empty = empty.to_string_lossy().into_owned();
+        let out3 = serve_main(&s(&[&empty, "--restore", &snap])).unwrap();
+        assert!(out3.is_empty(), "replayed responses are not re-emitted");
+        assert!(serve_main(&s(&[&empty, "--restore", "/no/such/image"])).is_err());
+    }
+
+    #[test]
+    fn soak_command_gate_and_schedule() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(soak_main(&s(&["--bogus"])).is_err());
+        let sched = soak_main(&s(&["--emit-schedule"])).unwrap();
+        assert!(sched.lines().count() > 50, "schedule is non-trivial");
+        let out = soak_main(&s(&["--gate"])).unwrap();
+        assert!(out.contains("gate: OK"), "{out}");
+        assert!(out.contains("digest: "), "{out}");
     }
 
     #[test]

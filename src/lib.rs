@@ -22,6 +22,7 @@ pub use snic_faults as faults;
 pub use snic_mem as mem;
 pub use snic_nf as nf;
 pub use snic_pktio as pktio;
+pub use snic_serve as serve;
 pub use snic_sim as sim;
 pub use snic_telemetry as telemetry;
 pub use snic_trace as trace;

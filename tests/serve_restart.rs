@@ -1,0 +1,178 @@
+//! Differential crash-safe-restart tests for `snicd`.
+//!
+//! The contract under test: a daemon restored from a snapshot image is
+//! indistinguishable from one that never stopped. For *every* split
+//! point of an eventful request history — launches, overload sheds, an
+//! injected NF crash and freeze, a reclaim, and a power loss mid-scrub
+//! that leaves a watermarked scrub ticket behind — snapshotting at the
+//! split, restoring, and replaying the suffix must reproduce the
+//! uninterrupted run byte for byte: every response line, the full
+//! serve transcript, and the device-state fingerprint (which includes
+//! pending scrub watermarks).
+
+use snic::serve::daemon::{Daemon, DaemonConfig};
+use snic::serve::snapshot::{render_image, restore};
+
+fn config() -> DaemonConfig {
+    DaemonConfig {
+        seed: 0x1757A7,
+        // Service is driven by explicit `step` lines so the fixture
+        // can actually build queues and shed.
+        auto_steps: 0,
+        ..DaemonConfig::default()
+    }
+}
+
+/// An eventful history: multi-tenant traffic, an overload burst, an
+/// injected NF crash (freeze + reclaim), and a power loss mid-scrub
+/// whose watermarked ticket must survive a restart.
+fn history() -> Vec<String> {
+    let mut id = 0u64;
+    let mut lines = Vec::new();
+    let mut l = |s: &str| {
+        id += 1;
+        lines.push(s.replace("{id}", &id.to_string()));
+    };
+    l(r#"{"op":"register","tenant":"a","id":{id},"queue_depth":2,"burst":3,"refill_ps":5000000}"#);
+    l(r#"{"op":"launch","tenant":"a","id":{id},"name":"fw","mem":8,"port":80}"#);
+    l(r#"{"op":"step","id":{id},"n":1}"#);
+    l(r#"{"op":"launch","tenant":"b","id":{id},"name":"ids","mem":8,"port":81}"#);
+    l(r#"{"op":"step","id":{id},"n":1}"#);
+    l(r#"{"op":"send","tenant":"a","id":{id},"count":5,"port":80}"#);
+    l(r#"{"op":"send","tenant":"b","id":{id},"count":3,"port":81}"#);
+    l(r#"{"op":"step","id":{id},"n":2}"#);
+    l(r#"{"op":"poll","tenant":"a","id":{id},"name":"fw"}"#);
+    l(r#"{"op":"step","id":{id},"n":1}"#);
+    // Refill a's bucket to its burst of 3, then burst 5 requests with
+    // no service in between: 2 admitted (queue depth 2), 1 shed
+    // SERVE-OVERLOADED on a token, 2 shed SERVE-RATE-LIMITED dry.
+    l(r#"{"op":"advance","id":{id},"us":50}"#);
+    for _ in 0..5 {
+        l(r#"{"op":"send","tenant":"a","id":{id},"count":1,"port":80}"#);
+    }
+    l(r#"{"op":"step","id":{id},"n":4}"#);
+    l(r#"{"op":"stats","tenant":"a","id":{id},"name":"fw"}"#);
+    l(r#"{"op":"step","id":{id},"n":1}"#);
+    // Crash b's NF on the next delivered packet: freeze with one
+    // request still queued, shed the next at admission, then reclaim.
+    l(r#"{"op":"inject-fault","id":{id},"site":"rx","kind":"nf-crash","after":1}"#);
+    l(r#"{"op":"send","tenant":"b","id":{id},"count":1,"port":81}"#);
+    l(r#"{"op":"send","tenant":"b","id":{id},"count":1,"port":81}"#);
+    l(r#"{"op":"step","id":{id},"n":2}"#);
+    l(r#"{"op":"send","tenant":"b","id":{id},"count":1,"port":81}"#);
+    l(r#"{"op":"health","id":{id}}"#);
+    l(r#"{"op":"reclaim","tenant":"b","id":{id}}"#);
+    // Power loss on the third scrub chunk of the next teardown: the
+    // request fails typed, the region keeps a watermarked scrub
+    // ticket, and the device keeps serving.
+    l(r#"{"op":"inject-fault","id":{id},"site":"scrub","kind":"power-loss","after":3}"#);
+    l(r#"{"op":"teardown","tenant":"a","id":{id},"name":"fw"}"#);
+    l(r#"{"op":"step","id":{id},"n":1}"#);
+    l(r#"{"op":"health","id":{id}}"#);
+    l(r#"{"op":"launch","tenant":"b","id":{id},"name":"ids2","mem":4,"port":82}"#);
+    l(r#"{"op":"send","tenant":"b","id":{id},"count":2,"port":82}"#);
+    l(r#"{"op":"step","id":{id},"n":2}"#);
+    l(r#"{"op":"resume-scrubs","id":{id}}"#);
+    l(r#"{"op":"snapshot","id":{id}}"#);
+    l(r#"{"op":"verify","id":{id}}"#);
+    l(r#"{"op":"drain","id":{id}}"#);
+    lines
+}
+
+fn run_uninterrupted(lines: &[String]) -> (Daemon, Vec<String>) {
+    let mut d = Daemon::new(config());
+    let mut responses = Vec::new();
+    for line in lines {
+        responses.extend(d.ingest(line));
+    }
+    (d, responses)
+}
+
+#[test]
+fn the_history_is_actually_eventful() {
+    // Guard the fixture itself: if a refactor makes the schedule
+    // boring, the differential below stops proving anything.
+    let (d, responses) = run_uninterrupted(&history());
+    let all = responses.join("\n");
+    assert!(all.contains("SERVE-OVERLOADED"), "no overload shed:\n{all}");
+    assert!(all.contains("SERVE-RATE-LIMITED"), "no rate shed:\n{all}");
+    assert!(all.contains("SERVE-FROZEN"), "no freeze shed:\n{all}");
+    assert!(all.contains("\"thawed\":true"), "no reclaim thaw:\n{all}");
+    assert!(all.contains("SERVE-FAULT"), "no power-loss fault:\n{all}");
+    assert!(
+        all.contains("\"pending_scrubs\":1"),
+        "no watermarked scrub ticket observed:\n{all}"
+    );
+    assert!(d.lint().is_empty(), "Pass 4: {:?}", d.lint());
+}
+
+#[test]
+fn every_split_point_restarts_byte_identically() {
+    let lines = history();
+    let (reference, want_responses) = run_uninterrupted(&lines);
+    let want_state = reference.state_fingerprint();
+
+    for split in 0..=lines.len() {
+        // Run the prefix, "crash", restore from the image, replay.
+        let mut first = Daemon::new(config());
+        let mut responses = Vec::new();
+        for line in &lines[..split] {
+            responses.extend(first.ingest(line));
+        }
+        let image = render_image(&first);
+        let prefix_state = first.state_fingerprint();
+        drop(first);
+
+        let (mut second, replayed) =
+            restore(&image).unwrap_or_else(|e| panic!("restore at split {split}: {e}"));
+        assert_eq!(replayed, responses, "replayed prefix at split {split}");
+        assert_eq!(
+            second.state_fingerprint(),
+            prefix_state,
+            "restored state at split {split}"
+        );
+        let mut all = replayed;
+        for line in &lines[split..] {
+            all.extend(second.ingest(line));
+        }
+        assert_eq!(all, want_responses, "full responses at split {split}");
+        assert_eq!(
+            second.state_fingerprint(),
+            want_state,
+            "final state at split {split}"
+        );
+    }
+}
+
+#[test]
+fn pending_scrub_watermarks_round_trip_through_restore() {
+    // Split immediately after the power-loss teardown, while the
+    // interrupted region still holds a watermarked scrub ticket.
+    let lines = history();
+    // inject-fault line, then the teardown request, then the `step`
+    // that executes it.
+    let power_loss_at = lines
+        .iter()
+        .position(|l| l.contains("\"site\":\"scrub\""))
+        .expect("scrub power-loss line")
+        + 3;
+    let mut d = Daemon::new(config());
+    for line in &lines[..power_loss_at] {
+        d.ingest(line);
+    }
+    let tickets: Vec<_> = d.nic().pending_scrubs().to_vec();
+    assert_eq!(tickets.len(), 1, "the interrupted scrub left its ticket");
+    assert!(
+        tickets[0].watermark > 0,
+        "partial scrub progress recorded: {tickets:?}"
+    );
+
+    let (restored, _) = restore(&render_image(&d)).expect("restore");
+    let restored_tickets: Vec<_> = restored.nic().pending_scrubs().to_vec();
+    assert_eq!(
+        format!("{tickets:?}"),
+        format!("{restored_tickets:?}"),
+        "scrub tickets (base, len, watermark) must survive restart"
+    );
+    assert_eq!(restored.state_fingerprint(), d.state_fingerprint());
+}
