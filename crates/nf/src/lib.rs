@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod covert;
 pub mod dpi;
 pub mod firewall;
 pub mod lowering;

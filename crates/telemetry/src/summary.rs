@@ -34,6 +34,21 @@ impl Summary {
         self.counters.is_empty() && self.hists.is_empty()
     }
 
+    /// Value of one counter, defaulting to 0 when absent. Sinks only
+    /// emit non-zero counters (e.g. `uarch.bus_delayed`), so absence
+    /// and zero mean the same thing to a reader.
+    pub fn counter(&self, domain: u64, metric: &str) -> u64 {
+        self.counters
+            .get(&(domain, metric.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// One histogram, if recorded.
+    pub fn hist(&self, domain: u64, metric: &str) -> Option<&Histogram> {
+        self.hists.get(&(domain, metric.to_string()))
+    }
+
     /// Stable machine-readable text form, one metric per line:
     ///
     /// ```text

@@ -319,4 +319,64 @@ mod tests {
         assert_eq!(a.grant(2, 31, 5), 55);
         assert_eq!(a.grant(2, 31, 5), 80);
     }
+
+    // Epoch-seam audit (ISSUE 9 satellite): the boundary cycle between
+    // two epochs must not leak one domain's activity into the next
+    // owner's grant times. The four tests below pin the seam accounting.
+
+    #[test]
+    fn seam_transfer_may_end_exactly_on_the_boundary() {
+        // A transfer that finishes exactly at the epoch boundary is legal
+        // ("finish before the epoch ends" is inclusive of the end cycle:
+        // the bus is busy over [84, 100) and free at 100).
+        let mut a = TemporalArbiter::new(2, 100);
+        assert_eq!(a.grant(0, 84, 16), 84);
+        // The next owner starts its own epoch on time, boundary cycle
+        // included, regardless of that last-cycle transfer.
+        assert_eq!(a.grant(1, 0, 16), 100);
+    }
+
+    #[test]
+    fn seam_request_ready_on_the_boundary_waits_a_full_round() {
+        // Ready exactly at its epoch's end cycle: the epoch is over, and
+        // the next one belongs to the other domain — off-by-one here
+        // would grant inside the co-tenant's slot.
+        let mut a = TemporalArbiter::new(2, 100);
+        assert_eq!(a.grant(0, 100, 16), 200);
+    }
+
+    #[test]
+    fn seam_own_backlog_at_epoch_end_spills_to_next_owned_epoch() {
+        // A domain whose own busy-until lands exactly on its epoch's end
+        // must queue its next transfer in its *next owned* epoch, not at
+        // the boundary cycle (which opens the co-tenant's epoch).
+        let mut a = TemporalArbiter::new(2, 100);
+        assert_eq!(a.grant(0, 84, 16), 84); // busy-until == 100
+        assert_eq!(a.grant(0, 84, 16), 200);
+    }
+
+    #[test]
+    fn seam_is_pure_across_the_boundary() {
+        // Non-interference at the seam specifically: domain 1's grants
+        // around an epoch boundary are identical whether or not domain 0
+        // saturated the final cycles of the preceding epoch.
+        let requests = [(99u64, 16u64), (100, 16), (101, 16), (199, 16)];
+
+        let mut quiet = TemporalArbiter::new(2, 100);
+        let quiet_grants: Vec<u64> = requests
+            .iter()
+            .map(|&(r, d)| quiet.grant(1, r, d))
+            .collect();
+
+        let mut noisy = TemporalArbiter::new(2, 100);
+        for ready in [0u64, 52, 68, 84] {
+            let _ = noisy.grant(0, ready, 16); // Fills [0,100) to the brim.
+        }
+        let noisy_grants: Vec<u64> = requests
+            .iter()
+            .map(|&(r, d)| noisy.grant(1, r, d))
+            .collect();
+
+        assert_eq!(quiet_grants, noisy_grants);
+    }
 }

@@ -47,6 +47,9 @@ pub use engine::{
     run_colocated, run_colocated_ids_sink, run_colocated_sink, run_colocated_warm, NfRunStats,
     RunOutcome,
 };
+pub use reference::{
+    run_reference, run_reference_traced, BusGrantRec, L2AccessRec, RecordedTrace, TraceObserver,
+};
 pub use stream::{
     Access, AccessKind, AccessStream, EventSource, ReplayStream, SharedReplayStream,
     SyntheticStream,

@@ -84,9 +84,94 @@ struct BusTelemetry {
     dram: Histogram,
 }
 
+/// Observer of the shared-resource events a reference run produces, in
+/// interleaved processing order. The leakage/verify cross-checks use
+/// this to hand *the very trace that produced a measurement* to the
+/// Pass 2 linter; the no-op [`NullObserver`] monomorphizes every hook
+/// away, so the unobserved reference path is untouched.
+pub trait TraceObserver {
+    /// An access reached the shared L2 (i.e. missed the private L1).
+    /// `addr` is the tenant-tagged address the L2 saw.
+    fn l2_access(&mut self, tenant: u32, addr: u64, hit: bool);
+    /// The bus arbiter granted a transfer.
+    fn bus_grant(&mut self, domain: u32, ready: u64, duration: u64, granted: u64);
+}
+
+/// Observer that records nothing (the default path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl TraceObserver for NullObserver {
+    #[inline]
+    fn l2_access(&mut self, _: u32, _: u64, _: bool) {}
+    #[inline]
+    fn bus_grant(&mut self, _: u32, _: u64, _: u64, _: u64) {}
+}
+
+/// One recorded shared-L2 access (see [`RecordedTrace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2AccessRec {
+    /// Cache tenant slot.
+    pub tenant: u32,
+    /// Tenant-tagged address.
+    pub addr: u64,
+    /// Whether the access hit the L2.
+    pub hit: bool,
+}
+
+/// One recorded bus grant (see [`RecordedTrace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrantRec {
+    /// Security domain issuing the request.
+    pub domain: u32,
+    /// Cycle the request became ready.
+    pub ready: u64,
+    /// Cycles the transfer occupies the bus.
+    pub duration: u64,
+    /// Cycle the arbiter started the transfer.
+    pub granted: u64,
+}
+
+/// Everything the shared structures saw during one reference run, in
+/// processing order — the raw material for `snic-verify`'s Pass 2
+/// trace lints.
+#[derive(Debug, Clone, Default)]
+pub struct RecordedTrace {
+    /// Shared-L2 accesses.
+    pub l2: Vec<L2AccessRec>,
+    /// Bus grants.
+    pub bus: Vec<BusGrantRec>,
+}
+
+impl TraceObserver for RecordedTrace {
+    fn l2_access(&mut self, tenant: u32, addr: u64, hit: bool) {
+        self.l2.push(L2AccessRec { tenant, addr, hit });
+    }
+    fn bus_grant(&mut self, domain: u32, ready: u64, duration: u64, granted: u64) {
+        self.bus.push(BusGrantRec {
+            domain,
+            ready,
+            duration,
+            granted,
+        });
+    }
+}
+
 /// Reference form of [`crate::engine::run_colocated`].
 pub fn run_reference(cfg: &MachineConfig, streams: Vec<EventSource>) -> RunOutcome {
     run_reference_sink(cfg, streams, &[], &NullSink)
+}
+
+/// Run the reference engine while recording every shared-L2 access and
+/// bus grant. The statistics are bit-identical to [`run_reference`]
+/// (and hence to the production engine); the trace is what Pass 2 lints.
+pub fn run_reference_traced(
+    cfg: &MachineConfig,
+    streams: Vec<EventSource>,
+) -> (RunOutcome, RecordedTrace) {
+    let mut trace = RecordedTrace::default();
+    let out = run_reference_observed(cfg, streams, &[], &NullSink, &mut trace);
+    (out, trace)
 }
 
 /// Reference form of [`crate::engine::run_colocated_sink`]: the
@@ -97,6 +182,18 @@ pub fn run_reference_sink<S: TelemetrySink + ?Sized>(
     streams: Vec<EventSource>,
     warmup_events: &[u64],
     sink: &S,
+) -> RunOutcome {
+    run_reference_observed(cfg, streams, warmup_events, sink, &mut NullObserver)
+}
+
+/// [`run_reference_sink`] with a [`TraceObserver`] witnessing every
+/// shared-L2 access and bus grant in processing order.
+pub fn run_reference_observed<S: TelemetrySink + ?Sized, O: TraceObserver>(
+    cfg: &MachineConfig,
+    streams: Vec<EventSource>,
+    warmup_events: &[u64],
+    sink: &S,
+    observer: &mut O,
 ) -> RunOutcome {
     assert!(!streams.is_empty(), "need at least one stream");
     let ids: Vec<u32> = (0..streams.len() as u32).collect();
@@ -176,13 +273,16 @@ pub fn run_reference_sink<S: TelemetrySink + ?Sized>(
                 st.l1_hits += 1;
             } else {
                 st.l1_misses += 1;
-                if l2.access(i as u32, a) {
+                let l2_hit = l2.access(i as u32, a);
+                observer.l2_access(i as u32, a, l2_hit);
+                if l2_hit {
                     st.l2_hits += 1;
                     now += cfg.l2_hit_cycles;
                 } else {
                     st.l2_misses += 1;
                     let ready = now + cfg.l2_hit_cycles;
                     let start = arbiter.grant(i as u32, ready, cfg.bus_beat_cycles);
+                    observer.bus_grant(i as u32, ready, cfg.bus_beat_cycles, start);
                     if telemetry_on {
                         let t = &mut bus_tel[i];
                         t.grants += 1;

@@ -61,6 +61,37 @@ pub struct TraceBundle {
     pub cache: Vec<CacheAccessEvent>,
 }
 
+impl TraceBundle {
+    /// Adapt a uarch-engine recording
+    /// ([`snic_uarch::run_reference_traced`]) into lintable form. The
+    /// engine observes L2 accesses and bus grants but not the memory
+    /// guard, so `memory` stays empty.
+    pub fn from_uarch(trace: &snic_uarch::RecordedTrace) -> TraceBundle {
+        TraceBundle {
+            memory: Vec::new(),
+            bus: trace
+                .bus
+                .iter()
+                .map(|g| BusGrantEvent {
+                    domain: g.domain,
+                    ready: g.ready,
+                    duration: g.duration,
+                    granted: g.granted,
+                })
+                .collect(),
+            cache: trace
+                .l2
+                .iter()
+                .map(|a| CacheAccessEvent {
+                    tenant: a.tenant,
+                    addr: a.addr,
+                    hit: a.hit,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Stride of one allocator metadata slot (`snic-core`'s shared buffer
 /// allocator writes 32-byte slots; the walk detector counts distinct
 /// slots at this granularity).

@@ -56,6 +56,15 @@ cargo run -q --release --bin snicctl -- analyze --gate > /dev/null
 echo "==> snicd soak gate (snicctl soak --gate)"
 cargo run -q --release --bin snicctl -- soak --gate > /dev/null
 
+# Covert-channel leakage gate: the smoke sweep (every family ×
+# geometry × mode at the paper-default epoch) must diff clean against
+# tests/golden/leakage.txt and satisfy the differential security
+# bounds — every S-NIC cell's measured capacity under the hard ceiling,
+# every exploitable commodity cell over the floor (re-bless the golden
+# with SNIC_BLESS=1).
+echo "==> covert-channel leakage gate (snicctl leakage --smoke --gate)"
+cargo run -q --release --bin snicctl -- leakage --smoke --gate > /dev/null
+
 # Golden snapshots: every figure pipeline's rendered output at the
 # pinned scale must match the checked-in documents byte-for-byte
 # (regenerate intentionally with SNIC_BLESS=1).

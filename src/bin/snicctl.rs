@@ -659,13 +659,72 @@ fn soak_main(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `snicctl leakage [--smoke] [--gate]`: measure the covert-channel
+/// leakage-bandwidth matrix — 3 families × 4 L2 geometries × 3 temporal
+/// epochs × {commodity, S-NIC} — and print the capacity table in bits
+/// per simulated second. `--smoke` sweeps only the paper-default epoch
+/// (the lint-gate form, a strict subset of the full matrix). `--gate`
+/// additionally diffs the measured cells against the golden snapshot
+/// (`tests/golden/leakage.txt`) and enforces the differential security
+/// bounds: every S-NIC cell under the capacity ceiling, every
+/// exploitable commodity cell over the floor.
+fn leakage_main(args: &[String]) -> Result<String, String> {
+    use snic::leakage::{full_specs, smoke_specs, LeakageMatrix, Mode, CELL_BITS};
+    use snic::sim::Exec;
+
+    let usage = "usage: snicctl leakage [--smoke] [--gate]";
+    let mut smoke = false;
+    let mut gate = false;
+    for a in args {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => gate = true,
+            other => return Err(format!("{usage}\n(unknown flag '{other}')")),
+        }
+    }
+    let specs = if smoke { smoke_specs() } else { full_specs() };
+    let matrix = LeakageMatrix::measure(specs, Exec::Parallel, CELL_BITS);
+    let worst_snic = matrix
+        .cells
+        .iter()
+        .filter(|c| c.spec.mode == Mode::Snic)
+        .map(|c| c.capacity_bps)
+        .fold(0.0f64, f64::max);
+    let best_commodity = matrix
+        .cells
+        .iter()
+        .filter(|c| c.spec.mode == Mode::Commodity)
+        .map(|c| c.capacity_bps)
+        .fold(0.0f64, f64::max);
+    let mut out = format!(
+        "{}\nbest commodity {best_commodity:.1} bps | worst S-NIC {worst_snic:.4} bps",
+        matrix.render().trim_end()
+    );
+    if gate {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/leakage.txt");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read golden {path}: {e} (bless with SNIC_BLESS=1)"))?;
+        let golden = LeakageMatrix::from_text(&text)?;
+        let mut problems = matrix.diff(&golden);
+        problems.extend(matrix.check_bounds());
+        if !problems.is_empty() {
+            return Err(format!("leakage gate failed:\n{}", problems.join("\n")));
+        }
+        out.push_str(&format!(
+            "\ngate: OK ({} cells match golden, bounds hold)",
+            matrix.cells.len()
+        ));
+    }
+    Ok(out)
+}
+
 /// Run the classic line-oriented `.snic` script mode.
 fn script_main(argv: &[String]) -> Result<String, (i32, String)> {
     let usage = || {
         "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
          snicctl verify [--json] [--bad] | snicctl bench [--full] [--shards N] | \
          snicctl telemetry ... | snicctl serve <requests.jsonl | -> ... | \
-         snicctl soak [--gate]"
+         snicctl soak [--gate] | snicctl leakage [--smoke] [--gate]"
             .to_string()
     };
     let arg = argv.first().cloned().ok_or_else(|| (2, usage()))?;
@@ -702,6 +761,7 @@ fn main() {
         Some("telemetry") => (telemetry_main(&argv[1..]), 7),
         Some("serve") => (serve_main(&argv[1..]), 8),
         Some("soak") => (soak_main(&argv[1..]), 9),
+        Some("leakage") => (leakage_main(&argv[1..]), 10),
         _ => match script_main(&argv) {
             Ok(out) => (Ok(out), 3),
             Err((code, e)) => {

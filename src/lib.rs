@@ -19,6 +19,7 @@ pub use snic_core as core;
 pub use snic_cost as cost;
 pub use snic_crypto as crypto;
 pub use snic_faults as faults;
+pub use snic_leakage as leakage;
 pub use snic_mem as mem;
 pub use snic_nf as nf;
 pub use snic_pktio as pktio;

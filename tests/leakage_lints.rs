@@ -1,0 +1,144 @@
+//! Cross-check: the leakage matrix and the Pass 2 trace linters agree
+//! (ISSUE 9 satellite).
+//!
+//! Two independent subsystems judge the same engine runs: the
+//! `snic-leakage` decoder measures capacity end-to-end, and
+//! `snic-verify`'s Pass 2 lints flag the enabling contention patterns
+//! in the recorded trace. They must never disagree about whether a
+//! channel exists — a commodity point with positive measured capacity
+//! must show at least one finding on its own trace, and every S-NIC
+//! point must lint clean no matter what the sender transmits.
+
+use snic::leakage::channel::{machine_config, receiver_stream, sender_stream};
+use snic::leakage::{payload_bits, Channel, ChannelFamily, Confusion, Geometry, Mode};
+use snic::types::{AccelKind, NfId};
+use snic::uarch::bus::BusKind;
+use snic::uarch::run_reference_traced;
+use snic::uarch::stream::{EventSource, ReplayStream};
+use snic::verify::spec::{BusSpec, DeviceSpec, EnforcementMode};
+use snic::verify::trace::{TraceBundle, TraceLinter};
+
+const GEOM: Geometry = Geometry {
+    ways: 16,
+    sets: 512,
+};
+const EPOCH: u64 = 96;
+
+/// Minimal device spec whose bus discipline matches the uarch machine;
+/// the trace lints only consult `bus` and `nic_os`.
+fn linter_for(mode: Mode) -> TraceLinter {
+    let cfg = machine_config(GEOM, EPOCH, mode);
+    let bus = match cfg.bus {
+        BusKind::Fcfs => BusSpec::Fcfs,
+        BusKind::Temporal { .. } => BusSpec::Temporal {
+            epoch: cfg.epoch_cycles,
+        },
+    };
+    let mb = 1u64 << 20;
+    let spec = DeviceSpec {
+        mode: match mode {
+            Mode::Commodity => EnforcementMode::Commodity,
+            Mode::Snic => EnforcementMode::Snic,
+        },
+        dram: 256 * mb,
+        nf_region_base: 0x0800_0000,
+        nic_os: vec![],
+        cores: 2,
+        core_tlb_entries: 8,
+        accel: vec![(AccelKind::Crypto, 2)],
+        rx_capacity: 8 * mb,
+        tx_capacity: 8 * mb,
+        bus,
+    };
+    let domains = vec![
+        (0x0800_0000, 2 * mb, NfId(1)),
+        (0x0800_0000 + 2 * mb, 2 * mb, NfId(2)),
+    ];
+    TraceLinter::new(&spec, domains).with_cache(cfg.l2, cfg.l2_partition.clone())
+}
+
+/// Record the colocated bit-1 run of `family` under `mode` and lint it.
+fn lint_bit_one(family: ChannelFamily, mode: Mode) -> Vec<snic::verify::report::Finding> {
+    let cfg = machine_config(GEOM, EPOCH, mode);
+    let streams = vec![
+        EventSource::Replay(ReplayStream::new(receiver_stream(family, GEOM))),
+        EventSource::Replay(ReplayStream::new(sender_stream(family, true, GEOM))),
+    ];
+    let (_, trace) = run_reference_traced(&cfg, streams);
+    linter_for(mode).lint(&TraceBundle::from_uarch(&trace))
+}
+
+/// Measure the channel's capacity the same way the matrix does.
+fn capacity(family: ChannelFamily, mode: Mode) -> f64 {
+    let ch = Channel::new(family, GEOM, EPOCH, mode);
+    let mut conf = Confusion::default();
+    for bit in payload_bits(0x1ea6_c0de, 16) {
+        conf.record(bit, ch.transmit(bit).decoded);
+    }
+    conf.mutual_information()
+}
+
+#[test]
+fn commodity_capacity_implies_pass2_findings() {
+    for family in ChannelFamily::ALL {
+        let mi = capacity(family, Mode::Commodity);
+        assert!(
+            mi > 0.0,
+            "{family:?}: commodity channel on an exploitable geometry must carry bits"
+        );
+        let findings = lint_bit_one(family, Mode::Commodity);
+        assert!(
+            !findings.is_empty(),
+            "{family:?}: measured {mi:.3} bits/use but Pass 2 found nothing on the trace"
+        );
+    }
+}
+
+#[test]
+fn snic_points_lint_clean_for_both_payloads() {
+    for family in ChannelFamily::ALL {
+        assert_eq!(
+            capacity(family, Mode::Snic),
+            0.0,
+            "{family:?}: S-NIC capacity must be exactly zero"
+        );
+        for bit in [false, true] {
+            let cfg = machine_config(GEOM, EPOCH, Mode::Snic);
+            let streams = vec![
+                EventSource::Replay(ReplayStream::new(receiver_stream(family, GEOM))),
+                EventSource::Replay(ReplayStream::new(sender_stream(family, bit, GEOM))),
+            ];
+            let (_, trace) = run_reference_traced(&cfg, streams);
+            let findings = linter_for(Mode::Snic).lint(&TraceBundle::from_uarch(&trace));
+            assert!(
+                findings.is_empty(),
+                "{family:?} bit {bit}: S-NIC trace must lint clean, got {findings:#?}"
+            );
+        }
+    }
+}
+
+/// The linters see the *pattern*, not the payload: a 0-bit commodity
+/// cache run (sender stays off the probed sets) must not raise the
+/// co-residency finding the 1-bit run raises.
+#[test]
+fn lint_findings_track_the_transmitted_bit_on_the_cache_channel() {
+    let cfg = machine_config(GEOM, EPOCH, Mode::Commodity);
+    let streams = vec![
+        EventSource::Replay(ReplayStream::new(receiver_stream(
+            ChannelFamily::Cache,
+            GEOM,
+        ))),
+        EventSource::Replay(ReplayStream::new(sender_stream(
+            ChannelFamily::Cache,
+            false,
+            GEOM,
+        ))),
+    ];
+    let (_, trace) = run_reference_traced(&cfg, streams);
+    let findings = linter_for(Mode::Commodity).lint(&TraceBundle::from_uarch(&trace));
+    assert!(
+        findings.is_empty(),
+        "0-bit cache sender must leave no co-residency signal, got {findings:#?}"
+    );
+}
