@@ -14,7 +14,9 @@ fn bench_nfs(c: &mut Criterion) {
         packets: 2_000,
         ..Scale::quick()
     };
-    let packets = workload(&scale, 0xbe7c);
+    // The criterion loop replays the same packets many times, so this
+    // is one place the lazy workload is deliberately collected.
+    let packets: Vec<_> = workload(&scale, 0xbe7c).collect();
     let mut group = c.benchmark_group("nf_process");
     group.throughput(Throughput::Elements(packets.len() as u64));
     for kind in NfKind::ALL {

@@ -20,7 +20,7 @@
 //! hosts with different core counts; the report always records the
 //! `shards` and `host_threads` it was measured with.
 
-use snic_bench::perf::{baseline_before, extract_f64, run, to_json};
+use snic_bench::perf::{baseline_before, extract_f64, run, run_extras, to_json};
 use snic_bench::Scale;
 
 /// Repo-root location of the committed baseline.
@@ -73,7 +73,9 @@ fn main() {
     if smoke {
         let bless = std::env::var("SNIC_BLESS_BENCH").is_ok_and(|v| v == "1");
         if bless {
-            std::fs::write(&path, to_json(&report, scale_name, before))
+            eprintln!("uarch_perf: measuring streaming + multicore companion entries...");
+            let extras = run_extras(&scale, reps, shards.max(3));
+            std::fs::write(&path, to_json(&report, scale_name, before, Some(&extras)))
                 .expect("write BENCH_uarch.json");
             eprintln!("uarch_perf: blessed new baseline -> {}", path.display());
             return;
@@ -108,7 +110,16 @@ fn main() {
         return;
     }
 
-    let json = to_json(&report, scale_name, before);
+    eprintln!("uarch_perf: measuring streaming + multicore companion entries...");
+    let extras = run_extras(&scale, reps, shards.max(3));
+    eprintln!(
+        "uarch_perf: streaming {:.0} events/s ({} events); multicore (shards={}) {:.0} events/s",
+        extras.streaming.events_per_sec,
+        extras.streaming.total_events,
+        extras.multicore.shards,
+        extras.multicore.events_per_sec
+    );
+    let json = to_json(&report, scale_name, before, Some(&extras));
     if has("--write") {
         std::fs::write(&path, &json).expect("write BENCH_uarch.json");
         eprintln!("uarch_perf: wrote {}", path.display());

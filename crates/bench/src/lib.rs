@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod blast;
+pub mod colo;
 pub mod differential;
 pub mod fig5;
 pub mod fig6;

@@ -12,7 +12,7 @@
 //! cells (shared L2, not shardable) stay serial, exactly as `run()`
 //! would dispatch them in production.
 //!
-//! The numbers land in `BENCH_uarch.json` at the repo root (schema 2):
+//! The numbers land in `BENCH_uarch.json` at the repo root (schema 3):
 //!
 //! - `events_per_sec_before` — the serial baseline this PR started
 //!   from, kept so the recorded speedup survives re-blessing (a
@@ -22,19 +22,24 @@
 //!   fails on a >10 % regression; re-bless with `SNIC_BLESS_BENCH=1`);
 //! - `shards` / `host_threads` — how the `after` number was obtained,
 //!   so a one-core box's honest measurement is never mistaken for the
-//!   multi-core headline (see EXPERIMENTS.md for the scaling analysis).
+//!   multi-core headline (see EXPERIMENTS.md for the scaling analysis);
+//! - `streaming` / `multicore` — the schema-3 companion entries: the
+//!   regenerate-on-pull streamed pipeline rate and the replay harness
+//!   through sharded dispatch (`--shards >= 3`), each labelled with the
+//!   shard count and host threads it was measured under.
 //!
 //! Timing uses the wall clock, so this module is for the perf binary
 //! and `snicctl bench` only — simulation results never depend on it.
 
 use std::time::Instant;
 
+use snic_nf::NfKind;
 use snic_sim::run_sharded;
 use snic_uarch::config::MachineConfig;
 use snic_uarch::engine::run_colocated_warm;
 use snic_uarch::stream::{EventSource, SharedReplayStream};
 
-use crate::streams::{all_traces, SharedTrace, TraceSet};
+use crate::streams::{all_traces, streamed_nf_source, SharedTrace, TraceSet};
 use crate::{median, Scale};
 
 /// Trace seed: fig5a's, so the harness replays the same recordings as a
@@ -165,16 +170,102 @@ pub fn run(scale: &Scale, reps: usize, shards: usize) -> PerfReport {
     }
 }
 
-/// Render the report as the `BENCH_uarch.json` document (schema 2).
+/// The streamed-pipeline measurement: S-NIC colocations whose events
+/// are regenerated on the fly through the O(chunk) streaming pipeline
+/// (NF + workload rebuilt from seeds) instead of replayed from a
+/// materialized recording, so the rate includes generation cost and the
+/// resident set stays bounded.
+#[derive(Debug, Clone)]
+pub struct StreamedPerf {
+    /// Engine events processed across all cells (from the outcomes:
+    /// every event probes L1 exactly once).
+    pub total_events: u64,
+    /// Median seconds summed over all cells.
+    pub total_secs: f64,
+    /// `total_events / total_secs`.
+    pub events_per_sec: f64,
+    /// Shard count the cells ran with.
+    pub shards: usize,
+}
+
+/// Measure the streamed pipeline: the [`PERF_TENANTS`] S-NIC cells with
+/// single-pass [`streamed_nf_source`] streams (kinds round-robin, fig5a
+/// seed), dispatched through [`run_sharded`] like the colocation
+/// sweeps. No warmup window — the streamed production path counts every
+/// event, and the engine events come from the outcome itself.
+pub fn run_streamed(scale: &Scale, reps: usize, shards: usize) -> StreamedPerf {
+    assert!(reps >= 1, "need at least one repetition");
+    let shards = shards.max(1);
+    let mut total_events = 0u64;
+    let mut total_secs = 0.0;
+    for &tenants in &PERF_TENANTS {
+        let cfg = MachineConfig::snic(tenants as u32, PERF_L2_BYTES);
+        let mut secs = Vec::with_capacity(reps);
+        let mut events = 0u64;
+        for _ in 0..reps {
+            let streams: Vec<EventSource> = (0..tenants)
+                .map(|slot| {
+                    streamed_nf_source(NfKind::ALL[slot % NfKind::ALL.len()], scale, PERF_SEED, 1)
+                })
+                .collect();
+            let start = Instant::now();
+            let out = run_sharded(&cfg, streams, &[], shards);
+            secs.push(start.elapsed().as_secs_f64());
+            events = out.nfs.iter().map(|n| n.l1_hits + n.l1_misses).sum();
+        }
+        total_events += events;
+        total_secs += median(&mut secs);
+    }
+    StreamedPerf {
+        total_events,
+        total_secs,
+        events_per_sec: total_events as f64 / total_secs.max(1e-12),
+        shards,
+    }
+}
+
+/// The schema-3 companion measurements embedded next to the gated
+/// serial baseline: the streamed pipeline and a multicore-sharded
+/// re-measurement of the replay cells.
+#[derive(Debug, Clone)]
+pub struct PerfExtras {
+    /// Streamed-pipeline rate (see [`run_streamed`]).
+    pub streaming: StreamedPerf,
+    /// The replay harness re-run with `shards >= 3` (see [`run`]); on a
+    /// one-core host this records the honest sharded-dispatch number
+    /// next to `host_threads: 1` rather than pretending to scale.
+    pub multicore: PerfReport,
+}
+
+/// Measure both schema-3 extras: the streamed pipeline (serial, so the
+/// number is host-independent) and the replay harness through the
+/// sharded dispatch path.
+pub fn run_extras(scale: &Scale, reps: usize, shards: usize) -> PerfExtras {
+    PerfExtras {
+        streaming: run_streamed(scale, reps, 1),
+        multicore: run(scale, reps, shards.max(3)),
+    }
+}
+
+/// Render the report as the `BENCH_uarch.json` document (schema 3).
 ///
 /// `before_eps` is the baseline measurement carried forward from the
 /// existing file on re-bless (see [`baseline_before`]); when absent the
-/// current number doubles as its own baseline (speedup 1.0).
-pub fn to_json(report: &PerfReport, scale_name: &str, before_eps: Option<f64>) -> String {
+/// current number doubles as its own baseline (speedup 1.0). `extras`
+/// adds the schema-3 `streaming` and `multicore` objects; every
+/// schema-2 field keeps its name and meaning (the lint gate still
+/// compares `events_per_sec_after` alone), so schema-2 consumers read a
+/// schema-3 document unchanged.
+pub fn to_json(
+    report: &PerfReport,
+    scale_name: &str,
+    before_eps: Option<f64>,
+    extras: Option<&PerfExtras>,
+) -> String {
     let before = before_eps.unwrap_or(report.events_per_sec);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": 2,\n");
+    s.push_str("  \"schema\": 3,\n");
     s.push_str("  \"workload\": \"fig5-traces colocation sweep, warm-started, sharded engine\",\n");
     s.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     s.push_str(&format!("  \"median_of\": {},\n", report.median_of));
@@ -190,6 +281,20 @@ pub fn to_json(report: &PerfReport, scale_name: &str, before_eps: Option<f64>) -
         "  \"speedup\": {:.2},\n",
         report.events_per_sec / before.max(1e-12)
     ));
+    if let Some(extras) = extras {
+        let st = &extras.streaming;
+        s.push_str(&format!(
+            "  \"streaming\": {{\"pipeline\": \"regenerate-on-pull, O(chunk) resident\", \
+             \"stream_shards\": {}, \"stream_events\": {}, \"stream_events_per_sec\": {:.1}}},\n",
+            st.shards, st.total_events, st.events_per_sec
+        ));
+        let mc = &extras.multicore;
+        s.push_str(&format!(
+            "  \"multicore\": {{\"mc_shards\": {}, \"mc_host_threads\": {}, \
+             \"mc_events_per_sec\": {:.1}}},\n",
+            mc.shards, mc.host_threads, mc.events_per_sec
+        ));
+    }
     s.push_str("  \"points\": [\n");
     for (i, p) in report.points.iter().enumerate() {
         s.push_str(&format!(
@@ -261,15 +366,16 @@ mod tests {
         assert!(report.events_per_sec > 0.0);
         assert_eq!(report.shards, 1);
         assert!(report.host_threads >= 1);
-        let json = to_json(&report, "tiny", Some(report.events_per_sec / 3.0));
+        let json = to_json(&report, "tiny", Some(report.events_per_sec / 3.0), None);
         let after = extract_f64(&json, "events_per_sec_after").expect("after present");
         assert!((after - report.events_per_sec).abs() / report.events_per_sec < 1e-3);
         let speedup = extract_f64(&json, "speedup").expect("speedup present");
         assert!((speedup - 3.0).abs() < 0.05, "speedup {speedup}");
-        assert_eq!(extract_f64(&json, "schema"), Some(2.0));
+        assert_eq!(extract_f64(&json, "schema"), Some(3.0));
         assert_eq!(extract_f64(&json, "shards"), Some(1.0));
         assert!(extract_f64(&json, "host_threads").is_some_and(|t| t >= 1.0));
         assert!(extract_f64(&json, "no_such_key").is_none());
+        assert!(!json.contains("\"streaming\""), "no extras unless given");
     }
 
     #[test]
@@ -283,6 +389,27 @@ mod tests {
             assert_eq!(a.label, b.label);
             assert_eq!(a.events, b.events);
         }
+    }
+
+    #[test]
+    fn streamed_harness_and_extras_embed_in_schema_3() {
+        let extras = run_extras(&tiny(), 1, 3);
+        assert!(extras.streaming.total_events > 0);
+        assert!(extras.streaming.events_per_sec > 0.0);
+        assert_eq!(extras.streaming.shards, 1);
+        assert_eq!(extras.multicore.shards, 3);
+        // Streamed cells process one pass of the S-NIC half of the grid;
+        // the replay harness counts both machines at two passes each.
+        let replay = run(&tiny(), 1, 1);
+        assert_eq!(extras.streaming.total_events * 4, replay.total_events);
+        let json = to_json(&replay, "tiny", None, Some(&extras));
+        assert_eq!(
+            extract_f64(&json, "stream_events"),
+            Some(extras.streaming.total_events as f64)
+        );
+        assert_eq!(extract_f64(&json, "mc_shards"), Some(3.0));
+        assert!(extract_f64(&json, "stream_events_per_sec").is_some_and(|e| e > 0.0));
+        assert!(extract_f64(&json, "mc_events_per_sec").is_some_and(|e| e > 0.0));
     }
 
     #[test]

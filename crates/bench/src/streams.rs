@@ -8,13 +8,13 @@
 //! the paper-claims tests all share one immutable [`SharedTrace`] per
 //! NF instead of regenerating and recloning it.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use snic_nf::{build, record_stream, NfKind};
+use snic_nf::{build, record_stream_iter, NfKind, StreamingRecorder};
 use snic_trace::{IctfConfig, IctfLikeTrace};
 use snic_types::Packet;
 use snic_uarch::stream::Access;
+use snic_uarch::{EventSource, StreamedSource, TraceSource};
 
 use crate::Scale;
 
@@ -26,9 +26,39 @@ pub type SharedTrace = Arc<[Access]>;
 /// order.
 pub type TraceSet = Arc<[(NfKind, SharedTrace)]>;
 
-/// Generate the packet workload shared by all NFs at this scale.
-pub fn workload(scale: &Scale, seed: u64) -> Vec<Packet> {
-    let mut trace = IctfLikeTrace::new(IctfConfig {
+/// The lazy packet workload shared by all NFs at this scale: packets
+/// are built one at a time as the consumer pulls, so streaming callers
+/// never hold `scale.packets` packets resident. `collect()` recovers
+/// the old materialized `Vec<Packet>` where a slice is genuinely
+/// needed.
+#[derive(Debug)]
+pub struct WorkloadIter {
+    trace: IctfLikeTrace,
+    remaining: usize,
+}
+
+impl Iterator for WorkloadIter {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.trace.next_packet())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for WorkloadIter {}
+
+/// Generate the packet workload shared by all NFs at this scale,
+/// lazily.
+pub fn workload(scale: &Scale, seed: u64) -> WorkloadIter {
+    let trace = IctfLikeTrace::new(IctfConfig {
         flows: scale.flows,
         theta: 1.1,
         mean_payload: 256,
@@ -36,7 +66,10 @@ pub fn workload(scale: &Scale, seed: u64) -> Vec<Packet> {
         patterns: snic_nf::dpi::synth_patterns(16, seed ^ 0x77),
         seed,
     });
-    (0..scale.packets).map(|_| trace.next_packet()).collect()
+    WorkloadIter {
+        trace,
+        remaining: scale.packets,
+    }
 }
 
 /// Build the NF at this scale (smaller structures than `with_defaults`
@@ -62,28 +95,103 @@ pub fn build_scaled(kind: NfKind, scale: &Scale, seed: u64) -> Box<dyn snic_nf::
 /// Record the reference stream of one NF kind over the shared workload.
 pub fn nf_access_trace(kind: NfKind, scale: &Scale, seed: u64) -> Vec<Access> {
     let mut nf = build_scaled(kind, scale, seed);
-    let packets = workload(scale, seed ^ kind as u64 ^ 0x5eed);
-    record_stream(nf.as_mut(), &packets)
+    record_stream_iter(nf.as_mut(), workload(scale, seed ^ kind as u64 ^ 0x5eed))
+}
+
+/// Stream one NF kind's reference trace without materializing it: the
+/// NF regenerates its accesses packet by packet, and `rewind` rebuilds
+/// the NF + workload from their seeds, so multi-pass replays are
+/// bit-identical to replaying the [`nf_access_trace`] recording.
+pub fn nf_trace_source(kind: NfKind, scale: &Scale, seed: u64) -> Box<dyn TraceSource> {
+    let scale = *scale;
+    Box::new(StreamingRecorder::new(
+        move || build_scaled(kind, &scale, seed),
+        move || workload(&scale, seed ^ kind as u64 ^ 0x5eed),
+    ))
+}
+
+/// An engine-ready streamed source for one NF kind: `passes` rewound
+/// replays of [`nf_trace_source`] in O(chunk) resident memory — the
+/// drop-in streaming counterpart of wrapping a [`SharedTrace`] in
+/// `SharedReplayStream::repeated`.
+pub fn streamed_nf_source(kind: NfKind, scale: &Scale, seed: u64, passes: u32) -> EventSource {
+    StreamedSource::repeated(nf_trace_source(kind, scale, seed), passes).into()
+}
+
+/// A bounded most-recently-used trace cache. Small and linear — the
+/// figure pipelines touch a handful of keys, so a capacity of a few
+/// entries keeps every hot key resident while long processes (snicd
+/// soaks, `all_experiments`) can no longer accumulate every trace set
+/// ever generated.
+struct TraceCache {
+    entries: Vec<((Scale, u64), TraceSet)>,
+    cap: usize,
+}
+
+impl TraceCache {
+    fn new(cap: usize) -> TraceCache {
+        TraceCache {
+            entries: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    fn get(&mut self, key: &(Scale, u64)) -> Option<TraceSet> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx);
+        let hit = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(hit)
+    }
+
+    /// Insert (or re-fetch) a key, evicting the least-recently-used
+    /// entry beyond capacity. If a racing compute already filled the
+    /// slot, the incumbent wins so hot callers keep their pointer.
+    fn insert(&mut self, key: (Scale, u64), set: TraceSet) -> TraceSet {
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        self.entries.push((key, Arc::clone(&set)));
+        if self.entries.len() > self.cap {
+            self.entries.remove(0);
+        }
+        set
+    }
+}
+
+/// Capacity of the [`all_traces`] cache: `SNIC_TRACE_CACHE_CAP`
+/// (default 8) distinct `(scale, seed)` keys.
+fn trace_cache_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SNIC_TRACE_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8)
+    })
 }
 
 /// Record streams for all six kinds, in parallel, memoized per
-/// `(scale, seed)`.
+/// `(scale, seed)` in a bounded LRU cache.
 ///
 /// The first call at a given key fans the six recordings across the
 /// worker pool and caches the resulting [`TraceSet`]; later calls —
 /// from other figure modules, bench bins, or test binaries in the same
 /// process — get the cached set for the cost of one `Arc` clone.
 /// Recording is deterministic per key, so a racing duplicate compute
-/// produces an identical set and either copy may win the cache slot.
+/// produces an identical set and either copy may win the cache slot;
+/// an evicted key simply re-records (cheap now that generation
+/// streams). Capacity: `SNIC_TRACE_CACHE_CAP`, default 8 keys.
 pub fn all_traces(scale: &Scale, seed: u64) -> TraceSet {
-    static CACHE: OnceLock<Mutex<HashMap<(Scale, u64), TraceSet>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    static CACHE: OnceLock<Mutex<TraceCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(TraceCache::new(trace_cache_cap())));
     if let Some(hit) = cache
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .get(&(*scale, seed))
     {
-        return Arc::clone(hit);
+        return hit;
     }
     // Record outside the lock so a slow first recording never blocks an
     // unrelated key.
@@ -91,13 +199,10 @@ pub fn all_traces(scale: &Scale, seed: u64) -> TraceSet {
         (k, SharedTrace::from(nf_access_trace(k, scale, seed)))
     })
     .into();
-    Arc::clone(
-        cache
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry((*scale, seed))
-            .or_insert(recorded),
-    )
+    cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert((*scale, seed), recorded)
 }
 
 #[cfg(test)]
@@ -116,12 +221,61 @@ mod tests {
     }
 
     #[test]
-    fn workload_is_deterministic() {
-        let a = workload(&tiny(), 7);
-        let b = workload(&tiny(), 7);
-        assert_eq!(a.len(), 400);
-        assert_eq!(a[0], b[0]);
-        assert_eq!(a[399], b[399]);
+    fn workload_is_deterministic_and_lazy() {
+        let mut lazy = workload(&tiny(), 7);
+        assert_eq!(lazy.len(), 400);
+        let b: Vec<Packet> = workload(&tiny(), 7).collect();
+        assert_eq!(b.len(), 400);
+        assert_eq!(lazy.next().as_ref(), b.first());
+        assert_eq!(lazy.last().as_ref(), b.last());
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_recording() {
+        for kind in [NfKind::Monitor, NfKind::Dpi] {
+            let materialized = nf_access_trace(kind, &tiny(), 9);
+            let mut src = streamed_nf_source(kind, &tiny(), 9, 1);
+            let mut streamed = Vec::new();
+            let mut buf = [Access {
+                insns: 1,
+                addr: 0,
+                kind: snic_uarch::AccessKind::Load,
+            }; 128];
+            loop {
+                let n = snic_uarch::AccessStream::next_batch(&mut src, &mut buf);
+                if n == 0 {
+                    break;
+                }
+                streamed.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(streamed, materialized, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn trace_cache_evicts_least_recently_used() {
+        let set = |tag: u64| -> TraceSet {
+            Arc::from(vec![(
+                NfKind::Monitor,
+                SharedTrace::from(vec![Access {
+                    insns: tag as u32 + 1,
+                    addr: tag,
+                    kind: snic_uarch::AccessKind::Load,
+                }]),
+            )])
+        };
+        let key = |n: u64| (tiny(), n);
+        let mut cache = TraceCache::new(2);
+        let a = cache.insert(key(1), set(1));
+        cache.insert(key(2), set(2));
+        // Refresh key 1, then insert key 3: key 2 is the LRU victim.
+        assert!(Arc::ptr_eq(&cache.get(&key(1)).unwrap(), &a));
+        cache.insert(key(3), set(3));
+        assert!(cache.get(&key(2)).is_none(), "LRU entry should evict");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        // A racing insert on an occupied slot keeps the incumbent.
+        assert!(Arc::ptr_eq(&cache.insert(key(1), set(9)), &a));
     }
 
     #[test]

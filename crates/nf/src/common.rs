@@ -102,6 +102,12 @@ impl RecordingSink {
     pub fn into_accesses(self) -> Vec<Access> {
         self.accesses
     }
+
+    /// Reset to empty, keeping the allocation — streaming recorders
+    /// reuse one sink across every packet of a billion-event run.
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+    }
 }
 
 impl AccessSink for RecordingSink {
@@ -117,7 +123,11 @@ impl AccessSink for RecordingSink {
 
 /// A network function: real packet semantics plus reference-stream
 /// emission.
-pub trait NetworkFunction {
+///
+/// `Send` is a supertrait so boxed NFs can ride inside streaming trace
+/// sources that `snic-sim` moves across its worker threads; every NF is
+/// plain owned data, so this costs nothing.
+pub trait NetworkFunction: Send {
     /// Which of the six evaluation NFs this is.
     fn kind(&self) -> NfKind;
 

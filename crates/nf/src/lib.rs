@@ -76,3 +76,164 @@ pub fn record_stream(nf: &mut dyn NetworkFunction, packets: &[Packet]) -> Vec<Ac
     }
     sink.into_accesses()
 }
+
+/// Run `nf` over an iterator of packets, recording its reference
+/// stream — the lazy counterpart of [`record_stream`] (identical output
+/// for the same packets, but the packet sequence itself need never be
+/// materialized).
+pub fn record_stream_iter(
+    nf: &mut dyn NetworkFunction,
+    packets: impl Iterator<Item = Packet>,
+) -> Vec<Access> {
+    let mut sink = RecordingSink::new();
+    for p in packets {
+        let _ = nf.process(&p, &mut sink);
+    }
+    sink.into_accesses()
+}
+
+/// Streams an NF's reference trace packet by packet in O(per-packet)
+/// resident memory — the [`TraceSource`](snic_uarch::TraceSource)
+/// backend behind streamed figure sweeps.
+///
+/// The recorder owns the NF and a packet iterator plus factories for
+/// both; [`TraceSource::rewind`](snic_uarch::TraceSource::rewind)
+/// rebuilds NF and iterator from the factories, so a rewound pass
+/// replays the bit-identical access sequence (both factories must be
+/// deterministic — seeded generation, not ambient randomness).
+pub struct StreamingRecorder<F, G, I> {
+    make_nf: F,
+    make_packets: G,
+    nf: Box<dyn NetworkFunction>,
+    packets: I,
+    sink: RecordingSink,
+    /// Events of `sink` already copied out by `fill`.
+    emitted: usize,
+}
+
+impl<F, G, I> StreamingRecorder<F, G, I>
+where
+    F: FnMut() -> Box<dyn NetworkFunction>,
+    G: FnMut() -> I,
+    I: Iterator<Item = Packet>,
+{
+    /// Build a recorder from deterministic NF and packet factories.
+    pub fn new(mut make_nf: F, mut make_packets: G) -> StreamingRecorder<F, G, I> {
+        let nf = make_nf();
+        let packets = make_packets();
+        StreamingRecorder {
+            make_nf,
+            make_packets,
+            nf,
+            packets,
+            sink: RecordingSink::new(),
+            emitted: 0,
+        }
+    }
+}
+
+impl<F, G, I> snic_uarch::TraceSource for StreamingRecorder<F, G, I>
+where
+    F: FnMut() -> Box<dyn NetworkFunction> + Send,
+    G: FnMut() -> I + Send,
+    I: Iterator<Item = Packet> + Send,
+{
+    fn fill(&mut self, out: &mut [Access]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            let recorded = self.sink.accesses();
+            let avail = recorded.len() - self.emitted;
+            if avail > 0 {
+                let take = (out.len() - n).min(avail);
+                out[n..n + take].copy_from_slice(&recorded[self.emitted..self.emitted + take]);
+                self.emitted += take;
+                n += take;
+                continue;
+            }
+            self.sink.clear();
+            self.emitted = 0;
+            match self.packets.next() {
+                None => break,
+                Some(p) => {
+                    let _ = self.nf.process(&p, &mut self.sink);
+                }
+            }
+        }
+        n
+    }
+
+    fn rewind(&mut self) {
+        self.nf = (self.make_nf)();
+        self.packets = (self.make_packets)();
+        self.sink.clear();
+        self.emitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snic_trace::{IctfConfig, IctfLikeTrace};
+    use snic_uarch::TraceSource;
+
+    fn packets(n: usize) -> Vec<Packet> {
+        let mut trace = IctfLikeTrace::new(IctfConfig {
+            flows: 64,
+            seed: 0x5eed,
+            ..IctfConfig::default()
+        });
+        (0..n).map(|_| trace.next_packet()).collect()
+    }
+
+    #[test]
+    fn streaming_recorder_matches_record_stream() {
+        let pkts = packets(200);
+        for kind in NfKind::ALL {
+            let materialized = record_stream(build(kind, 7).as_mut(), &pkts);
+            let p = pkts.clone();
+            let mut rec =
+                StreamingRecorder::new(move || build(kind, 7), move || p.clone().into_iter());
+            // Awkward buffer size so packet boundaries straddle fills.
+            let mut buf = vec![
+                Access {
+                    insns: 1,
+                    addr: 0,
+                    kind: snic_uarch::AccessKind::Load,
+                };
+                97
+            ];
+            let mut streamed = Vec::new();
+            loop {
+                let n = rec.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                streamed.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(streamed, materialized, "{kind:?}");
+
+            // A rewound recorder replays the identical sequence.
+            rec.rewind();
+            let mut replay = Vec::new();
+            loop {
+                let n = rec.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                replay.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(replay, materialized, "{kind:?} after rewind");
+        }
+    }
+
+    #[test]
+    fn record_stream_iter_matches_record_stream() {
+        let pkts = packets(100);
+        let eager = record_stream(build(NfKind::Firewall, 3).as_mut(), &pkts);
+        let lazy = record_stream_iter(
+            build(NfKind::Firewall, 3).as_mut(),
+            pkts.clone().into_iter(),
+        );
+        assert_eq!(eager, lazy);
+    }
+}

@@ -71,6 +71,11 @@ impl Dir24_8 {
     pub fn insert(&mut self, p: Prefix) {
         assert!(p.len <= 32, "prefix length out of range");
         assert!(p.next_hop < (1 << 24), "next hop too large");
+        assert_eq!(
+            self.depth24.len(),
+            self.tbl24.len(),
+            "cannot insert into a sealed table"
+        );
         if p.len <= 24 {
             let shift = 24 - u32::from(p.len);
             let base = (mask(p.addr, p.len) >> 8) as usize;
@@ -146,6 +151,20 @@ impl Dir24_8 {
         }
     }
 
+    /// Free the build-time depth arrays (16 MB for tbl24 alone). The
+    /// depths only resolve overlaps *during* [`Dir24_8::insert`];
+    /// lookups never read them, so a table that is done being built can
+    /// drop them. The many-tenant streamed colocations hold one LPM
+    /// table per tenant, where this is a fifth of the footprint.
+    ///
+    /// # Panics
+    ///
+    /// [`Dir24_8::insert`] panics after sealing.
+    pub fn seal(&mut self) {
+        self.depth24 = Vec::new();
+        self.depth8 = Vec::new();
+    }
+
     /// Number of allocated tbl8 segments.
     pub fn tbl8_segments(&self) -> usize {
         self.tbl8.len() / 256
@@ -194,6 +213,9 @@ impl LpmNf {
         for &p in prefixes {
             table.insert(p);
         }
+        // The NF never inserts after construction; keep only what
+        // lookups read.
+        table.seal();
         LpmNf {
             table,
             routed: 0,
@@ -361,6 +383,23 @@ mod tests {
                 assert_eq!(got, want, "addr {addr:#010x}");
             }
         }
+    }
+
+    #[test]
+    fn sealed_table_looks_up_but_rejects_inserts() {
+        let mut t = Dir24_8::new();
+        t.insert(p(0x0a000000, 16, 1));
+        t.insert(p(0x0b000105, 32, 2));
+        t.seal();
+        assert_eq!(t.lookup(0x0a000001, &mut NullSink), Some(1));
+        assert_eq!(t.lookup(0x0b000105, &mut NullSink), Some(2));
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.insert(p(0x0c000000, 8, 3))
+            }))
+            .is_err(),
+            "insert after seal must panic"
+        );
     }
 
     #[test]

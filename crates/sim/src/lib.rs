@@ -7,6 +7,10 @@
 //!
 //! - [`SimJob`] — one pending colocation run (machine config, streams,
 //!   warmup window), runnable on any thread;
+//! - [`JobSpec`] — a re-windable job *factory*: rebuilds the same
+//!   deterministic job on demand so one logical run can execute many
+//!   times (serial vs parallel vs sharded differentials, streamed
+//!   sources that are consumed by running);
 //! - [`run_jobs`] / [`run_jobs_on`] — a worker pool on
 //!   [`std::thread::scope`] that drains a job list across cores and
 //!   returns outcomes **in input order**, so parallel results are
@@ -126,6 +130,63 @@ impl std::fmt::Debug for SimJob {
             .field("sink", &self.sink.is_some())
             .field("shards", &self.shards)
             .finish()
+    }
+}
+
+/// A re-windable job specification: a deterministic factory that
+/// builds a fresh [`SimJob`] on every call.
+///
+/// [`SimJob::run`] consumes its streams, so a job can execute exactly
+/// once — fine for materialized `Arc<[Access]>` replays (cloning the
+/// job is a refcount bump) but wrong for streamed sources, whose
+/// generators are consumed by running. A `JobSpec` captures *how to
+/// build* the job instead: every [`JobSpec::build`] rebuilds NFs,
+/// workload generators, and engine config from their seeds, so the same
+/// logical run can execute serially, in parallel, and sharded — the
+/// serial≡parallel≡sharded differentials — with each execution
+/// bit-identical by construction.
+pub struct JobSpec {
+    make: Box<dyn Fn() -> SimJob + Send + Sync>,
+}
+
+impl JobSpec {
+    /// Wrap a deterministic job factory (same call, same job — seeded
+    /// generation, no ambient randomness).
+    pub fn new(make: impl Fn() -> SimJob + Send + Sync + 'static) -> JobSpec {
+        JobSpec {
+            make: Box::new(make),
+        }
+    }
+
+    /// Build a fresh, runnable job.
+    pub fn build(&self) -> SimJob {
+        (self.make)()
+    }
+
+    /// Build and run one instance of the job.
+    pub fn run(&self) -> RunOutcome {
+        self.build().run()
+    }
+
+    /// Build and run one instance with the shard count overridden —
+    /// the sharded leg of a determinism differential.
+    pub fn run_with_shards(&self, shards: usize) -> RunOutcome {
+        self.build().with_shards(shards).run()
+    }
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobSpec(..)")
+    }
+}
+
+/// Run every spec once, dispatching on [`Exec`]; outcomes come back in
+/// input order. The specs survive the run and can execute again.
+pub fn run_specs(specs: &[JobSpec], exec: Exec) -> Vec<RunOutcome> {
+    match exec {
+        Exec::Serial => specs.iter().map(JobSpec::run).collect(),
+        Exec::Parallel => par_map(specs.iter().collect(), JobSpec::run),
     }
 }
 
@@ -505,6 +566,43 @@ mod tests {
             .with_shards(4)
             .run();
         assert_eq!(serial.nfs, sharded.nfs);
+    }
+
+    #[test]
+    fn job_spec_rebuilds_identical_runs() {
+        let spec = JobSpec::new(|| job(17, 3));
+        let first = spec.run();
+        let second = spec.run();
+        assert_eq!(first.nfs, second.nfs, "a spec must replay bit-identically");
+    }
+
+    #[test]
+    fn job_spec_streamed_sources_survive_reruns_and_sharding() {
+        // Streamed sources are consumed by running; the spec rebuilds
+        // them, and the sharded leg must match the serial leg bitwise.
+        let spec = JobSpec::new(|| {
+            let streams: Vec<SendStream> = (0..4)
+                .map(|i| {
+                    snic_uarch::StreamedSource::with_chunk(
+                        Box::new(SyntheticStream::new(1 << 18, 6, 3, 3_000, 21 + i as u64)),
+                        2,
+                        257,
+                    )
+                    .into()
+                })
+                .collect();
+            SimJob::new(MachineConfig::snic(4, 1 << 20), streams).with_warmups(vec![300; 4])
+        });
+        let serial = spec.run();
+        for shards in [2, 4] {
+            assert_eq!(
+                serial.nfs,
+                spec.run_with_shards(shards).nfs,
+                "shards={shards}"
+            );
+        }
+        let both = run_specs(&[spec], Exec::Parallel);
+        assert_eq!(both[0].nfs, serial.nfs);
     }
 
     #[test]

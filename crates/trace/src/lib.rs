@@ -14,7 +14,11 @@
 //! - [`CaidaLikeTrace`]: a time-stamped trace with flow arrival/departure
 //!   churn and heavy-tailed flow sizes — drives the Monitor experiments
 //!   (Figure 7 and the Table 6 memory profile),
-//! - [`PayloadGen`]: payload synthesis with optional embedded DPI patterns.
+//! - [`PayloadGen`]: payload synthesis with optional embedded DPI patterns,
+//! - [`PhasedTrace`]: the ICTF-like stream with time-varying workload
+//!   phases (diurnal cycles, flash crowds, heavy-hitter migration, flow
+//!   churn) the paper's stationary snapshot cannot express — drives the
+//!   32–64-tenant streaming sweeps.
 //!
 //! All generators are deterministic given a seed. [`wire`] adds a
 //! compact binary serialization so generated traces can be exported and
@@ -27,6 +31,7 @@ pub mod caida;
 pub mod flows;
 pub mod ictf;
 pub mod payload;
+pub mod phases;
 pub mod wire;
 pub mod zipf;
 
@@ -34,5 +39,6 @@ pub use caida::{CaidaConfig, CaidaLikeTrace};
 pub use flows::{FlowTable, FlowTableConfig};
 pub use ictf::{IctfConfig, IctfLikeTrace};
 pub use payload::PayloadGen;
+pub use phases::{PhaseSchedule, PhasedConfig, PhasedTrace};
 pub use wire::{deserialize_trace, load_trace, save_trace, serialize_trace};
 pub use zipf::ZipfSampler;

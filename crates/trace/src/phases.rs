@@ -1,0 +1,501 @@
+//! Workload phases: diurnal cycles, flash crowds, heavy-hitter
+//! migration, and flow churn layered over the ICTF-like Zipf stream.
+//!
+//! The paper's §5.3 workload is a *snapshot*: a fixed flow pool with a
+//! fixed Zipf(1.1) popularity ranking. Real tenant traffic is not
+//! stationary — λ-NIC's serverless workloads and OSMOSIS's multi-tenant
+//! mixes (PAPERS.md) motivate four time-varying effects this module
+//! adds, each deterministic given a seed so streamed replays stay
+//! bit-identical:
+//!
+//! - **Diurnal cycles**: the active-flow population breathes on a
+//!   triangle wave between a trough percentage and 100%. Off-peak,
+//!   ranks fold into the active prefix, concentrating traffic on fewer
+//!   flows (higher locality); at peak the full pool participates. The
+//!   wave is integer arithmetic — no floating-point trig — so every
+//!   platform computes the identical schedule.
+//! - **Flash crowds**: at fixed onsets a small seeded set of flows
+//!   abruptly captures a large share of packets for a bounded window
+//!   (the "everyone hits one endpoint" event), then traffic relaxes.
+//! - **Heavy-hitter migration**: the popularity ranking rotates through
+//!   the pool on a fixed period, so *which* flows are hot drifts over
+//!   time while the Zipf shape is preserved.
+//! - **Flow churn**: on each churn epoch a fraction of flow
+//!   *identities* is replaced — the rank→five-tuple mapping shifts, so
+//!   old flows die and new ones take their place (new tags, new NF
+//!   state) without perturbing popularity.
+//!
+//! With every knob off, [`PhasedTrace`] is bit-identical to
+//! [`IctfLikeTrace`](crate::IctfLikeTrace) at the same config — the
+//! paper's snapshot workload is the degenerate phase schedule, which is
+//! what keeps the existing goldens valid.
+
+use rand::Rng;
+use rand::SeedableRng;
+use snic_types::packet::PacketBuilder;
+use snic_types::{FiveTuple, Packet};
+
+use crate::flows::{FlowTable, FlowTableConfig};
+use crate::ictf::IctfConfig;
+use crate::payload::PayloadGen;
+use crate::zipf::ZipfSampler;
+
+/// The time-varying knobs of a [`PhasedTrace`]. All periods count in
+/// packets (the generator's clock); a period of 0 disables that effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSchedule {
+    /// Packets per full diurnal cycle (peak → trough → peak); 0 = off.
+    pub diurnal_period: u64,
+    /// Active-flow percentage at the diurnal trough (1..=100). At 100
+    /// the wave is flat even when `diurnal_period` is set.
+    pub trough_active_pct: u32,
+    /// Packets between flash-crowd onsets; 0 = off.
+    pub flash_every: u64,
+    /// Packets a flash crowd lasts once it starts (clamped below
+    /// `flash_every`).
+    pub flash_len: u64,
+    /// How many flows the crowd converges on.
+    pub flash_hot_flows: usize,
+    /// Percentage of in-crowd packets redirected to the hot set.
+    pub flash_share_pct: u32,
+    /// Packets between heavy-hitter rotations; 0 = off.
+    pub migrate_every: u64,
+    /// Packets between churn epochs (identity replacement); 0 = off.
+    pub churn_every: u64,
+    /// Percentage of flow identities replaced per churn epoch.
+    pub churn_pct: u32,
+}
+
+impl PhaseSchedule {
+    /// The degenerate schedule: every effect off. A [`PhasedTrace`]
+    /// with this schedule reproduces the paper's stationary Zipf
+    /// snapshot bit-for-bit.
+    pub fn stationary() -> PhaseSchedule {
+        PhaseSchedule {
+            diurnal_period: 0,
+            trough_active_pct: 100,
+            flash_every: 0,
+            flash_len: 0,
+            flash_hot_flows: 0,
+            flash_share_pct: 0,
+            migrate_every: 0,
+            churn_every: 0,
+            churn_pct: 0,
+        }
+    }
+
+    /// A representative "realistic tenant" schedule scaled to a run of
+    /// roughly `horizon` packets: two diurnal cycles, a flash crowd per
+    /// cycle capturing ~60% of traffic on 16 flows, hourly-ish
+    /// heavy-hitter migration, and 10% identity churn per epoch.
+    pub fn realistic(horizon: u64) -> PhaseSchedule {
+        let cycle = (horizon / 2).max(8);
+        PhaseSchedule {
+            diurnal_period: cycle,
+            trough_active_pct: 20,
+            flash_every: cycle,
+            flash_len: cycle / 8,
+            flash_hot_flows: 16,
+            flash_share_pct: 60,
+            migrate_every: (cycle / 4).max(1),
+            churn_every: (cycle / 2).max(1),
+            churn_pct: 10,
+        }
+    }
+
+    /// True when every effect is disabled (the stationary snapshot).
+    pub fn is_stationary(&self) -> bool {
+        (self.diurnal_period == 0 || self.trough_active_pct >= 100)
+            && (self.flash_every == 0
+                || self.flash_len == 0
+                || self.flash_hot_flows == 0
+                || self.flash_share_pct == 0)
+            && self.migrate_every == 0
+            && (self.churn_every == 0 || self.churn_pct == 0)
+    }
+
+    /// Active-flow percentage at packet `t`: a triangle wave from 100
+    /// (peak, cycle start) down to `trough_active_pct` at mid-cycle and
+    /// back. Integer arithmetic only.
+    pub fn active_pct_at(&self, t: u64) -> u32 {
+        if self.diurnal_period == 0 || self.trough_active_pct >= 100 {
+            return 100;
+        }
+        let period = self.diurnal_period;
+        let pos = t % period;
+        let half = (period / 2).max(1);
+        // Distance from the nearest peak, 0..=half.
+        let depth = if pos <= half { pos } else { period - pos };
+        let span = u64::from(100 - self.trough_active_pct);
+        100 - (span * depth / half) as u32
+    }
+
+    /// Whether packet `t` falls inside a flash crowd, and if so which
+    /// crowd (0-based onset index).
+    pub fn crowd_at(&self, t: u64) -> Option<u64> {
+        if self.flash_every == 0
+            || self.flash_len == 0
+            || self.flash_hot_flows == 0
+            || self.flash_share_pct == 0
+        {
+            return None;
+        }
+        let len = self.flash_len.min(self.flash_every);
+        if t % self.flash_every < len {
+            Some(t / self.flash_every)
+        } else {
+            None
+        }
+    }
+
+    /// One-line-per-effect human-readable summary (the `snicctl trace
+    /// describe` payload).
+    pub fn describe(&self) -> String {
+        let mut lines = Vec::new();
+        if self.diurnal_period > 0 && self.trough_active_pct < 100 {
+            lines.push(format!(
+                "diurnal: period={} pkts, trough {}% active",
+                self.diurnal_period, self.trough_active_pct
+            ));
+        }
+        if self.crowd_at(0).is_some() {
+            lines.push(format!(
+                "flash crowds: every {} pkts for {} pkts, {}% of traffic onto {} flows",
+                self.flash_every,
+                self.flash_len.min(self.flash_every),
+                self.flash_share_pct,
+                self.flash_hot_flows
+            ));
+        }
+        if self.migrate_every > 0 {
+            lines.push(format!(
+                "heavy-hitter migration: rotate every {} pkts",
+                self.migrate_every
+            ));
+        }
+        if self.churn_every > 0 && self.churn_pct > 0 {
+            lines.push(format!(
+                "churn: {}% of identities every {} pkts",
+                self.churn_pct, self.churn_every
+            ));
+        }
+        if lines.is_empty() {
+            lines.push("stationary (paper snapshot; no phase effects)".to_string());
+        }
+        lines.join("\n")
+    }
+}
+
+/// Configuration of a [`PhasedTrace`]: the base ICTF-like workload plus
+/// a phase schedule.
+#[derive(Debug, Clone)]
+pub struct PhasedConfig {
+    /// The underlying flow pool / Zipf / payload parameters.
+    pub base: IctfConfig,
+    /// The time-varying effects.
+    pub schedule: PhaseSchedule,
+}
+
+/// A deterministic packet stream with workload phases.
+///
+/// Sampling order per packet: base Zipf rank → diurnal fold into the
+/// active prefix → heavy-hitter rotation → flash-crowd override →
+/// churn identity shift → five-tuple lookup. Each stage is the identity
+/// when its knob is off, and every stage is a pure function of
+/// `(schedule, seed, packet index)` — the whole stream rewinds by
+/// rebuilding from its config.
+#[derive(Debug)]
+pub struct PhasedTrace {
+    flows: FlowTable,
+    zipf: ZipfSampler,
+    payloads: PayloadGen,
+    rng: rand::rngs::StdRng,
+    mean_payload: usize,
+    generated: u64,
+    schedule: PhaseSchedule,
+    pool: usize,
+    seed: u64,
+}
+
+/// SplitMix64 — the stateless seeded hash behind flash-crowd membership
+/// and hot-set selection (independent of the StdRng draw sequence, so
+/// enabling a phase never perturbs the base sampler's stream).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PhasedTrace {
+    /// Build the flow pool and samplers. With a
+    /// [`PhaseSchedule::stationary`] schedule this constructs the exact
+    /// generator [`IctfLikeTrace`](crate::IctfLikeTrace) would (same
+    /// seed derivations), so the two streams are bit-identical.
+    pub fn new(config: PhasedConfig) -> PhasedTrace {
+        let base = config.base;
+        let flows = FlowTable::generate(&FlowTableConfig {
+            flows: base.flows,
+            tcp_fraction: 0.9,
+            seed: base.seed ^ 0xf10f,
+        });
+        PhasedTrace {
+            flows,
+            zipf: ZipfSampler::new(base.flows, base.theta),
+            payloads: PayloadGen::new(base.seed ^ 0xbeef, base.patterns, base.signature_rate),
+            rng: rand::rngs::StdRng::seed_from_u64(base.seed),
+            mean_payload: base.mean_payload,
+            generated: 0,
+            schedule: config.schedule,
+            pool: base.flows,
+            seed: base.seed,
+        }
+    }
+
+    /// The phase schedule in effect.
+    pub fn schedule(&self) -> &PhaseSchedule {
+        &self.schedule
+    }
+
+    /// Map a freshly sampled Zipf rank through the phase stages at
+    /// packet index `t`, yielding the flow-table index to emit.
+    fn phased_rank(&self, rank: usize, t: u64) -> usize {
+        let pool = self.pool.max(1);
+        let mut r = rank;
+
+        // Diurnal: fold into the active prefix. Folding (not clamping)
+        // keeps the Zipf head dominant while redistributing tail mass.
+        let pct = self.schedule.active_pct_at(t);
+        if pct < 100 {
+            let active = ((pool as u64 * u64::from(pct)) / 100).max(1) as usize;
+            r %= active;
+        }
+
+        // Heavy-hitter migration: rotate the ranking by a pool-coprime
+        // stride per period so the hot set walks the whole pool.
+        if let Some(epoch) = t.checked_div(self.schedule.migrate_every) {
+            let stride = (pool / 7).max(1) as u64;
+            r = ((r as u64 + epoch * stride) % pool as u64) as usize;
+        }
+
+        // Flash crowd: a seeded share of in-crowd packets collapses
+        // onto a small per-crowd hot set.
+        if let Some(crowd) = self.schedule.crowd_at(t) {
+            let gate = splitmix64(self.seed ^ t.wrapping_mul(0x5bd1)) % 100;
+            if gate < u64::from(self.schedule.flash_share_pct) {
+                let slot = splitmix64(self.seed ^ crowd ^ t) % self.schedule.flash_hot_flows as u64;
+                let origin = splitmix64(self.seed.wrapping_add(crowd)) % pool as u64;
+                r = ((origin + slot) % pool as u64) as usize;
+            }
+        }
+
+        // Churn: shift the rank→identity mapping by churn_pct of the
+        // pool per epoch — old identities age out of the hot ranks.
+        if self.schedule.churn_every > 0 && self.schedule.churn_pct > 0 {
+            let epoch = t / self.schedule.churn_every;
+            let step = ((pool as u64 * u64::from(self.schedule.churn_pct)) / 100).max(1);
+            r = ((r as u64 + epoch * step) % pool as u64) as usize;
+        }
+
+        r
+    }
+
+    /// Draw the next flow (without building packet bytes). This
+    /// advances the phase clock: every draw is one tick of `t`.
+    pub fn next_flow(&mut self) -> FiveTuple {
+        let t = self.generated;
+        let rank = self.zipf.sample(&mut self.rng);
+        self.generated += 1;
+        self.flows.get(self.phased_rank(rank, t))
+    }
+
+    /// Build the next packet in the stream.
+    pub fn next_packet(&mut self) -> Packet {
+        let ft = self.next_flow();
+        let len = if self.mean_payload == 0 {
+            0
+        } else {
+            let half = self.mean_payload / 2;
+            self.rng
+                .random_range(self.mean_payload - half..=self.mean_payload + half)
+        };
+        let payload = self.payloads.generate(len);
+        PacketBuilder::new(ft.src_ip, ft.dst_ip, ft.protocol, ft.src_port, ft.dst_port)
+            .payload(payload)
+            .build()
+    }
+
+    /// Phase-clock ticks so far (flow draws; equals packets when the
+    /// stream is consumed via [`PhasedTrace::next_packet`]).
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The underlying flow pool.
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IctfLikeTrace;
+    use std::collections::HashSet;
+
+    fn base(flows: usize, seed: u64) -> IctfConfig {
+        IctfConfig {
+            flows,
+            mean_payload: 64,
+            seed,
+            ..IctfConfig::default()
+        }
+    }
+
+    fn phased(flows: usize, seed: u64, schedule: PhaseSchedule) -> PhasedTrace {
+        PhasedTrace::new(PhasedConfig {
+            base: base(flows, seed),
+            schedule,
+        })
+    }
+
+    #[test]
+    fn stationary_schedule_is_bit_identical_to_ictf() {
+        let mut plain = IctfLikeTrace::new(base(500, 0x77));
+        let mut ph = phased(500, 0x77, PhaseSchedule::stationary());
+        assert!(ph.schedule().is_stationary());
+        for _ in 0..500 {
+            assert_eq!(plain.next_packet(), ph.next_packet());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sched = PhaseSchedule::realistic(2_000);
+        let mut a = phased(300, 0x99, sched.clone());
+        let mut b = phased(300, 0x99, sched);
+        for _ in 0..2_000 {
+            assert_eq!(a.next_packet(), b.next_packet());
+        }
+    }
+
+    #[test]
+    fn diurnal_trough_concentrates_traffic() {
+        let sched = PhaseSchedule {
+            diurnal_period: 10_000,
+            trough_active_pct: 5,
+            ..PhaseSchedule::stationary()
+        };
+        assert_eq!(sched.active_pct_at(0), 100);
+        assert_eq!(sched.active_pct_at(5_000), 5);
+        assert_eq!(sched.active_pct_at(10_000), 100);
+        let mut t = phased(1_000, 0x11, sched);
+        let mut peak = HashSet::new();
+        let mut trough = HashSet::new();
+        for i in 0..10_000u64 {
+            let f = t.next_flow();
+            // First and last 10% of the cycle are near-peak; the middle
+            // 10% is the trough.
+            if !(1_000..9_000).contains(&i) {
+                peak.insert(f);
+            } else if (4_500..5_500).contains(&i) {
+                trough.insert(f);
+            }
+        }
+        assert!(
+            trough.len() * 3 < peak.len(),
+            "trough {} vs peak {}",
+            trough.len(),
+            peak.len()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_hot_set() {
+        let sched = PhaseSchedule {
+            flash_every: 1_000,
+            flash_len: 500,
+            flash_hot_flows: 4,
+            flash_share_pct: 80,
+            ..PhaseSchedule::stationary()
+        };
+        // Large pool + weak skew so baseline concentration is low.
+        let mut t = PhasedTrace::new(PhasedConfig {
+            base: IctfConfig {
+                theta: 0.2,
+                ..base(5_000, 0x22)
+            },
+            schedule: sched,
+        });
+        let mut in_crowd = std::collections::HashMap::new();
+        let mut outside = std::collections::HashMap::new();
+        for i in 0..10_000u64 {
+            let f = t.next_flow();
+            if i % 1_000 < 500 {
+                *in_crowd.entry(f).or_insert(0u64) += 1;
+            } else {
+                *outside.entry(f).or_insert(0u64) += 1;
+            }
+        }
+        let top4 = |m: &std::collections::HashMap<FiveTuple, u64>| {
+            let mut v: Vec<u64> = m.values().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.iter().take(4).sum::<u64>() as f64 / v.iter().sum::<u64>() as f64
+        };
+        let crowd_share = top4(&in_crowd);
+        let base_share = top4(&outside);
+        assert!(
+            crowd_share > 2.0 * base_share,
+            "crowd top-4 share {crowd_share:.3} vs baseline {base_share:.3}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_migrate_across_epochs() {
+        let sched = PhaseSchedule {
+            migrate_every: 5_000,
+            ..PhaseSchedule::stationary()
+        };
+        let mut t = phased(1_000, 0x33, sched);
+        let hottest = |t: &mut PhasedTrace, n: u64| {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..n {
+                *counts.entry(t.next_flow()).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        let epoch0 = hottest(&mut t, 5_000);
+        let epoch1 = hottest(&mut t, 5_000);
+        assert_ne!(epoch0, epoch1, "hot flow should move between epochs");
+    }
+
+    #[test]
+    fn churn_replaces_identities() {
+        let sched = PhaseSchedule {
+            churn_every: 5_000,
+            churn_pct: 50,
+            ..PhaseSchedule::stationary()
+        };
+        let mut t = phased(1_000, 0x44, sched);
+        let hottest = |t: &mut PhasedTrace, n: u64| {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..n {
+                *counts.entry(t.next_flow()).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        assert_ne!(hottest(&mut t, 5_000), hottest(&mut t, 5_000));
+    }
+
+    #[test]
+    fn describe_names_every_active_effect() {
+        let d = PhaseSchedule::realistic(100_000).describe();
+        for needle in ["diurnal", "flash crowds", "migration", "churn"] {
+            assert!(d.contains(needle), "missing {needle} in {d}");
+        }
+        assert!(PhaseSchedule::stationary()
+            .describe()
+            .contains("stationary"));
+    }
+}

@@ -68,6 +68,20 @@ impl MachineConfig {
         }
     }
 
+    /// Widen (or narrow) the L2 associativity. The Marvell-matching
+    /// default is 16 ways, which caps static way partitioning at 16
+    /// tenants; the 32–64-tenant colocation sweeps model a
+    /// higher-associativity L2 (one way per tenant, up to the engine's
+    /// 64-way scan limit) so every tenant still gets a private slice.
+    pub fn with_l2_ways(mut self, ways: u32) -> MachineConfig {
+        assert!(
+            (1..=64).contains(&ways),
+            "L2 ways must be 1..=64 (bitmask scan width)"
+        );
+        self.l2.ways = ways;
+        self
+    }
+
     /// S-NIC variant using SecDCP demand partitioning instead of static
     /// slices (the §4.2 alternative; ablated in the benches).
     pub fn snic_secdcp(allocation: Vec<u32>, l2_bytes: u64) -> MachineConfig {

@@ -52,5 +52,5 @@ pub use reference::{
 };
 pub use stream::{
     Access, AccessKind, AccessStream, EventSource, ReplayStream, SharedReplayStream,
-    SyntheticStream,
+    StreamedSource, SyntheticStream, TraceSource, STREAM_CHUNK,
 };

@@ -43,6 +43,161 @@ pub struct Access {
     pub kind: AccessKind,
 }
 
+/// A re-windable generator of reference-stream events.
+///
+/// This is the streaming counterpart of a materialized recording: a
+/// `TraceSource` produces its event sequence chunk by chunk into a
+/// caller buffer, holding only O(chunk) state resident, and can
+/// [`TraceSource::rewind`] to the start to replay the identical
+/// sequence (seeded generators rebuild their state; the multi-pass
+/// warm-then-measure pattern of the figure sweeps becomes a rewind at
+/// the pass boundary instead of a second materialized copy).
+///
+/// The contract mirrors [`AccessStream::next_batch`]: a partial fill is
+/// legal only at end of sequence, and a zero fill means the current
+/// pass is exhausted. After `rewind`, the source must reproduce its
+/// event sequence bit-identically — that is what lets a streamed run
+/// replace a materialized `Arc<[Access]>` under every golden snapshot.
+pub trait TraceSource: Send {
+    /// Fill `out` with the next events of the sequence, returning how
+    /// many were written; 0 exactly when the sequence is exhausted.
+    fn fill(&mut self, out: &mut [Access]) -> usize;
+
+    /// Restart the sequence from its beginning. The events produced
+    /// after a rewind must be bit-identical to the first pass.
+    fn rewind(&mut self);
+}
+
+/// Adapts a [`TraceSource`] generator to the engine's [`EventSource`]
+/// interface: an internal chunk buffer is refilled from the generator
+/// on demand, and the engine borrows runs straight out of that buffer
+/// (the same zero-copy `next_slice` path replay-backed sources take).
+///
+/// `passes > 1` replays the generated sequence back to back by
+/// rewinding the generator at each pass boundary — the streaming
+/// equivalent of [`SharedReplayStream::repeated`], at O(chunk) resident
+/// memory instead of O(trace).
+pub struct StreamedSource {
+    src: Box<dyn TraceSource>,
+    buf: Box<[Access]>,
+    /// Next unconsumed event in `buf`.
+    lo: usize,
+    /// Events valid in `buf`.
+    hi: usize,
+    passes_left: u32,
+    passes: u32,
+}
+
+/// Default chunk size of a [`StreamedSource`]: large enough that the
+/// generator's per-call overhead amortizes away, small enough that a
+/// 64-tenant sweep's chunk buffers stay within a few megabytes.
+pub const STREAM_CHUNK: usize = 4096;
+
+impl StreamedSource {
+    /// Stream one pass of `src` through a [`STREAM_CHUNK`]-event buffer.
+    pub fn new(src: Box<dyn TraceSource>) -> StreamedSource {
+        StreamedSource::repeated(src, 1)
+    }
+
+    /// Stream `passes` back-to-back passes of `src`, rewinding the
+    /// generator at each pass boundary.
+    pub fn repeated(src: Box<dyn TraceSource>, passes: u32) -> StreamedSource {
+        StreamedSource::with_chunk(src, passes, STREAM_CHUNK)
+    }
+
+    /// Like [`StreamedSource::repeated`] with an explicit chunk size
+    /// (the differential suite sweeps this to prove chunk-boundary
+    /// invariance).
+    pub fn with_chunk(src: Box<dyn TraceSource>, passes: u32, chunk: usize) -> StreamedSource {
+        assert!(chunk > 0, "degenerate chunk size");
+        StreamedSource {
+            src,
+            buf: vec![
+                Access {
+                    insns: 1,
+                    addr: 0,
+                    kind: AccessKind::Load,
+                };
+                chunk
+            ]
+            .into_boxed_slice(),
+            lo: 0,
+            hi: 0,
+            passes_left: passes,
+            passes,
+        }
+    }
+
+    /// Ensure the chunk buffer holds at least one unconsumed event,
+    /// pulling from the generator (and crossing pass boundaries) as
+    /// needed. Returns `false` when every pass is exhausted.
+    fn ensure(&mut self) -> bool {
+        while self.lo == self.hi {
+            if self.passes_left == 0 {
+                return false;
+            }
+            let n = self.src.fill(&mut self.buf);
+            if n == 0 {
+                // Pass exhausted: consume it and rewind for the next
+                // one. An empty generator burns through its passes here
+                // and terminates (no infinite loop).
+                self.passes_left -= 1;
+                if self.passes_left > 0 {
+                    self.src.rewind();
+                }
+                continue;
+            }
+            self.lo = 0;
+            self.hi = n;
+        }
+        true
+    }
+
+    /// Restart the whole stream: generator rewound, buffer dropped,
+    /// pass budget restored.
+    pub fn rewind(&mut self) {
+        self.src.rewind();
+        self.lo = 0;
+        self.hi = 0;
+        self.passes_left = self.passes;
+    }
+}
+
+impl AccessStream for StreamedSource {
+    fn next_access(&mut self) -> Option<Access> {
+        if !self.ensure() {
+            return None;
+        }
+        let a = self.buf[self.lo];
+        self.lo += 1;
+        Some(a)
+    }
+
+    fn next_batch(&mut self, out: &mut [Access]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            if !self.ensure() {
+                break;
+            }
+            let take = (out.len() - n).min(self.hi - self.lo);
+            out[n..n + take].copy_from_slice(&self.buf[self.lo..self.lo + take]);
+            self.lo += take;
+            n += take;
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for StreamedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamedSource")
+            .field("chunk", &self.buf.len())
+            .field("buffered", &(self.hi - self.lo))
+            .field("passes_left", &self.passes_left)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A source of reference-stream events.
 pub trait AccessStream {
     /// Produce the next event, or `None` when the workload is exhausted.
@@ -122,6 +277,7 @@ pub struct SharedReplayStream {
     accesses: std::sync::Arc<[Access]>,
     pos: usize,
     passes_left: u32,
+    passes: u32,
 }
 
 impl SharedReplayStream {
@@ -136,6 +292,7 @@ impl SharedReplayStream {
             accesses,
             pos: 0,
             passes_left: passes,
+            passes,
         }
     }
 
@@ -189,6 +346,7 @@ impl AccessStream for SharedReplayStream {
 pub struct SyntheticStream {
     working_set: u64,
     state: u64,
+    seed: u64,
     insns_per_access: u32,
     store_every: u32,
     produced: u64,
@@ -214,6 +372,7 @@ impl SyntheticStream {
         SyntheticStream {
             working_set,
             state: seed | 1,
+            seed,
             insns_per_access,
             store_every,
             produced: 0,
@@ -248,6 +407,19 @@ impl AccessStream for SyntheticStream {
     }
 }
 
+/// A seeded synthetic workload is trivially re-windable: reset the LCG
+/// to its seed and the identical sequence replays.
+impl TraceSource for SyntheticStream {
+    fn fill(&mut self, out: &mut [Access]) -> usize {
+        self.next_batch(out)
+    }
+
+    fn rewind(&mut self) {
+        self.state = self.seed | 1;
+        self.produced = 0;
+    }
+}
+
 /// A devirtualized stream: the closed set of event sources the engine
 /// knows how to drain without a vtable.
 ///
@@ -264,6 +436,9 @@ pub enum EventSource {
     Shared(SharedReplayStream),
     /// A seeded synthetic workload ([`SyntheticStream`]).
     Synthetic(SyntheticStream),
+    /// A chunk-buffered generator ([`StreamedSource`]) — O(chunk)
+    /// resident memory, bit-identical replays via [`TraceSource::rewind`].
+    Streamed(StreamedSource),
     /// Any other stream, at one virtual call per batch element.
     Dyn(Box<dyn AccessStream + Send>),
 }
@@ -276,7 +451,37 @@ impl EventSource {
             EventSource::Replay(s) => s.next_batch(out),
             EventSource::Shared(s) => s.next_batch(out),
             EventSource::Synthetic(s) => s.next_batch(out),
+            EventSource::Streamed(s) => s.next_batch(out),
             EventSource::Dyn(s) => s.next_batch(out),
+        }
+    }
+
+    /// Restart the source from its beginning so a second drain yields
+    /// the bit-identical event sequence — the primitive `snic-sim`'s
+    /// re-windable job specs are built on. Returns `false` for
+    /// [`EventSource::Dyn`], whose boxed stream exposes no reset hook
+    /// (callers there must rebuild the source instead).
+    pub fn rewind(&mut self) -> bool {
+        match self {
+            EventSource::Replay(s) => {
+                s.pos = 0;
+                true
+            }
+            EventSource::Shared(s) => {
+                s.pos = 0;
+                s.passes_left = s.passes;
+                true
+            }
+            EventSource::Synthetic(s) => {
+                s.state = s.seed | 1;
+                s.produced = 0;
+                true
+            }
+            EventSource::Streamed(s) => {
+                s.rewind();
+                true
+            }
+            EventSource::Dyn(_) => false,
         }
     }
 
@@ -312,6 +517,15 @@ impl EventSource {
                 }
                 Some(&s.accesses[lo..lo + n])
             }
+            EventSource::Streamed(s) => {
+                if !s.ensure() {
+                    return Some(&[]);
+                }
+                let n = max.min(s.hi - s.lo);
+                let lo = s.lo;
+                s.lo += n;
+                Some(&s.buf[lo..lo + n])
+            }
             EventSource::Synthetic(_) | EventSource::Dyn(_) => None,
         }
     }
@@ -329,7 +543,9 @@ impl EventSource {
         let (accesses, pos) = match self {
             EventSource::Replay(s) => (&s.accesses[..], s.pos),
             EventSource::Shared(s) => (&s.accesses[..], s.pos),
-            EventSource::Synthetic(_) | EventSource::Dyn(_) => return,
+            // A streamed source's buffer is small and recently written —
+            // already cache-hot — so there is nothing useful to warm.
+            EventSource::Streamed(_) | EventSource::Synthetic(_) | EventSource::Dyn(_) => return,
         };
         let hi = accesses.len().min(pos + events);
         let mut i = pos;
@@ -347,6 +563,7 @@ impl AccessStream for EventSource {
             EventSource::Replay(s) => s.next_access(),
             EventSource::Shared(s) => s.next_access(),
             EventSource::Synthetic(s) => s.next_access(),
+            EventSource::Streamed(s) => s.next_access(),
             EventSource::Dyn(s) => s.next_access(),
         }
     }
@@ -362,6 +579,7 @@ impl std::fmt::Debug for EventSource {
             EventSource::Replay(s) => f.debug_tuple("Replay").field(s).finish(),
             EventSource::Shared(s) => f.debug_tuple("Shared").field(s).finish(),
             EventSource::Synthetic(s) => f.debug_tuple("Synthetic").field(s).finish(),
+            EventSource::Streamed(s) => f.debug_tuple("Streamed").field(s).finish(),
             EventSource::Dyn(_) => f.write_str("Dyn(..)"),
         }
     }
@@ -382,6 +600,12 @@ impl From<SharedReplayStream> for EventSource {
 impl From<SyntheticStream> for EventSource {
     fn from(s: SyntheticStream) -> EventSource {
         EventSource::Synthetic(s)
+    }
+}
+
+impl From<StreamedSource> for EventSource {
+    fn from(s: StreamedSource) -> EventSource {
+        EventSource::Streamed(s)
     }
 }
 
@@ -596,6 +820,101 @@ mod tests {
         let mut dynamic = EventSource::from(boxed);
         assert_eq!(drain_batched(&mut dynamic, 3), direct);
         assert!(format!("{dynamic:?}").contains("Dyn"));
+    }
+
+    /// The synthetic workload the streaming tests generate and compare
+    /// against: non-trivial length, mixed kinds, varied insns.
+    fn synth() -> SyntheticStream {
+        SyntheticStream::new(1 << 16, 3, 5, 1000, 0xabc)
+    }
+
+    /// Drain an [`EventSource`] through the zero-copy `next_slice`
+    /// path, falling back to `next_batch` like the engine does.
+    fn drain_sliced(es: &mut EventSource, max: usize) -> Vec<Access> {
+        let mut v = Vec::new();
+        loop {
+            match es.next_slice(max) {
+                Some([]) => break,
+                Some(run) => v.extend_from_slice(run),
+                None => {
+                    let mut buf = vec![
+                        Access {
+                            insns: 1,
+                            addr: 0,
+                            kind: AccessKind::Load,
+                        };
+                        max
+                    ];
+                    loop {
+                        let n = es.next_batch(&mut buf);
+                        if n == 0 {
+                            return v;
+                        }
+                        v.extend_from_slice(&buf[..n]);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn streamed_source_matches_its_generator_for_every_chunk_size() {
+        let direct = drain_single(&mut synth());
+        assert_eq!(direct.len(), 1000);
+        for chunk in [1usize, 7, 256, 333, 4096, 10_000] {
+            let mut es = EventSource::from(StreamedSource::with_chunk(Box::new(synth()), 1, chunk));
+            assert_eq!(drain_single(&mut es), direct, "single, chunk={chunk}");
+            let mut es = EventSource::from(StreamedSource::with_chunk(Box::new(synth()), 1, chunk));
+            assert_eq!(drain_sliced(&mut es, 100), direct, "sliced, chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_repeated_matches_shared_repeated() {
+        let trace: std::sync::Arc<[Access]> = drain_single(&mut synth()).into();
+        let mut shared = EventSource::from(SharedReplayStream::repeated(trace, 3));
+        let mut streamed = EventSource::from(StreamedSource::with_chunk(Box::new(synth()), 3, 333));
+        assert_eq!(
+            drain_sliced(&mut streamed, 97),
+            drain_sliced(&mut shared, 97)
+        );
+    }
+
+    #[test]
+    fn empty_streamed_generator_terminates() {
+        let empty = SyntheticStream::new(64, 1, 0, 0, 1);
+        let mut es = EventSource::from(StreamedSource::repeated(Box::new(empty), 1_000_000));
+        assert_eq!(es.next_access(), None);
+        assert_eq!(es.next_slice(16), Some(&[][..]));
+    }
+
+    #[test]
+    fn rewind_restores_every_rewindable_source() {
+        let trace: Vec<Access> = drain_single(&mut synth());
+        let shared: std::sync::Arc<[Access]> = trace.clone().into();
+        let mut sources: Vec<EventSource> = vec![
+            ReplayStream::new(trace).into(),
+            SharedReplayStream::repeated(shared, 2).into(),
+            synth().into(),
+            StreamedSource::with_chunk(Box::new(synth()), 2, 61).into(),
+        ];
+        for es in &mut sources {
+            let first = drain_single(es);
+            assert!(!first.is_empty());
+            assert_eq!(drain_single(es), Vec::new(), "{es:?} not exhausted");
+            assert!(es.rewind(), "{es:?} should rewind");
+            assert_eq!(drain_single(es), first, "{es:?} replay differs");
+            // Rewind is idempotent: rewinding twice (and mid-stream)
+            // still restarts from the exact beginning.
+            assert!(es.rewind());
+            let _ = es.next_access();
+            assert!(es.rewind());
+            assert_eq!(drain_single(es), first, "{es:?} second rewind differs");
+        }
+        let boxed: Box<dyn AccessStream + Send> = Box::new(synth());
+        let mut dynamic = EventSource::from(boxed);
+        assert!(!dynamic.rewind(), "Dyn cannot rewind");
     }
 
     #[test]

@@ -87,6 +87,18 @@ cargo test -q -p snic-bench --test shard_determinism
 echo "==> telemetry overhead budget"
 cargo run -q --release -p snic-bench --bin telemetry_overhead
 
+# Bounded-memory streaming gate: the billion-event streamed colocation
+# (48 personality-weighted tenants, diurnal/flash-crowd phase
+# schedules) must first prove serial≡sharded bit-identity at small
+# scale, then process exactly 1e9 engine events through O(chunk)
+# streaming sources with peak RSS under SNIC_MEM_BUDGET_MB (default
+# 640 — the mix's resident NF structures, dominated by eight 64 MB
+# DIR-24-8 tables, plus streaming state; independent of event count).
+# SNIC_TRACE_GATE_EVENTS trims the run on slow machines.
+echo "==> bounded-memory streaming gate (snicctl trace billion --gate)"
+cargo run -q --release --bin snicctl -- trace billion --gate \
+    ${SNIC_TRACE_GATE_EVENTS:+--events "$SNIC_TRACE_GATE_EVENTS"} > /dev/null
+
 # Engine perf gate: the fig5 sweep must stay within
 # SNIC_BENCH_TOLERANCE_PCT (default 10) percent of the committed
 # BENCH_uarch.json baseline. Intentional slowdowns re-bless with

@@ -55,10 +55,22 @@
 //!     # criteria plus a mid-run-restart byte-identity differential
 //! ```
 //!
+//! A streamed-trace mode drives the bounded-memory colocation
+//! machinery (see `crates/bench/src/colo.rs`):
+//!
+//! ```text
+//! snicctl trace describe                 # tenant mix + phase schedules
+//! snicctl trace sweep --tenants 32,48,64 # streamed colocation sweep
+//! snicctl trace billion --gate           # 1e9-event run under the
+//!     # SNIC_MEM_BUDGET_MB peak-RSS budget, with a serial≡sharded
+//!     # identity pre-check
+//! ```
+//!
 //! Exit codes are distinct per failure class and documented in the
 //! README: `0` success, `2` usage or I/O error, `3` script execution
 //! error, `4` verify error, `5` analyze failure, `6` bench error, `7`
-//! telemetry error, `8` serve error, `9` soak gate failure.
+//! telemetry error, `8` serve error, `9` soak gate failure, `10`
+//! leakage gate failure, `11` trace gate failure.
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -327,7 +339,161 @@ fn bench_main(args: &[String]) -> Result<String, String> {
     )
     .ok()
     .and_then(|j| baseline_before(&j));
-    Ok(to_json(&report, scale_name, before))
+    Ok(to_json(&report, scale_name, before, None))
+}
+
+/// `snicctl trace <describe|sweep|billion> [flags]`: drive the streamed
+/// colocation machinery (see `crates/bench/src/colo.rs`).
+///
+/// ```text
+/// snicctl trace describe [--tenants N] [--seed N]
+///     # print the tenant mix: personality, event budget, phase schedule
+/// snicctl trace sweep [--tenants A,B,..] [--events-per-tenant N] [--shards N]
+///     # streamed commodity-vs-S-NIC sweep at each cotenancy
+/// snicctl trace billion [--tenants N] [--events N] [--shards N] [--gate]
+///     # one S-NIC run with N total events streamed in O(chunk) memory;
+///     # --gate enforces a small-scale serial≡sharded identity check,
+///     # the exact event count, and peak RSS <= SNIC_MEM_BUDGET_MB
+/// ```
+fn trace_main(args: &[String]) -> Result<String, String> {
+    use snic::bench::colo;
+    use snic::bench::Scale;
+
+    let usage = || {
+        "usage: snicctl trace <describe [--tenants N] [--seed N] | \
+         sweep [--tenants A,B,..] [--events-per-tenant N] [--shards N] | \
+         billion [--tenants N] [--events N] [--shards N] [--gate]>"
+            .to_string()
+    };
+    let verb = args.first().ok_or_else(usage)?.as_str();
+    let mut tenants_list: Option<Vec<usize>> = None;
+    let mut seed: u64 = 0xc010;
+    let mut events: Option<u64> = None;
+    let mut events_per_tenant: u64 = 50_000;
+    let mut shards: usize = 3;
+    let mut gate = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut next_u64 = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("{flag} needs a positive integer\n{}", usage()))
+        };
+        match a.as_str() {
+            "--tenants" => {
+                let list = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|t| t.parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .and_then(Result::ok)
+                    .filter(|l| !l.is_empty() && l.iter().all(|&t| (1..=64).contains(&t)))
+                    .ok_or_else(|| {
+                        format!(
+                            "--tenants needs counts in 1..=64 (one L2 way each)\n{}",
+                            usage()
+                        )
+                    })?;
+                tenants_list = Some(list);
+            }
+            "--seed" => seed = next_u64("--seed")?,
+            "--events" => events = Some(next_u64("--events")?),
+            "--events-per-tenant" => events_per_tenant = next_u64("--events-per-tenant")?,
+            "--shards" => shards = next_u64("--shards")? as usize,
+            "--gate" => gate = true,
+            other => return Err(format!("{}\n(unknown flag '{other}')", usage())),
+        }
+    }
+    let scale = Scale::quick();
+    match verb {
+        "describe" => {
+            let tenants = tenants_list.map_or(48, |l| l[0]);
+            let total = events.unwrap_or(1_000_000_000);
+            let mix = colo::tenant_mix(tenants, seed, total, true);
+            let mut out = vec![format!(
+                "streamed tenant mix: {tenants} tenants, {total} events total"
+            )];
+            for (i, t) in mix.iter().enumerate() {
+                out.push(format!(
+                    "  tenant {i:>2}: {:<13} events={:>12} seed={:#018x} {}",
+                    format!("{:?}", t.kind),
+                    t.events,
+                    t.seed,
+                    t.schedule.describe()
+                ));
+            }
+            Ok(out.join("\n"))
+        }
+        "sweep" => {
+            let counts = tenants_list.unwrap_or_else(|| vec![32, 48, 64]);
+            let rows = colo::streamed_sweep(&scale, &counts, events_per_tenant, seed, shards);
+            Ok(colo::render_sweep(&rows))
+        }
+        "billion" => {
+            let tenants = tenants_list.map_or(48, |l| l[0]);
+            let total = events.unwrap_or(1_000_000_000);
+            let mut out = Vec::new();
+            if gate {
+                // Identity first, at a scale where re-running is cheap:
+                // the same machinery must be bit-identical serial vs
+                // sharded before the big run's digest means anything.
+                let specs = colo::tenant_mix(6, seed, 60_000, false);
+                let spec = colo::colo_spec(&scale, &specs, colo::many_tenant_snic(6, 1 << 20), 1);
+                let serial = spec.run();
+                let sharded = spec.run_with_shards(3);
+                if serial.nfs != sharded.nfs {
+                    return Err("trace gate: serial and sharded streamed runs diverged".into());
+                }
+                out.push(format!(
+                    "gate: serial≡sharded identity OK (digest {:016x})",
+                    colo::outcome_digest(&serial)
+                ));
+            }
+            eprintln!(
+                "snicctl trace: streaming {total} events over {tenants} tenants \
+                 (shards={shards})..."
+            );
+            let report = colo::billion_run(&scale, tenants, total, seed, shards);
+            out.push(colo::render_billion(&report));
+            if gate {
+                if report.events != total {
+                    return Err(format!(
+                        "trace gate: expected exactly {total} events, engine processed {}",
+                        report.events
+                    ));
+                }
+                // Default budget: the 48-tenant mix's resident NF
+                // structures (dominated by eight 64 MB DIR-24-8 tables,
+                // the paper's Table 6 footprint) plus the O(tenants ×
+                // chunk) streaming state — independent of event count.
+                let budget_mb: u64 = std::env::var("SNIC_MEM_BUDGET_MB")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(640);
+                match report.peak_rss_mb {
+                    Some(rss) if rss > budget_mb => {
+                        return Err(format!(
+                            "trace gate: peak RSS {rss} MiB exceeds the \
+                             SNIC_MEM_BUDGET_MB budget of {budget_mb} MiB"
+                        ));
+                    }
+                    Some(rss) => out.push(format!(
+                        "gate: OK ({} events, peak RSS {rss} MiB <= {budget_mb} MiB budget)",
+                        report.events
+                    )),
+                    None => out.push(format!(
+                        "gate: OK ({} events; no RSS probe on this platform)",
+                        report.events
+                    )),
+                }
+            }
+            Ok(out.join("\n"))
+        }
+        other => Err(format!("{}\n(unknown trace verb '{other}')", usage())),
+    }
 }
 
 /// `snicctl telemetry ...`: record the fig5 smoke sweep, render a
@@ -724,7 +890,8 @@ fn script_main(argv: &[String]) -> Result<String, (i32, String)> {
         "usage: snicctl <script.snic | -> | snicctl analyze [--json] [--gate] | \
          snicctl verify [--json] [--bad] | snicctl bench [--full] [--shards N] | \
          snicctl telemetry ... | snicctl serve <requests.jsonl | -> ... | \
-         snicctl soak [--gate] | snicctl leakage [--smoke] [--gate]"
+         snicctl soak [--gate] | snicctl leakage [--smoke] [--gate] | \
+         snicctl trace <describe|sweep|billion> ..."
             .to_string()
     };
     let arg = argv.first().cloned().ok_or_else(|| (2, usage()))?;
@@ -762,6 +929,7 @@ fn main() {
         Some("serve") => (serve_main(&argv[1..]), 8),
         Some("soak") => (soak_main(&argv[1..]), 9),
         Some("leakage") => (leakage_main(&argv[1..]), 10),
+        Some("trace") => (trace_main(&argv[1..]), 11),
         _ => match script_main(&argv) {
             Ok(out) => (Ok(out), 3),
             Err((code, e)) => {
@@ -948,6 +1116,45 @@ attest ids
         let out = soak_main(&s(&["--gate"])).unwrap();
         assert!(out.contains("gate: OK"), "{out}");
         assert!(out.contains("digest: "), "{out}");
+    }
+
+    #[test]
+    fn trace_command_describe_sweep_and_gate() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(trace_main(&s(&[])).is_err());
+        assert!(trace_main(&s(&["bogus"])).is_err());
+        assert!(trace_main(&s(&["describe", "--tenants", "0"])).is_err());
+        assert!(trace_main(&s(&["describe", "--tenants", "65"])).is_err());
+        assert!(trace_main(&s(&["billion", "--events"])).is_err());
+        let desc = trace_main(&s(&["describe", "--tenants", "8", "--events", "80000"])).unwrap();
+        assert_eq!(desc.matches("  tenant ").count(), 8, "{desc}");
+        assert!(desc.contains("Dpi"), "{desc}");
+        let sweep = trace_main(&s(&[
+            "sweep",
+            "--tenants",
+            "4",
+            "--events-per-tenant",
+            "2000",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        assert!(sweep.contains("digest"), "{sweep}");
+        // A miniature gated run exercises the identity pre-check, the
+        // exact-count check, and the RSS budget path end to end.
+        let gated = trace_main(&s(&[
+            "billion",
+            "--tenants",
+            "4",
+            "--events",
+            "40000",
+            "--shards",
+            "2",
+            "--gate",
+        ]))
+        .unwrap();
+        assert!(gated.contains("serial≡sharded identity OK"), "{gated}");
+        assert!(gated.contains("gate: OK"), "{gated}");
     }
 
     #[test]
